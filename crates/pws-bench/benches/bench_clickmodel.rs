@@ -1,0 +1,31 @@
+//! T4 — click-simulation throughput (the harness must be far faster than
+//! the engine so simulation never dominates experiment wall-clock).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pws_click::relevance::Grade;
+use pws_click::{CascadeModel, ClickModel, PositionBiasModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_clickmodel(c: &mut Criterion) {
+    let docs: Vec<u32> = (0..10).collect();
+    let grades: Vec<Grade> =
+        [2u32, 0, 1, 0, 0, 2, 0, 1, 0, 0].iter().map(|&g| Grade::from_level(g)).collect();
+
+    let mut g = c.benchmark_group("clickmodel");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("position_bias_page10", |b| {
+        let m = PositionBiasModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(m.simulate(&docs, &grades, 0.05, &mut rng)))
+    });
+    g.bench_function("cascade_page10", |b| {
+        let m = CascadeModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| std::hint::black_box(m.simulate(&docs, &grades, 0.05, &mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_clickmodel);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! T4 — concept-extraction latency (the per-query online cost the paper's
+//! middleware pays before re-ranking).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pws_bench::bench_world;
+use pws_concepts::{extract_content, extract_locations, ConceptConfig, LocationConceptConfig, QueryConceptOntology};
+use pws_geo::LocationMatcher;
+
+fn bench_concepts(c: &mut Criterion) {
+    let world = bench_world();
+    let matcher = LocationMatcher::build(&world.world);
+
+    // Snippets of a representative query's top-30 pool.
+    let q = &world.queries[0];
+    let hits = world.engine.search(&q.text, 30);
+    let snippets: Vec<String> = hits.iter().map(|h| h.snippet.clone()).collect();
+    assert!(!snippets.is_empty());
+
+    let mut g = c.benchmark_group("concepts");
+    g.bench_function("content_30_snippets", |b| {
+        b.iter(|| {
+            std::hint::black_box(extract_content(&q.text, &snippets, &ConceptConfig::default()))
+        })
+    });
+    g.bench_function("locations_30_snippets", |b| {
+        b.iter(|| {
+            std::hint::black_box(extract_locations(
+                &snippets,
+                &matcher,
+                &world.world,
+                &LocationConceptConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("full_ontology_30_snippets", |b| {
+        b.iter(|| {
+            std::hint::black_box(QueryConceptOntology::extract(
+                &q.text,
+                &snippets,
+                &matcher,
+                &world.world,
+                &ConceptConfig::default(),
+                &LocationConceptConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_concepts);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! T4 — gazetteer construction and place-name matching throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pws_geo::{LocationMatcher, WorldGen, WorldSpec};
+
+fn bench_gazetteer(c: &mut Criterion) {
+    let world = WorldGen::new(42).generate(&WorldSpec::default_world());
+    let matcher = LocationMatcher::build(&world);
+
+    // A snippet-sized text mentioning two places.
+    let city = world.cities().next().unwrap();
+    let text = format!(
+        "best seafood buffet near {} with daily lobster specials and a view of the harbor",
+        world.name(city)
+    );
+
+    let mut g = c.benchmark_group("gazetteer");
+    g.bench_function("build_matcher_default_world", |b| {
+        b.iter(|| std::hint::black_box(LocationMatcher::build(&world)))
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("match_snippet", |b| {
+        b.iter(|| std::hint::black_box(matcher.match_text(&text)))
+    });
+    g.bench_function("match_snippet_no_places", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                matcher.match_text("generic text with no geography mentioned anywhere at all"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gazetteer);
+criterion_main!(benches);

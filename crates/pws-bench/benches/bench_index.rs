@@ -1,0 +1,50 @@
+//! T4 — index build throughput and query latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pws_bench::bench_world;
+use pws_index::{IndexBuilder, StoredDoc};
+
+fn bench_index(c: &mut Criterion) {
+    let world = bench_world();
+
+    let mut g = c.benchmark_group("index");
+
+    // Build: docs/sec over the 2k-doc corpus.
+    g.throughput(Throughput::Elements(world.corpus.len() as u64));
+    g.bench_function("build_2k_docs", |b| {
+        b.iter_batched(
+            IndexBuilder::new,
+            |mut builder| {
+                for d in &world.corpus.docs {
+                    builder.add(StoredDoc::new(d.id.0, &d.url, &d.title, &d.body));
+                }
+                builder.build()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.throughput(Throughput::Elements(1));
+
+    // Query latency across the workload (amortized per query).
+    let queries: Vec<&str> = world.queries.iter().map(|q| q.text.as_str()).collect();
+    g.bench_function("query_top10", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(world.engine.search(q, 10))
+        })
+    });
+    g.bench_function("query_top30_pool", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(world.engine.search(q, 30))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

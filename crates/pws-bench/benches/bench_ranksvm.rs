@@ -1,0 +1,43 @@
+//! T4 — RankSVM training-epoch cost at the engine's pair-window size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pws_profile::FEATURE_DIM;
+use pws_ranksvm::{PairwiseTrainer, PreferencePair, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pairs(n: usize, seed: u64) -> Vec<PreferencePair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let better: Vec<f64> = (0..FEATURE_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let worse: Vec<f64> = (0..FEATURE_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+            PreferencePair::new(better, worse)
+        })
+        .collect()
+}
+
+fn bench_ranksvm(c: &mut Criterion) {
+    let small = pairs(200, 1);
+    let window = pairs(2_000, 2);
+
+    let mut g = c.benchmark_group("ranksvm");
+    g.bench_function("train_200_pairs_20_epochs", |b| {
+        let t = PairwiseTrainer::new(TrainConfig::default());
+        b.iter(|| std::hint::black_box(t.train(FEATURE_DIM, &small)))
+    });
+    g.bench_function("train_2000_pairs_20_epochs", |b| {
+        let t = PairwiseTrainer::new(TrainConfig::default());
+        b.iter(|| std::hint::black_box(t.train(FEATURE_DIM, &window)))
+    });
+    g.bench_function("score_page_of_30", |b| {
+        let t = PairwiseTrainer::new(TrainConfig::default());
+        let model = t.train(FEATURE_DIM, &small);
+        let page: Vec<Vec<f64>> = window.iter().take(30).map(|p| p.better.clone()).collect();
+        b.iter(|| std::hint::black_box(model.rank(&page)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ranksvm);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! T4 — end-to-end personalized search latency (retrieval + extraction +
+//! feature computation + re-rank) and observe (profile update) latency,
+//! for warm user state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pws_bench::bench_world;
+use pws_click::{SessionSimulator, SimConfig, UserId};
+use pws_core::{EngineConfig, PersonalizationMode, PersonalizedSearchEngine};
+use pws_corpus::query::QueryId;
+
+fn bench_rerank(c: &mut Criterion) {
+    let world = bench_world();
+
+    // Warm an engine with some training traffic.
+    let mut engine =
+        PersonalizedSearchEngine::new(&world.engine, &world.world, EngineConfig::default());
+    let mut sim = SessionSimulator::new(
+        &world.engine,
+        &world.corpus,
+        &world.world,
+        &world.population,
+        &world.queries,
+        SimConfig { top_k: 10, seed: 3 },
+    );
+    let user = UserId(0);
+    let mut turns = Vec::new();
+    for t in 0..30 {
+        let qid = QueryId((t % world.queries.len()) as u32);
+        let q = &world.queries[qid.index()];
+        let intent = sim.sample_intent_city(user);
+        let text = sim.render_query(q, intent);
+        let turn = engine.search(user, &text);
+        let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
+        engine.observe(&turn, &outcome.impression);
+        turns.push((turn, outcome.impression));
+    }
+
+    let mut g = c.benchmark_group("rerank");
+    g.bench_function("personalized_search_warm", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &world.queries[i % world.queries.len()];
+            i += 1;
+            std::hint::black_box(engine.search(user, &q.text))
+        })
+    });
+    g.bench_function("observe_clicks", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (turn, imp) = &turns[i % turns.len()];
+            i += 1;
+            engine.observe(turn, imp);
+        })
+    });
+
+    // Baseline search for comparison (the personalization overhead factor).
+    let mut baseline = PersonalizedSearchEngine::new(
+        &world.engine,
+        &world.world,
+        EngineConfig::for_mode(PersonalizationMode::Baseline),
+    );
+    g.bench_function("baseline_search", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &world.queries[i % world.queries.len()];
+            i += 1;
+            std::hint::black_box(baseline.search(user, &q.text))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rerank);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p pws-bench --release --bin experiments -- all
+//! cargo run -p pws-bench --release --bin experiments -- t3 f5
+//! cargo run -p pws-bench --release --bin experiments -- --quick all
+//! ```
+//!
+//! Rendered tables go to stdout; JSON for each experiment is written to
+//! `results/<id>.json`.
+
+use pws_eval::experiments as exp;
+use pws_eval::experiments::Protocol;
+use pws_eval::{ExperimentSpec, ExperimentWorld};
+use serde::Serialize;
+use std::fs;
+use std::time::Instant;
+
+fn save<T: Serialize>(id: &str, value: &T) {
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            let path = format!("results/{id}.json");
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warn: could not write {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warn: could not serialize {id}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let run_all = ids.is_empty() || ids.iter().any(|i| i == "all");
+    let want = |id: &str| run_all || ids.iter().any(|i| i == id);
+
+    let (spec, proto) = if quick {
+        (ExperimentSpec::small(), Protocol::quick())
+    } else {
+        (ExperimentSpec::default_paper(), Protocol::standard())
+    };
+
+    eprintln!(
+        "building experiment world ({} docs, {} users, {} queries)…",
+        spec.corpus.num_docs, spec.users.num_users, spec.queries.num_queries
+    );
+    let t0 = Instant::now();
+    let world = ExperimentWorld::build(spec);
+    eprintln!("world built in {:.1?}\n", t0.elapsed());
+
+    let timed = |label: &str, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        eprintln!("[{label} done in {:.1?}]\n", t.elapsed());
+    };
+
+    // T3 is reused by F2, so hold it if either is requested.
+    let mut t3_cache: Option<exp::T3Report> = None;
+
+    if want("t1") {
+        timed("t1", &mut || {
+            let r = exp::t1_dataset_stats(&world);
+            println!("{}", r.render());
+            save("t1", &r);
+        });
+    }
+    if want("t2") {
+        timed("t2", &mut || {
+            let r = exp::t2_sample_concepts(&world);
+            println!("{}", r.render());
+            save("t2", &r);
+        });
+    }
+    if want("t3") || want("f2") {
+        timed("t3", &mut || {
+            let r = exp::t3_method_comparison(&world, &proto);
+            println!("{}", r.render());
+            save("t3", &r);
+            t3_cache = Some(r);
+        });
+    }
+    if want("f2") {
+        timed("f2", &mut || {
+            let t3 = t3_cache.as_ref().expect("computed above");
+            let r = exp::f2_topn_precision(t3);
+            println!("{}", r.render());
+            save("f2", &r);
+        });
+    }
+    if want("f1") {
+        timed("f1", &mut || {
+            let budgets: &[usize] =
+                if quick { &[0, 4, 8] } else { &[0, 5, 10, 20, 40, 80] };
+            let r = exp::f1_learning_curve(&world, &proto, budgets);
+            println!("{}", r.render());
+            save("f1", &r);
+        });
+    }
+    if want("f3") {
+        timed("f3", &mut || {
+            let thresholds: &[f64] = if quick {
+                &[0.02, 0.1, 0.3]
+            } else {
+                &[0.01, 0.02, 0.05, 0.08, 0.12, 0.20, 0.30]
+            };
+            let r = exp::f3_support_threshold_sweep(&world, &proto, thresholds);
+            println!("{}", r.render());
+            save("f3", &r);
+        });
+    }
+    if want("f4") {
+        timed("f4", &mut || {
+            let r = exp::f4_entropy_analysis(&world, &proto);
+            println!("{}", r.render());
+            save("f4", &r);
+        });
+    }
+    if want("f5") {
+        timed("f5", &mut || {
+            let betas: &[f64] =
+                if quick { &[0.0, 0.5, 1.0] } else { &[0.0, 0.25, 0.5, 0.75, 1.0] };
+            let r = exp::f5_blend_sweep(&world, &proto, betas);
+            println!("{}", r.render());
+            save("f5", &r);
+        });
+    }
+    if want("f6") {
+        timed("f6", &mut || {
+            let horizon = if quick { 6 } else { 20 };
+            let r = exp::f6_cold_start(&world, &proto, horizon);
+            println!("{}", r.render());
+            save("f6", &r);
+        });
+    }
+    if want("f7") {
+        timed("f7", &mut || {
+            let r = exp::f7_ablations(&world, &proto);
+            println!("{}", r.render());
+            save("f7", &r);
+        });
+    }
+    if want("t5") {
+        timed("t5", &mut || {
+            let r = exp::t5_class_breakdown(&world, &proto);
+            println!("{}", r.render());
+            save("t5", &r);
+        });
+    }
+    if want("f8") {
+        timed("f8", &mut || {
+            let levels: &[f64] = if quick { &[0.02, 0.2] } else { &[0.0, 0.05, 0.1, 0.2, 0.35] };
+            let r = exp::f8_noise_robustness(&world.spec, &proto, levels);
+            println!("{}", r.render());
+            save("f8", &r);
+        });
+    }
+    if want("f9") {
+        timed("f9", &mut || {
+            let r = exp::f9_click_model_robustness(&world, &proto);
+            println!("{}", r.render());
+            save("f9", &r);
+        });
+    }
+    if want("f10") {
+        timed("f10", &mut || {
+            let sessions = if quick { 2 } else { 6 };
+            let r = exp::f10_session_adaptation(&world, &proto, sessions);
+            println!("{}", r.render());
+            save("f10", &r);
+        });
+    }
+
+    eprintln!("total {:.1?}", t0.elapsed());
+}

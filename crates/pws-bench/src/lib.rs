@@ -1,0 +1,42 @@
+//! # pws-bench — benchmarks and the experiment driver
+//!
+//! * `cargo run -p pws-bench --release --bin experiments -- all` regenerates
+//!   every table and figure of the evaluation (T1–T3, F1–F7) and writes
+//!   both the rendered tables and machine-readable JSON to `results/`;
+//! * `cargo bench -p pws-bench` runs the criterion micro-benchmarks behind
+//!   efficiency table T4 (index build/query, concept extraction,
+//!   personalized re-ranking, RankSVM training, click simulation,
+//!   gazetteer matching).
+//!
+//! Shared fixtures for the benches live here.
+
+use pws_eval::{ExperimentSpec, ExperimentWorld};
+
+/// The bench fixture scale: smaller than the paper world so criterion can
+/// iterate, larger than the unit-test world so numbers are meaningful.
+pub fn bench_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::small();
+    spec.corpus.num_docs = 2_000;
+    spec.corpus.num_topics = 8;
+    spec.queries.num_queries = 40;
+    spec.queries.num_topics = 8;
+    spec.users.num_topics = 8;
+    spec
+}
+
+/// Build the shared bench world (a few hundred ms; benches build it once).
+pub fn bench_world() -> ExperimentWorld {
+    ExperimentWorld::build(bench_spec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_world_builds() {
+        let w = bench_world();
+        assert_eq!(w.corpus.len(), 2_000);
+        assert!(!w.engine.search(&w.queries[0].text, 10).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # pws-click — clickthrough substrate
+//!
+//! The paper collected clickthrough data from human subjects. Offline we
+//! substitute a *simulated* user population whose latent preferences are
+//! known, which the paper's human subjects could never give us:
+//!
+//! * [`user`] — the population: every simulated user has a home city, a
+//!   location-affinity strength, and per-topic favorite *subtopics*;
+//! * [`relevance`] — the ground-truth graded relevance (0/1/2) of a document
+//!   for a `(user, query)` pair, derived from those latent preferences;
+//! * [`model`] — click models turning a ranked result list plus relevance
+//!   grades into clicks: position-biased examination and cascade, both with
+//!   dwell-time simulation (grade-consistent dwell, so dwell-based grading
+//!   recovers the latent grades with realistic noise);
+//! * [`log`] — the serializable impression/click log schema every consumer
+//!   (profiling, entropy, evaluation) reads;
+//! * [`session`] — the simulator wiring user × query template × search
+//!   engine into a stream of logged impressions.
+//!
+//! Everything is deterministic given the seed.
+
+pub mod log;
+pub mod model;
+pub mod relevance;
+pub mod session;
+pub mod user;
+
+pub use log::{Click, Impression, SearchLog, ShownResult};
+pub use model::{CascadeModel, ClickModel, DbnModel, PositionBiasModel};
+pub use relevance::{relevance_grade, Grade};
+pub use session::{SessionSimulator, SimConfig};
+pub use user::{SimUser, UserGen, UserId, UserPopulation, UserSpec};

@@ -1,0 +1,221 @@
+//! Clickthrough log schema.
+//!
+//! The interchange format between the simulator and every consumer
+//! (profiling, entropy analysis, RankSVM training, evaluation). Serialized
+//! as JSON lines by the experiment harness.
+
+use crate::user::UserId;
+use pws_corpus::query::QueryId;
+use serde::{Deserialize, Serialize};
+
+/// One result as shown to the user.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShownResult {
+    /// Document id in the engine.
+    pub doc: u32,
+    /// 1-based rank at which it was shown.
+    pub rank: usize,
+    /// Result URL.
+    pub url: String,
+    /// Result title.
+    pub title: String,
+    /// Query-biased snippet shown under the title.
+    pub snippet: String,
+}
+
+/// One click within an impression.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct Click {
+    /// Clicked document.
+    pub doc: u32,
+    /// Rank it was shown at (1-based).
+    pub rank: usize,
+    /// Simulated dwell time in abstract time units. By the conventional
+    /// dwell grading: `< 50` ⇒ unsatisfied, `50..400` ⇒ satisfied,
+    /// `>= 400` ⇒ highly satisfied.
+    pub dwell: u32,
+}
+
+impl Click {
+    /// Dwell-derived satisfaction grade (0/1/2), the observable proxy for
+    /// the latent relevance grade.
+    pub fn dwell_grade(&self) -> u32 {
+        if self.dwell >= 400 {
+            2
+        } else if self.dwell >= 50 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// One query issue: what was asked, what was shown, what was clicked.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Impression {
+    /// The issuing user.
+    pub user: UserId,
+    /// Workload template this issue instantiated.
+    pub query: QueryId,
+    /// The exact query string sent to the engine (may include a city name
+    /// for explicit-location issues).
+    pub query_text: String,
+    /// Results as shown, rank ascending.
+    pub results: Vec<ShownResult>,
+    /// Clicks, in click order.
+    pub clicks: Vec<Click>,
+}
+
+impl Impression {
+    /// Was `doc` clicked in this impression?
+    pub fn clicked(&self, doc: u32) -> bool {
+        self.clicks.iter().any(|c| c.doc == doc)
+    }
+
+    /// Rank of the lowest-ranked (i.e. largest rank value) click, if any.
+    pub fn deepest_click_rank(&self) -> Option<usize> {
+        self.clicks.iter().map(|c| c.rank).max()
+    }
+
+    /// Results at ranks above the deepest click that were *not* clicked —
+    /// Joachims' "skipped" documents, the negative signal for preference
+    /// pair mining.
+    pub fn skipped(&self) -> Vec<&ShownResult> {
+        let Some(deepest) = self.deepest_click_rank() else {
+            return Vec::new();
+        };
+        self.results
+            .iter()
+            .filter(|r| r.rank < deepest && !self.clicked(r.doc))
+            .collect()
+    }
+}
+
+/// A full log: a sequence of impressions in simulation order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct SearchLog {
+    /// Impressions in chronological order.
+    pub impressions: Vec<Impression>,
+}
+
+impl SearchLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of impressions.
+    pub fn len(&self) -> usize {
+        self.impressions.len()
+    }
+
+    /// True when no impressions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.impressions.is_empty()
+    }
+
+    /// Append one impression.
+    pub fn push(&mut self, imp: Impression) {
+        self.impressions.push(imp);
+    }
+
+    /// Impressions of one user, in order.
+    pub fn for_user(&self, user: UserId) -> impl Iterator<Item = &Impression> {
+        self.impressions.iter().filter(move |i| i.user == user)
+    }
+
+    /// Impressions of one query template, in order.
+    pub fn for_query(&self, query: QueryId) -> impl Iterator<Item = &Impression> {
+        self.impressions.iter().filter(move |i| i.query == query)
+    }
+
+    /// Total number of clicks across all impressions.
+    pub fn total_clicks(&self) -> usize {
+        self.impressions.iter().map(|i| i.clicks.len()).sum()
+    }
+
+    /// Click-through rate of rank 1: fraction of impressions whose rank-1
+    /// result was clicked.
+    pub fn ctr_at_1(&self) -> f64 {
+        if self.impressions.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .impressions
+            .iter()
+            .filter(|i| i.clicks.iter().any(|c| c.rank == 1))
+            .count();
+        hits as f64 / self.impressions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shown(doc: u32, rank: usize) -> ShownResult {
+        ShownResult { doc, rank, url: format!("u{doc}"), title: "t".into(), snippet: "s".into() }
+    }
+
+    fn imp(user: u32, query: u32, clicks: Vec<(u32, usize, u32)>) -> Impression {
+        Impression {
+            user: UserId(user),
+            query: QueryId(query),
+            query_text: "q".into(),
+            results: (0..5).map(|i| shown(i, i as usize + 1)).collect(),
+            clicks: clicks.into_iter().map(|(doc, rank, dwell)| Click { doc, rank, dwell }).collect(),
+        }
+    }
+
+    #[test]
+    fn dwell_grades() {
+        assert_eq!(Click { doc: 0, rank: 1, dwell: 10 }.dwell_grade(), 0);
+        assert_eq!(Click { doc: 0, rank: 1, dwell: 50 }.dwell_grade(), 1);
+        assert_eq!(Click { doc: 0, rank: 1, dwell: 399 }.dwell_grade(), 1);
+        assert_eq!(Click { doc: 0, rank: 1, dwell: 400 }.dwell_grade(), 2);
+    }
+
+    #[test]
+    fn clicked_lookup() {
+        let i = imp(0, 0, vec![(2, 3, 100)]);
+        assert!(i.clicked(2));
+        assert!(!i.clicked(0));
+    }
+
+    #[test]
+    fn skipped_is_unclicked_above_deepest_click() {
+        let i = imp(0, 0, vec![(2, 3, 100), (0, 1, 60)]);
+        let skipped: Vec<u32> = i.skipped().iter().map(|r| r.doc).collect();
+        // Deepest click at rank 3; rank 1 clicked, rank 2 skipped.
+        assert_eq!(skipped, vec![1]);
+    }
+
+    #[test]
+    fn no_clicks_means_no_skips() {
+        let i = imp(0, 0, vec![]);
+        assert!(i.skipped().is_empty());
+        assert_eq!(i.deepest_click_rank(), None);
+    }
+
+    #[test]
+    fn log_filters_and_stats() {
+        let mut log = SearchLog::new();
+        log.push(imp(0, 0, vec![(0, 1, 500)]));
+        log.push(imp(0, 1, vec![]));
+        log.push(imp(1, 0, vec![(3, 4, 30)]));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.for_user(UserId(0)).count(), 2);
+        assert_eq!(log.for_query(QueryId(0)).count(), 2);
+        assert_eq!(log.total_clicks(), 2);
+        assert!((log.ctr_at_1() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut log = SearchLog::new();
+        log.push(imp(0, 0, vec![(0, 1, 500)]));
+        let json = serde_json::to_string(&log).unwrap();
+        let back: SearchLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

@@ -1,0 +1,371 @@
+//! Click models.
+//!
+//! Turn a ranked result list plus latent relevance grades into clicks.
+//! Two standard families:
+//!
+//! * [`PositionBiasModel`] — the examination hypothesis: the user examines
+//!   rank *i* with probability `gamma^(i-1)` and clicks an examined result
+//!   with a grade-dependent probability;
+//! * [`CascadeModel`] — the user scans top-down, clicks the first
+//!   satisfying result, and stops with a grade-dependent probability.
+//!
+//! Both simulate dwell consistent with the latent grade so the dwell-based
+//! observable grading recovers it with realistic noise.
+
+use crate::log::Click;
+use crate::relevance::Grade;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A click model maps `(grades by rank)` to clicks.
+pub trait ClickModel {
+    /// Simulate clicks for one impression. `grades[i]` is the latent grade
+    /// of the result at rank `i+1`; `docs[i]` its doc id. `noise` is the
+    /// user's per-interaction noise level.
+    fn simulate(&self, docs: &[u32], grades: &[Grade], noise: f64, rng: &mut StdRng) -> Vec<Click>;
+}
+
+/// Sample dwell consistent with a grade. Noise occasionally shifts one
+/// bucket down (the user satisfied less than the content deserved).
+fn sample_dwell(grade: Grade, noise: f64, rng: &mut StdRng) -> u32 {
+    let effective = if rng.gen_bool(noise.clamp(0.0, 1.0)) {
+        // Degrade one level.
+        Grade::from_level(grade.gain().saturating_sub(1))
+    } else {
+        grade
+    };
+    match effective {
+        Grade::HighlyRelevant => rng.gen_range(400..1200),
+        Grade::Relevant => rng.gen_range(50..400),
+        Grade::Irrelevant => rng.gen_range(1..50),
+    }
+}
+
+/// Examination-hypothesis model with geometric position decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionBiasModel {
+    /// Examination decay per rank; P(examine rank i) = gamma^(i-1).
+    pub gamma: f64,
+    /// P(click | examined, grade 2).
+    pub p_click_high: f64,
+    /// P(click | examined, grade 1).
+    pub p_click_rel: f64,
+    /// P(click | examined, grade 0) — noise clicks.
+    pub p_click_irr: f64,
+}
+
+impl Default for PositionBiasModel {
+    fn default() -> Self {
+        PositionBiasModel { gamma: 0.8, p_click_high: 0.85, p_click_rel: 0.5, p_click_irr: 0.04 }
+    }
+}
+
+impl ClickModel for PositionBiasModel {
+    fn simulate(&self, docs: &[u32], grades: &[Grade], noise: f64, rng: &mut StdRng) -> Vec<Click> {
+        debug_assert_eq!(docs.len(), grades.len());
+        let mut clicks = Vec::new();
+        let mut examine_p: f64 = 1.0;
+        for (i, (&doc, &grade)) in docs.iter().zip(grades).enumerate() {
+            if rng.gen_bool(examine_p.clamp(0.0, 1.0)) {
+                let p = match grade {
+                    Grade::HighlyRelevant => self.p_click_high,
+                    Grade::Relevant => self.p_click_rel,
+                    Grade::Irrelevant => self.p_click_irr.max(noise * 0.5),
+                };
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    clicks.push(Click {
+                        doc,
+                        rank: i + 1,
+                        dwell: sample_dwell(grade, noise, rng),
+                    });
+                }
+            }
+            examine_p *= self.gamma;
+        }
+        clicks
+    }
+}
+
+/// Cascade model: scan top-down; click on satisfying results; stop after a
+/// click with grade-dependent probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeModel {
+    /// P(click | grade 2).
+    pub p_click_high: f64,
+    /// P(click | grade 1).
+    pub p_click_rel: f64,
+    /// P(click | grade 0).
+    pub p_click_irr: f64,
+    /// P(stop scanning | clicked grade 2).
+    pub p_stop_high: f64,
+    /// P(stop scanning | clicked grade 1).
+    pub p_stop_rel: f64,
+    /// P(abandon without click at each rank).
+    pub p_abandon: f64,
+}
+
+impl Default for CascadeModel {
+    fn default() -> Self {
+        CascadeModel {
+            p_click_high: 0.9,
+            p_click_rel: 0.55,
+            p_click_irr: 0.03,
+            p_stop_high: 0.85,
+            p_stop_rel: 0.45,
+            p_abandon: 0.08,
+        }
+    }
+}
+
+impl ClickModel for CascadeModel {
+    fn simulate(&self, docs: &[u32], grades: &[Grade], noise: f64, rng: &mut StdRng) -> Vec<Click> {
+        debug_assert_eq!(docs.len(), grades.len());
+        let mut clicks = Vec::new();
+        for (i, (&doc, &grade)) in docs.iter().zip(grades).enumerate() {
+            let p_click = match grade {
+                Grade::HighlyRelevant => self.p_click_high,
+                Grade::Relevant => self.p_click_rel,
+                Grade::Irrelevant => self.p_click_irr.max(noise * 0.5),
+            };
+            if rng.gen_bool(p_click.clamp(0.0, 1.0)) {
+                clicks.push(Click { doc, rank: i + 1, dwell: sample_dwell(grade, noise, rng) });
+                let p_stop = match grade {
+                    Grade::HighlyRelevant => self.p_stop_high,
+                    Grade::Relevant => self.p_stop_rel,
+                    Grade::Irrelevant => 0.05,
+                };
+                if rng.gen_bool(p_stop.clamp(0.0, 1.0)) {
+                    break;
+                }
+            } else if rng.gen_bool(self.p_abandon.clamp(0.0, 1.0)) {
+                break;
+            }
+        }
+        clicks
+    }
+}
+
+/// Dynamic-Bayesian-Network click model (Chapelle & Zhang, 2009).
+///
+/// The user scans top-down. At each examined result: click with the
+/// grade's *attractiveness*; if clicked, be *satisfied* with the grade's
+/// satisfaction probability and stop; otherwise continue scanning with
+/// perseverance `gamma`. Unlike the cascade model, an unsatisfying click
+/// does not end the session — matching the "click, come back, keep
+/// looking" pattern real logs show.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbnModel {
+    /// P(click | examined), indexed by grade gain (0, 1, 2).
+    pub attractiveness: [f64; 3],
+    /// P(satisfied | clicked), indexed by grade gain.
+    pub satisfaction: [f64; 3],
+    /// P(continue scanning | not satisfied at this rank).
+    pub gamma: f64,
+}
+
+impl Default for DbnModel {
+    fn default() -> Self {
+        DbnModel {
+            attractiveness: [0.05, 0.55, 0.85],
+            satisfaction: [0.02, 0.45, 0.85],
+            gamma: 0.85,
+        }
+    }
+}
+
+impl ClickModel for DbnModel {
+    fn simulate(&self, docs: &[u32], grades: &[Grade], noise: f64, rng: &mut StdRng) -> Vec<Click> {
+        debug_assert_eq!(docs.len(), grades.len());
+        let mut clicks = Vec::new();
+        for (i, (&doc, &grade)) in docs.iter().zip(grades).enumerate() {
+            let g = grade.gain() as usize;
+            let attract = self.attractiveness[g].max(noise * 0.5);
+            if rng.gen_bool(attract.clamp(0.0, 1.0)) {
+                clicks.push(Click { doc, rank: i + 1, dwell: sample_dwell(grade, noise, rng) });
+                if rng.gen_bool(self.satisfaction[g].clamp(0.0, 1.0)) {
+                    break; // satisfied — session over
+                }
+            }
+            if !rng.gen_bool(self.gamma.clamp(0.0, 1.0)) {
+                break; // gave up
+            }
+        }
+        clicks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn grades(pattern: &[u32]) -> Vec<Grade> {
+        pattern.iter().map(|&g| Grade::from_level(g)).collect()
+    }
+
+    fn docs(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn relevant_docs_get_clicked_more_often() {
+        let m = PositionBiasModel::default();
+        let mut r = rng();
+        let g = grades(&[2, 0, 0, 0, 0]);
+        let d = docs(5);
+        let mut top_clicks = 0;
+        let mut irr_clicks = 0;
+        for _ in 0..500 {
+            for c in m.simulate(&d, &g, 0.02, &mut r) {
+                if c.rank == 1 {
+                    top_clicks += 1;
+                } else {
+                    irr_clicks += 1;
+                }
+            }
+        }
+        assert!(top_clicks > irr_clicks * 3, "{top_clicks} vs {irr_clicks}");
+    }
+
+    #[test]
+    fn position_bias_suppresses_deep_clicks() {
+        let m = PositionBiasModel::default();
+        let mut r = rng();
+        // Identical high grades everywhere; clicks should still skew shallow.
+        let g = grades(&[2; 10]);
+        let d = docs(10);
+        let mut by_rank = [0u32; 10];
+        for _ in 0..2000 {
+            for c in m.simulate(&d, &g, 0.02, &mut r) {
+                by_rank[c.rank - 1] += 1;
+            }
+        }
+        assert!(by_rank[0] > by_rank[4], "{by_rank:?}");
+        assert!(by_rank[4] > by_rank[9], "{by_rank:?}");
+    }
+
+    #[test]
+    fn dwell_correlates_with_grade() {
+        let m = PositionBiasModel::default();
+        let mut r = rng();
+        let d = docs(1);
+        let mut high_dwell = Vec::new();
+        let mut irr_dwell = Vec::new();
+        for _ in 0..2000 {
+            for c in m.simulate(&d, &grades(&[2]), 0.0, &mut r) {
+                high_dwell.push(c.dwell);
+            }
+            for c in m.simulate(&d, &grades(&[0]), 0.0, &mut r) {
+                irr_dwell.push(c.dwell);
+            }
+        }
+        assert!(!high_dwell.is_empty());
+        assert!(high_dwell.iter().all(|&d| d >= 400));
+        assert!(irr_dwell.iter().all(|&d| d < 50));
+    }
+
+    #[test]
+    fn cascade_stops_after_satisfying_click() {
+        let m = CascadeModel { p_stop_high: 1.0, p_click_high: 1.0, ..CascadeModel::default() };
+        let mut r = rng();
+        let g = grades(&[2, 2, 2]);
+        let clicks = m.simulate(&docs(3), &g, 0.0, &mut r);
+        assert_eq!(clicks.len(), 1);
+        assert_eq!(clicks[0].rank, 1);
+    }
+
+    #[test]
+    fn cascade_click_ranks_ascend() {
+        let m = CascadeModel::default();
+        let mut r = rng();
+        let g = grades(&[1, 1, 1, 1, 1, 1]);
+        for _ in 0..200 {
+            let clicks = m.simulate(&docs(6), &g, 0.05, &mut r);
+            for w in clicks.windows(2) {
+                assert!(w[0].rank < w[1].rank);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_list_yields_no_clicks() {
+        let m = PositionBiasModel::default();
+        let mut r = rng();
+        assert!(m.simulate(&[], &[], 0.0, &mut r).is_empty());
+        let c = CascadeModel::default();
+        assert!(c.simulate(&[], &[], 0.0, &mut r).is_empty());
+    }
+
+    #[test]
+    fn dbn_satisfied_click_ends_session() {
+        let m = DbnModel {
+            attractiveness: [0.0, 1.0, 1.0],
+            satisfaction: [0.0, 1.0, 1.0],
+            gamma: 1.0,
+        };
+        let mut r = rng();
+        let clicks = m.simulate(&docs(5), &grades(&[2, 2, 2, 2, 2]), 0.0, &mut r);
+        assert_eq!(clicks.len(), 1);
+        assert_eq!(clicks[0].rank, 1);
+    }
+
+    #[test]
+    fn dbn_unsatisfying_click_continues() {
+        // Attractive but never satisfying: multiple clicks per session.
+        let m = DbnModel {
+            attractiveness: [0.0, 1.0, 1.0],
+            satisfaction: [0.0, 0.0, 0.0],
+            gamma: 1.0,
+        };
+        let mut r = rng();
+        let clicks = m.simulate(&docs(4), &grades(&[1, 1, 1, 1]), 0.0, &mut r);
+        assert_eq!(clicks.len(), 4, "all attractive results clicked");
+    }
+
+    #[test]
+    fn dbn_abandonment_truncates_scans() {
+        let m = DbnModel { gamma: 0.3, ..DbnModel::default() };
+        let mut r = rng();
+        let g = grades(&[0; 10]);
+        let mut deepest = 0;
+        for _ in 0..500 {
+            for c in m.simulate(&docs(10), &g, 0.0, &mut r) {
+                deepest = deepest.max(c.rank);
+            }
+        }
+        assert!(deepest < 10, "low perseverance should rarely reach rank 10");
+    }
+
+    #[test]
+    fn dbn_prefers_relevant() {
+        let m = DbnModel::default();
+        let mut r = rng();
+        let g = grades(&[0, 2, 0]);
+        let mut rel = 0;
+        let mut irr = 0;
+        for _ in 0..1000 {
+            for c in m.simulate(&docs(3), &g, 0.02, &mut r) {
+                if c.rank == 2 {
+                    rel += 1;
+                } else {
+                    irr += 1;
+                }
+            }
+        }
+        assert!(rel > irr * 3, "{rel} vs {irr}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = PositionBiasModel::default();
+        let g = grades(&[2, 1, 0, 1]);
+        let d = docs(4);
+        let a = m.simulate(&d, &g, 0.05, &mut StdRng::seed_from_u64(7));
+        let b = m.simulate(&d, &g, 0.05, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

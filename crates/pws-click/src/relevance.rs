@@ -1,0 +1,230 @@
+//! Ground-truth graded relevance.
+//!
+//! Grades follow the conventional 3-level scale:
+//! 0 = irrelevant, 1 = relevant, 2 = highly relevant.
+//!
+//! The grade of document `d` for `(user u, query q, intent city c)`:
+//!
+//! * topic mismatch ⇒ grade 0 — always;
+//! * topical match starts at grade 1;
+//! * **content**: `d.subtopic == u.favorite_subtopic[q.topic]` ⇒ +1;
+//! * **location** (location-sensitive / explicit-location queries only,
+//!   scaled by the user's `loc_affinity`):
+//!   * `d.city == c` ⇒ +1,
+//!   * `d.city` set but a *different* city ⇒ the doc is about somewhere the
+//!     user is not: grade forced to 0 (with probability `loc_affinity`,
+//!     else left topical),
+//!   * `d.city == None` (global doc) ⇒ unchanged;
+//! * grades cap at 2.
+//!
+//! The randomness for the `loc_affinity` coin is supplied by the caller so
+//! grading stays reproducible.
+
+use crate::user::SimUser;
+use pws_corpus::query::{Query, QueryClass};
+use pws_corpus::Document;
+use pws_geo::LocId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Relevance grade (0 | 1 | 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Grade {
+    /// Not what the user wanted.
+    Irrelevant,
+    /// Topically right.
+    Relevant,
+    /// Topically right and matches the user's content/location preference.
+    HighlyRelevant,
+}
+
+impl Grade {
+    /// Numeric gain used by nDCG and dwell simulation.
+    pub fn gain(self) -> u32 {
+        match self {
+            Grade::Irrelevant => 0,
+            Grade::Relevant => 1,
+            Grade::HighlyRelevant => 2,
+        }
+    }
+
+    /// From a numeric level, saturating at 2.
+    pub fn from_level(level: u32) -> Grade {
+        match level {
+            0 => Grade::Irrelevant,
+            1 => Grade::Relevant,
+            _ => Grade::HighlyRelevant,
+        }
+    }
+
+    /// Is the grade at least `Relevant`?
+    pub fn is_relevant(self) -> bool {
+        self != Grade::Irrelevant
+    }
+}
+
+/// Compute the latent grade of `doc` for `(user, query)` with the given
+/// per-issue `intent_city` (only consulted for location-aware classes).
+pub fn relevance_grade(
+    user: &SimUser,
+    query: &Query,
+    intent_city: LocId,
+    doc: &Document,
+    rng: &mut StdRng,
+) -> Grade {
+    if doc.topic != query.topic {
+        return Grade::Irrelevant;
+    }
+    let mut level: u32 = 1;
+
+    // Content preference: favorite subtopic.
+    let fav = user
+        .favorite_subtopic
+        .get(query.topic.index())
+        .copied()
+        .unwrap_or(0);
+    if doc.subtopic == fav {
+        level += 1;
+    }
+
+    // Location preference.
+    let location_matters =
+        matches!(query.class, QueryClass::LocationSensitive | QueryClass::ExplicitLocation);
+    if location_matters {
+        match doc.city {
+            Some(c) if c == intent_city => level += 1,
+            Some(_) => {
+                // Wrong city: with probability loc_affinity the user rejects
+                // the result outright; even a tolerant user never finds a
+                // wrong-city result *highly* relevant.
+                if rng.gen_bool(user.loc_affinity) {
+                    return Grade::Irrelevant;
+                }
+                level = level.min(1);
+            }
+            None => {}
+        }
+    }
+
+    Grade::from_level(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::UserId;
+    use pws_corpus::query::QueryId;
+    use pws_corpus::vocab::TopicId;
+    use pws_corpus::DocId;
+    use rand::SeedableRng;
+
+    fn user(fav: u8, loc_affinity: f64) -> SimUser {
+        SimUser {
+            id: UserId(0),
+            home_city: LocId(10),
+            secondary_city: LocId(11),
+            home_bias: 0.9,
+            loc_affinity,
+            favorite_subtopic: vec![fav, 0, 0, 0],
+            favored_topics: vec![0],
+            focus: 0.8,
+            noise: 0.0,
+        }
+    }
+
+    fn query(class: QueryClass) -> Query {
+        Query { id: QueryId(0), text: "restaurant".into(), topic: TopicId(0), class }
+    }
+
+    fn doc(topic: u16, subtopic: u8, city: Option<u32>) -> Document {
+        Document {
+            id: DocId(0),
+            url: "u".into(),
+            domain: "d".into(),
+            title: "t".into(),
+            body: "b".into(),
+            topic: TopicId(topic),
+            subtopic,
+            city: city.map(LocId),
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn topic_mismatch_is_irrelevant() {
+        let g = relevance_grade(&user(0, 1.0), &query(QueryClass::Content), LocId(10),
+            &doc(1, 0, None), &mut rng());
+        assert_eq!(g, Grade::Irrelevant);
+    }
+
+    #[test]
+    fn topical_match_is_relevant() {
+        let g = relevance_grade(&user(2, 1.0), &query(QueryClass::Content), LocId(10),
+            &doc(0, 0, None), &mut rng());
+        assert_eq!(g, Grade::Relevant);
+    }
+
+    #[test]
+    fn favorite_subtopic_upgrades() {
+        let g = relevance_grade(&user(1, 1.0), &query(QueryClass::Content), LocId(10),
+            &doc(0, 1, None), &mut rng());
+        assert_eq!(g, Grade::HighlyRelevant);
+    }
+
+    #[test]
+    fn content_query_ignores_city() {
+        // Wrong city on a content query: no penalty.
+        let g = relevance_grade(&user(2, 1.0), &query(QueryClass::Content), LocId(10),
+            &doc(0, 0, Some(99)), &mut rng());
+        assert_eq!(g, Grade::Relevant);
+    }
+
+    #[test]
+    fn location_query_rewards_intent_city() {
+        let g = relevance_grade(&user(2, 1.0), &query(QueryClass::LocationSensitive), LocId(10),
+            &doc(0, 0, Some(10)), &mut rng());
+        assert_eq!(g, Grade::HighlyRelevant);
+    }
+
+    #[test]
+    fn location_query_rejects_wrong_city_at_full_affinity() {
+        let g = relevance_grade(&user(2, 1.0), &query(QueryClass::LocationSensitive), LocId(10),
+            &doc(0, 0, Some(99)), &mut rng());
+        assert_eq!(g, Grade::Irrelevant);
+    }
+
+    #[test]
+    fn zero_affinity_users_tolerate_wrong_city() {
+        let g = relevance_grade(&user(2, 0.0), &query(QueryClass::LocationSensitive), LocId(10),
+            &doc(0, 0, Some(99)), &mut rng());
+        assert_eq!(g, Grade::Relevant);
+    }
+
+    #[test]
+    fn global_docs_keep_topical_grade_on_location_queries() {
+        let g = relevance_grade(&user(2, 1.0), &query(QueryClass::LocationSensitive), LocId(10),
+            &doc(0, 0, None), &mut rng());
+        assert_eq!(g, Grade::Relevant);
+    }
+
+    #[test]
+    fn both_preferences_cap_at_two() {
+        let g = relevance_grade(&user(0, 1.0), &query(QueryClass::ExplicitLocation), LocId(10),
+            &doc(0, 0, Some(10)), &mut rng());
+        assert_eq!(g, Grade::HighlyRelevant);
+        assert_eq!(g.gain(), 2);
+    }
+
+    #[test]
+    fn grade_helpers() {
+        assert_eq!(Grade::from_level(0), Grade::Irrelevant);
+        assert_eq!(Grade::from_level(1), Grade::Relevant);
+        assert_eq!(Grade::from_level(7), Grade::HighlyRelevant);
+        assert!(!Grade::Irrelevant.is_relevant());
+        assert!(Grade::Relevant.is_relevant());
+    }
+}

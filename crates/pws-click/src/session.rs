@@ -1,0 +1,382 @@
+//! The session simulator: user × query template × engine → logged clicks.
+//!
+//! This is the stand-in for the paper's human subjects sitting in front of
+//! the search middleware. Each *issue* of a query template by a user:
+//!
+//! 1. samples the user's per-issue intent city (home vs. secondary);
+//! 2. renders the query text (explicit-location issues append the city
+//!    name, the others send the bare topical terms);
+//! 3. obtains a ranked result list — either from the baseline engine or
+//!    from a caller-supplied (personalized) re-ranked list;
+//! 4. grades every shown result against the user's latent preferences;
+//! 5. simulates clicks with the configured click model;
+//! 6. returns the [`Impression`] (what a real log would contain) together
+//!    with the latent truth (grades + intent city) that only a simulator
+//!    can expose, for evaluation.
+
+use crate::log::{Click, Impression, ShownResult};
+use crate::model::{ClickModel, PositionBiasModel};
+use crate::relevance::{relevance_grade, Grade};
+use crate::user::{UserId, UserPopulation};
+use pws_corpus::query::{Query, QueryClass, QueryId};
+use pws_corpus::Corpus;
+use pws_geo::{LocId, LocationOntology};
+use pws_index::{SearchEngine, SearchHit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Results per page (the paper's setting: 10).
+    pub top_k: usize,
+    /// RNG seed for intent sampling, grading coins, and click simulation.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { top_k: 10, seed: 0xC11C }
+    }
+}
+
+/// One issue's full outcome: the observable log entry plus latent truth.
+#[derive(Debug, Clone)]
+pub struct IssueOutcome {
+    /// What a real search log would record.
+    pub impression: Impression,
+    /// The city this issue was "really" about (latent).
+    pub intent_city: LocId,
+    /// Latent grade of each shown result, parallel to
+    /// `impression.results`.
+    pub grades: Vec<Grade>,
+}
+
+/// The simulator. Borrows all the static world state; owns only its RNG and
+/// click model.
+pub struct SessionSimulator<'a> {
+    engine: &'a SearchEngine,
+    corpus: &'a Corpus,
+    world: &'a LocationOntology,
+    population: &'a UserPopulation,
+    queries: &'a [Query],
+    model: Box<dyn ClickModel + 'a>,
+    rng: StdRng,
+    cfg: SimConfig,
+}
+
+impl<'a> SessionSimulator<'a> {
+    /// Build a simulator with the default position-bias click model.
+    pub fn new(
+        engine: &'a SearchEngine,
+        corpus: &'a Corpus,
+        world: &'a LocationOntology,
+        population: &'a UserPopulation,
+        queries: &'a [Query],
+        cfg: SimConfig,
+    ) -> Self {
+        Self::with_model(
+            engine,
+            corpus,
+            world,
+            population,
+            queries,
+            cfg,
+            Box::new(PositionBiasModel::default()),
+        )
+    }
+
+    /// Build with an explicit click model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_model(
+        engine: &'a SearchEngine,
+        corpus: &'a Corpus,
+        world: &'a LocationOntology,
+        population: &'a UserPopulation,
+        queries: &'a [Query],
+        cfg: SimConfig,
+        model: Box<dyn ClickModel + 'a>,
+    ) -> Self {
+        SessionSimulator {
+            engine,
+            corpus,
+            world,
+            population,
+            queries,
+            model,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// The configured result-page size.
+    pub fn top_k(&self) -> usize {
+        self.cfg.top_k
+    }
+
+    /// The query workload this simulator issues from.
+    pub fn queries(&self) -> &'a [Query] {
+        self.queries
+    }
+
+    /// Sample the next query template for a user: with probability
+    /// `user.focus` a template from one of the user's favored topics,
+    /// otherwise uniform over the workload. This is the traffic model —
+    /// real users concentrate their queries in a few interest areas.
+    pub fn sample_query(&mut self, user: UserId) -> QueryId {
+        use rand::Rng;
+        let u = self.population.user(user);
+        let focused: Vec<usize> = self
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| u.favored_topics.contains(&q.topic.0))
+            .map(|(i, _)| i)
+            .collect();
+        let idx = if !focused.is_empty() && self.rng.gen_bool(u.focus.clamp(0.0, 1.0)) {
+            focused[self.rng.gen_range(0..focused.len())]
+        } else {
+            self.rng.gen_range(0..self.queries.len())
+        };
+        QueryId(idx as u32)
+    }
+
+    /// The query text a given user issue sends to the engine.
+    pub fn render_query(&self, query: &Query, intent_city: LocId) -> String {
+        match query.class {
+            QueryClass::ExplicitLocation => {
+                format!("{} {}", query.text, self.world.name(intent_city))
+            }
+            _ => query.text.clone(),
+        }
+    }
+
+    /// Issue `query` as `user` against the baseline engine.
+    pub fn issue(&mut self, user: UserId, query: QueryId) -> IssueOutcome {
+        let q = &self.queries[query.index()];
+        let intent_city = self.population.user(user).intent_city(&mut self.rng);
+        let text = self.render_query(q, intent_city);
+        let hits = self.engine.search(&text, self.cfg.top_k);
+        self.issue_on_hits(user, query, intent_city, &text, &hits)
+    }
+
+    /// Issue against a caller-supplied (typically re-ranked) result list.
+    /// The list order is taken as the shown order; ranks are re-assigned
+    /// 1-based from the slice order.
+    pub fn issue_on_hits(
+        &mut self,
+        user: UserId,
+        query: QueryId,
+        intent_city: LocId,
+        query_text: &str,
+        hits: &[SearchHit],
+    ) -> IssueOutcome {
+        let q = &self.queries[query.index()];
+        let u = self.population.user(user);
+
+        let shown: Vec<ShownResult> = hits
+            .iter()
+            .enumerate()
+            .map(|(i, h)| ShownResult {
+                doc: h.doc,
+                rank: i + 1,
+                url: h.url.clone(),
+                title: h.title.clone(),
+                snippet: h.snippet.clone(),
+            })
+            .collect();
+
+        let grades: Vec<Grade> = hits
+            .iter()
+            .map(|h| {
+                relevance_grade(u, q, intent_city, self.corpus.doc(pws_corpus::DocId(h.doc)), &mut self.rng)
+            })
+            .collect();
+
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        let clicks: Vec<Click> = self.model.simulate(&docs, &grades, u.noise, &mut self.rng);
+
+        IssueOutcome {
+            impression: Impression {
+                user,
+                query,
+                query_text: query_text.to_string(),
+                results: shown,
+                clicks,
+            },
+            intent_city,
+            grades,
+        }
+    }
+
+    /// Sample an intent city for a user issue without running a search —
+    /// used by callers that orchestrate the search themselves (the
+    /// personalized engine loop).
+    pub fn sample_intent_city(&mut self, user: UserId) -> LocId {
+        self.population.user(user).intent_city(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::{UserGen, UserSpec};
+    use pws_corpus::{CorpusGen, CorpusSpec, QueryGen, QuerySpec};
+    use pws_geo::{WorldGen, WorldSpec};
+    use pws_index::{IndexBuilder, StoredDoc};
+
+    struct Fixture {
+        world: LocationOntology,
+        corpus: Corpus,
+        population: UserPopulation,
+        queries: Vec<Query>,
+        engine: SearchEngine,
+    }
+
+    fn fixture() -> Fixture {
+        let world = WorldGen::new(1).generate(&WorldSpec::small());
+        let corpus = CorpusGen::new(2).generate(&CorpusSpec::small(), &world);
+        let population = UserGen::new(3).generate(&UserSpec::small(), &world);
+        let queries = QueryGen::new(4).generate(&QuerySpec::small());
+        let mut b = IndexBuilder::new();
+        for d in &corpus.docs {
+            b.add(StoredDoc::new(d.id.0, &d.url, &d.title, &d.body));
+        }
+        let engine = b.build();
+        Fixture { world, corpus, population, queries, engine }
+    }
+
+    #[test]
+    fn issue_produces_consistent_impression() {
+        let f = fixture();
+        let mut sim = SessionSimulator::new(
+            &f.engine, &f.corpus, &f.world, &f.population, &f.queries, SimConfig::default());
+        let out = sim.issue(UserId(0), QueryId(0));
+        assert_eq!(out.impression.user, UserId(0));
+        assert_eq!(out.impression.query, QueryId(0));
+        assert_eq!(out.grades.len(), out.impression.results.len());
+        for (i, r) in out.impression.results.iter().enumerate() {
+            assert_eq!(r.rank, i + 1);
+        }
+        // Every click points at a shown result.
+        for c in &out.impression.clicks {
+            assert!(out.impression.results.iter().any(|r| r.doc == c.doc && r.rank == c.rank));
+        }
+        assert!(out.impression.results.len() <= 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = fixture();
+        let run = || {
+            let mut sim = SessionSimulator::new(
+                &f.engine, &f.corpus, &f.world, &f.population, &f.queries, SimConfig::default());
+            let mut outs = Vec::new();
+            for u in 0..3 {
+                for q in 0..3 {
+                    outs.push(sim.issue(UserId(u), QueryId(q)).impression);
+                }
+            }
+            outs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn explicit_location_queries_carry_city_name() {
+        let f = fixture();
+        let mut sim = SessionSimulator::new(
+            &f.engine, &f.corpus, &f.world, &f.population, &f.queries, SimConfig::default());
+        let explicit: Vec<QueryId> = f
+            .queries
+            .iter()
+            .filter(|q| q.class == QueryClass::ExplicitLocation)
+            .map(|q| q.id)
+            .collect();
+        assert!(!explicit.is_empty(), "workload should contain explicit queries");
+        for qid in explicit {
+            let out = sim.issue(UserId(0), qid);
+            let city_name = f.world.name(out.intent_city);
+            assert!(
+                out.impression.query_text.contains(city_name),
+                "{} missing {}",
+                out.impression.query_text,
+                city_name
+            );
+        }
+    }
+
+    #[test]
+    fn issue_on_hits_respects_given_order() {
+        let f = fixture();
+        let mut sim = SessionSimulator::new(
+            &f.engine, &f.corpus, &f.world, &f.population, &f.queries, SimConfig::default());
+        let q = &f.queries[0];
+        let city = sim.sample_intent_city(UserId(1));
+        let mut hits = f.engine.search(&q.text, 10);
+        if hits.len() >= 2 {
+            hits.reverse();
+            let out = sim.issue_on_hits(UserId(1), q.id, city, &q.text, &hits);
+            // Shown ranks follow the reversed slice order.
+            assert_eq!(out.impression.results[0].doc, hits[0].doc);
+            for (i, r) in out.impression.results.iter().enumerate() {
+                assert_eq!(r.rank, i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_query_concentrates_on_favored_topics() {
+        let f = fixture();
+        let mut sim = SessionSimulator::new(
+            &f.engine, &f.corpus, &f.world, &f.population, &f.queries, SimConfig::default());
+        let user = UserId(0);
+        let favored = f.population.user(user).favored_topics.clone();
+        // Only meaningful if favored topics actually have templates.
+        let has_templates =
+            f.queries.iter().any(|q| favored.contains(&q.topic.0));
+        let mut in_favored = 0;
+        let n = 400;
+        for _ in 0..n {
+            let qid = sim.sample_query(user);
+            if favored.contains(&f.queries[qid.index()].topic.0) {
+                in_favored += 1;
+            }
+        }
+        if has_templates {
+            // focus ∈ [0.75, 0.9] → expect well over half in-interest.
+            assert!(in_favored * 2 > n, "{in_favored}/{n} focused");
+        }
+    }
+
+    #[test]
+    fn grades_match_latent_preferences_statistically() {
+        // Highly-relevant grades should be assigned to home-city docs on
+        // location-sensitive queries more often than to wrong-city docs.
+        let f = fixture();
+        let mut sim = SessionSimulator::new(
+            &f.engine, &f.corpus, &f.world, &f.population, &f.queries, SimConfig::default());
+        let mut home_high = 0u32;
+        let mut wrong_high = 0u32;
+        for u in 0..f.population.len() as u32 {
+            for q in 0..f.queries.len() as u32 {
+                if f.queries[q as usize].class != QueryClass::LocationSensitive {
+                    continue;
+                }
+                let out = sim.issue(UserId(u), QueryId(q));
+                for (r, g) in out.impression.results.iter().zip(&out.grades) {
+                    let doc = f.corpus.doc(pws_corpus::DocId(r.doc));
+                    if g == &Grade::HighlyRelevant {
+                        match doc.city {
+                            Some(c) if c == out.intent_city => home_high += 1,
+                            Some(_) => wrong_high += 1,
+                            None => {}
+                        }
+                    }
+                }
+            }
+        }
+        assert!(home_high > 0, "no highly-relevant home-city results at all");
+        assert_eq!(wrong_high, 0, "wrong-city docs must never be highly relevant");
+    }
+}

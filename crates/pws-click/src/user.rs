@@ -1,0 +1,304 @@
+//! Simulated user population.
+//!
+//! Each user carries the latent state the paper's personalization layer is
+//! supposed to discover:
+//!
+//! * a **home city** (plus a weaker secondary city) — the location
+//!   preference;
+//! * a **favorite subtopic per topic** — the content preference;
+//! * a **location affinity** in [0, 1] — how strongly the user cares about
+//!   locality for location-sensitive queries (the paper observes users
+//!   differ in this, motivating per-user effectiveness weighting).
+
+use pws_corpus::vocab::Topics;
+use pws_geo::{LocId, LocationOntology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Dense user identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Latent preferences of one simulated user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimUser {
+    /// Dense id, equal to position in the population.
+    pub id: UserId,
+    /// The city this user's location-sensitive queries are "really" about.
+    pub home_city: LocId,
+    /// A second city the user sometimes cares about (travel, family).
+    pub secondary_city: LocId,
+    /// Probability that a location-sensitive query is about `home_city`
+    /// rather than `secondary_city`.
+    pub home_bias: f64,
+    /// How strongly locality matters to this user, in [0, 1]. At 0 the user
+    /// treats location-sensitive queries as content queries.
+    pub loc_affinity: f64,
+    /// `favorite_subtopic[t]` = the subtopic of topic `t` this user favors.
+    pub favorite_subtopic: Vec<u8>,
+    /// The topics this user actually searches about. Real users issue most
+    /// of their queries within a handful of interest areas; concentrating
+    /// traffic is what makes per-topic preference mining possible at all.
+    pub favored_topics: Vec<u16>,
+    /// Probability that an issued query comes from `favored_topics`
+    /// (the rest of the traffic is exploratory, uniform over all topics).
+    pub focus: f64,
+    /// Per-interaction click noise: probability of a random irrelevant
+    /// click / missed relevant click.
+    pub noise: f64,
+}
+
+impl SimUser {
+    /// The city a given query issue is about (sampled per issue).
+    pub fn intent_city(&self, rng: &mut StdRng) -> LocId {
+        if rng.gen_bool(self.home_bias) {
+            self.home_city
+        } else {
+            self.secondary_city
+        }
+    }
+}
+
+/// Population-shape parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSpec {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of topics in play (must match the corpus spec).
+    pub num_topics: usize,
+    /// Range of `loc_affinity` across the population (min, max).
+    pub loc_affinity: (f64, f64),
+    /// Range of `home_bias`.
+    pub home_bias: (f64, f64),
+    /// Range of per-user click noise.
+    pub noise: (f64, f64),
+    /// Favored (interest) topics per user.
+    pub favored_topics_per_user: usize,
+    /// Range of per-user query focus (probability a query is in-interest).
+    pub focus: (f64, f64),
+}
+
+impl UserSpec {
+    /// Default experimental population: 60 users (T1).
+    pub fn default_population() -> Self {
+        UserSpec {
+            num_users: 60,
+            num_topics: 12,
+            loc_affinity: (0.55, 1.0),
+            home_bias: (0.75, 0.95),
+            noise: (0.02, 0.10),
+            favored_topics_per_user: 3,
+            focus: (0.75, 0.9),
+        }
+    }
+
+    /// Small population for tests.
+    pub fn small() -> Self {
+        UserSpec {
+            num_users: 8,
+            num_topics: 4,
+            loc_affinity: (0.6, 1.0),
+            home_bias: (0.8, 0.95),
+            noise: (0.02, 0.08),
+            favored_topics_per_user: 2,
+            focus: (0.75, 0.9),
+        }
+    }
+}
+
+/// The generated population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserPopulation {
+    /// All users; `users[i].id == UserId(i)`.
+    pub users: Vec<SimUser>,
+    /// Generation seed, recorded for reproducibility.
+    pub seed: u64,
+}
+
+impl UserPopulation {
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Borrow a user.
+    pub fn user(&self, id: UserId) -> &SimUser {
+        &self.users[id.index()]
+    }
+
+    /// Iterate users.
+    pub fn iter(&self) -> impl Iterator<Item = &SimUser> {
+        self.users.iter()
+    }
+}
+
+/// Seeded population generator.
+#[derive(Debug)]
+pub struct UserGen {
+    seed: u64,
+}
+
+impl UserGen {
+    /// Same seed + spec + world ⇒ same population.
+    pub fn new(seed: u64) -> Self {
+        UserGen { seed }
+    }
+
+    /// Generate a population whose home cities are drawn from `world`.
+    pub fn generate(&self, spec: &UserSpec, world: &LocationOntology) -> UserPopulation {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cities: Vec<LocId> = world.cities().collect();
+        assert!(cities.len() >= 2, "need at least two cities for home/secondary");
+        let mut users = Vec::with_capacity(spec.num_users);
+        for i in 0..spec.num_users {
+            let home_city = cities[rng.gen_range(0..cities.len())];
+            // Secondary city differs from home.
+            let secondary_city = loop {
+                let c = cities[rng.gen_range(0..cities.len())];
+                if c != home_city {
+                    break c;
+                }
+            };
+            let favorite_subtopic =
+                (0..spec.num_topics).map(|_| rng.gen_range(0..Topics::SUBTOPICS)).collect();
+            // Distinct favored topics, without replacement.
+            let mut pool: Vec<u16> = (0..spec.num_topics as u16).collect();
+            let mut favored_topics = Vec::new();
+            for _ in 0..spec.favored_topics_per_user.min(pool.len()) {
+                let k = rng.gen_range(0..pool.len());
+                favored_topics.push(pool.swap_remove(k));
+            }
+            favored_topics.sort_unstable();
+            users.push(SimUser {
+                id: UserId(i as u32),
+                home_city,
+                secondary_city,
+                home_bias: rng.gen_range(spec.home_bias.0..=spec.home_bias.1),
+                loc_affinity: rng.gen_range(spec.loc_affinity.0..=spec.loc_affinity.1),
+                favorite_subtopic,
+                favored_topics,
+                focus: rng.gen_range(spec.focus.0..=spec.focus.1),
+                noise: rng.gen_range(spec.noise.0..=spec.noise.1),
+            });
+        }
+        UserPopulation { users, seed: self.seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_geo::{WorldGen, WorldSpec};
+
+    fn world() -> LocationOntology {
+        WorldGen::new(1).generate(&WorldSpec::small())
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = UserGen::new(3).generate(&UserSpec::small(), &w);
+        let b = UserGen::new(3).generate(&UserSpec::small(), &w);
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.home_city, y.home_city);
+            assert_eq!(x.favorite_subtopic, y.favorite_subtopic);
+        }
+    }
+
+    #[test]
+    fn ids_dense() {
+        let w = world();
+        let p = UserGen::new(3).generate(&UserSpec::small(), &w);
+        for (i, u) in p.users.iter().enumerate() {
+            assert_eq!(u.id, UserId(i as u32));
+        }
+        assert_eq!(p.len(), UserSpec::small().num_users);
+    }
+
+    #[test]
+    fn secondary_city_differs_from_home() {
+        let w = world();
+        let p = UserGen::new(3).generate(&UserSpec::small(), &w);
+        for u in p.iter() {
+            assert_ne!(u.home_city, u.secondary_city);
+        }
+    }
+
+    #[test]
+    fn parameters_within_spec_ranges() {
+        let w = world();
+        let spec = UserSpec::small();
+        let p = UserGen::new(9).generate(&spec, &w);
+        for u in p.iter() {
+            assert!(u.loc_affinity >= spec.loc_affinity.0 && u.loc_affinity <= spec.loc_affinity.1);
+            assert!(u.home_bias >= spec.home_bias.0 && u.home_bias <= spec.home_bias.1);
+            assert!(u.noise >= spec.noise.0 && u.noise <= spec.noise.1);
+            assert_eq!(u.favorite_subtopic.len(), spec.num_topics);
+            for &s in &u.favorite_subtopic {
+                assert!(s < Topics::SUBTOPICS);
+            }
+        }
+    }
+
+    #[test]
+    fn intent_city_is_home_or_secondary() {
+        let w = world();
+        let p = UserGen::new(3).generate(&UserSpec::small(), &w);
+        let u = p.user(UserId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut saw_home = false;
+        for _ in 0..200 {
+            let c = u.intent_city(&mut rng);
+            assert!(c == u.home_city || c == u.secondary_city);
+            saw_home |= c == u.home_city;
+        }
+        assert!(saw_home, "home city should dominate");
+    }
+
+    #[test]
+    fn favored_topics_are_distinct_and_in_range() {
+        let w = world();
+        let spec = UserSpec::small();
+        let p = UserGen::new(6).generate(&spec, &w);
+        for u in p.iter() {
+            assert_eq!(u.favored_topics.len(), spec.favored_topics_per_user);
+            let mut t = u.favored_topics.clone();
+            t.dedup();
+            assert_eq!(t.len(), u.favored_topics.len(), "dup favored topic");
+            for &topic in &u.favored_topics {
+                assert!((topic as usize) < spec.num_topics);
+            }
+            assert!(u.focus >= spec.focus.0 && u.focus <= spec.focus.1);
+        }
+    }
+
+    #[test]
+    fn favored_topics_capped_by_topic_count() {
+        let w = world();
+        let spec = UserSpec { favored_topics_per_user: 100, ..UserSpec::small() };
+        let p = UserGen::new(6).generate(&spec, &w);
+        assert_eq!(p.user(UserId(0)).favored_topics.len(), spec.num_topics);
+    }
+
+    #[test]
+    fn population_users_spread_over_cities() {
+        let w = world();
+        let spec = UserSpec { num_users: 50, ..UserSpec::small() };
+        let p = UserGen::new(4).generate(&spec, &w);
+        let distinct: std::collections::HashSet<_> = p.iter().map(|u| u.home_city).collect();
+        assert!(distinct.len() > 3, "users clustered in {} cities", distinct.len());
+    }
+}

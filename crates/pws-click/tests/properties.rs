@@ -1,0 +1,105 @@
+//! Property tests for the clickthrough substrate: click-model laws and
+//! log-schema invariants under arbitrary grade patterns.
+
+use proptest::prelude::*;
+use pws_click::relevance::Grade;
+use pws_click::{CascadeModel, Click, ClickModel, DbnModel, Impression, PositionBiasModel, ShownResult, UserId};
+use pws_corpus::query::QueryId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn grades() -> impl Strategy<Value = Vec<Grade>> {
+    prop::collection::vec((0u32..3).prop_map(Grade::from_level), 0..10)
+}
+
+fn check_clicks(clicks: &[Click], n: usize) -> Result<(), TestCaseError> {
+    let mut seen = std::collections::HashSet::new();
+    for c in clicks {
+        prop_assert!(c.rank >= 1 && c.rank <= n, "rank {} out of page", c.rank);
+        prop_assert_eq!(c.doc as usize, c.rank - 1, "doc/rank mismatch in fixture");
+        prop_assert!(seen.insert(c.rank), "duplicate click at rank {}", c.rank);
+        prop_assert!(c.dwell >= 1);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three click models produce well-formed clicks: ranks within the
+    /// page, no duplicates, positive dwell, and determinism per seed.
+    #[test]
+    fn click_models_produce_valid_clicks(g in grades(), seed in 0u64..500, noise in 0.0f64..0.3) {
+        let docs: Vec<u32> = (0..g.len() as u32).collect();
+        let models: Vec<Box<dyn ClickModel>> = vec![
+            Box::new(PositionBiasModel::default()),
+            Box::new(CascadeModel::default()),
+            Box::new(DbnModel::default()),
+        ];
+        for m in &models {
+            let a = m.simulate(&docs, &g, noise, &mut StdRng::seed_from_u64(seed));
+            let b = m.simulate(&docs, &g, noise, &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(&a, &b, "non-deterministic for same seed");
+            check_clicks(&a, g.len())?;
+        }
+    }
+
+    /// Cascade and DBN click ranks are strictly ascending (top-down scan).
+    #[test]
+    fn sequential_models_scan_top_down(g in grades(), seed in 0u64..500) {
+        let docs: Vec<u32> = (0..g.len() as u32).collect();
+        for m in [&CascadeModel::default() as &dyn ClickModel, &DbnModel::default()] {
+            let clicks = m.simulate(&docs, &g, 0.05, &mut StdRng::seed_from_u64(seed));
+            for w in clicks.windows(2) {
+                prop_assert!(w[0].rank < w[1].rank);
+            }
+        }
+    }
+
+    /// Impression invariants: skipped ⊆ results, skipped ∩ clicked = ∅,
+    /// and every skipped rank is above the deepest click.
+    #[test]
+    fn skipped_set_laws(g in grades(), seed in 0u64..500) {
+        let docs: Vec<u32> = (0..g.len() as u32).collect();
+        let m = PositionBiasModel::default();
+        let clicks = m.simulate(&docs, &g, 0.05, &mut StdRng::seed_from_u64(seed));
+        let imp = Impression {
+            user: UserId(0),
+            query: QueryId(0),
+            query_text: "q".into(),
+            results: docs
+                .iter()
+                .map(|&d| ShownResult {
+                    doc: d,
+                    rank: d as usize + 1,
+                    url: format!("u{d}"),
+                    title: "t".into(),
+                    snippet: "s".into(),
+                })
+                .collect(),
+            clicks,
+        };
+        let deepest = imp.deepest_click_rank();
+        for s in imp.skipped() {
+            prop_assert!(!imp.clicked(s.doc));
+            prop_assert!(s.rank < deepest.unwrap());
+        }
+        // ctr_at_1 is 0 or 1 for a single impression.
+        let mut log = pws_click::SearchLog::new();
+        log.push(imp);
+        let ctr = log.ctr_at_1();
+        prop_assert!(ctr == 0.0 || ctr == 1.0);
+    }
+
+    /// Dwell grading boundaries are exact.
+    #[test]
+    fn dwell_grade_boundaries(dwell in 0u32..2000) {
+        let c = Click { doc: 0, rank: 1, dwell };
+        let g = c.dwell_grade();
+        match dwell {
+            0..=49 => prop_assert_eq!(g, 0),
+            50..=399 => prop_assert_eq!(g, 1),
+            _ => prop_assert_eq!(g, 2),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Content-concept extraction.
+//!
+//! Following the paper's support-based mining: a term/phrase `c` appearing
+//! in the snippets of query `q`'s top results is a *content concept* of `q`
+//! when
+//!
+//! ```text
+//! support(c) = sf(c) / n  ≥  s
+//! ```
+//!
+//! where `sf(c)` is the number of snippets containing `c` (snippet
+//! frequency, not raw term frequency — one snippet mentioning a term five
+//! times is still one vote), `n` the number of snippets examined, and `s`
+//! the support threshold. Candidates are analyzed unigrams and bigrams,
+//! excluding the query's own terms (a concept must add information beyond
+//! the query).
+
+use pws_text::{bigrams, Analyzer};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Extraction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptConfig {
+    /// Minimum support `s` (fraction of snippets).
+    pub min_support: f64,
+    /// Minimum absolute snippet count (guards tiny result sets where one
+    /// snippet is already 100% support).
+    pub min_snippet_freq: u32,
+    /// Extract bigram concepts in addition to unigrams.
+    pub bigrams: bool,
+    /// Cap on concepts returned (highest-support first).
+    pub max_concepts: usize,
+}
+
+impl Default for ConceptConfig {
+    fn default() -> Self {
+        ConceptConfig { min_support: 0.05, min_snippet_freq: 2, bigrams: true, max_concepts: 50 }
+    }
+}
+
+/// One extracted content concept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentConcept {
+    /// The (analyzed) concept term or phrase.
+    pub term: String,
+    /// Number of snippets containing the concept.
+    pub snippet_freq: u32,
+    /// `snippet_freq / n`.
+    pub support: f64,
+}
+
+/// Extract content concepts of `query_text` from `snippets`.
+///
+/// Returns concepts sorted by descending support, ties broken
+/// lexicographically (deterministic).
+pub fn extract_content(
+    query_text: &str,
+    snippets: &[String],
+    cfg: &ConceptConfig,
+) -> Vec<ContentConcept> {
+    if snippets.is_empty() {
+        return Vec::new();
+    }
+    let analyzer = Analyzer::default();
+    let query_terms: HashSet<String> = analyzer.analyze(query_text).into_iter().collect();
+
+    // Snippet frequency per candidate.
+    let mut sf: HashMap<String, u32> = HashMap::new();
+    for snippet in snippets {
+        let tokens = analyzer.analyze(snippet);
+        let mut in_this: HashSet<String> = HashSet::new();
+        for t in &tokens {
+            if !query_terms.contains(t) {
+                in_this.insert(t.clone());
+            }
+        }
+        if cfg.bigrams {
+            for bg in bigrams(&tokens) {
+                // A bigram containing a query term on either side is still
+                // informative ("seafood restaurant" for query "restaurant"),
+                // but a bigram of *only* query terms is not.
+                let both_query = bg.split(' ').all(|w| query_terms.contains(w));
+                if !both_query {
+                    in_this.insert(bg);
+                }
+            }
+        }
+        for c in in_this {
+            *sf.entry(c).or_insert(0) += 1;
+        }
+    }
+
+    let n = snippets.len() as f64;
+    let mut out: Vec<ContentConcept> = sf
+        .into_iter()
+        .filter_map(|(term, freq)| {
+            let support = f64::from(freq) / n;
+            (support >= cfg.min_support && freq >= cfg.min_snippet_freq)
+                .then_some(ContentConcept { term, snippet_freq: freq, support })
+        })
+        .collect();
+
+    out.sort_unstable_by(|a, b| {
+        b.support
+            .partial_cmp(&a.support)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.term.cmp(&b.term))
+    });
+    out.truncate(cfg.max_concepts);
+    out
+}
+
+/// Which of `concepts` occur in the given snippet? Used online when
+/// attributing a click to the concepts visible in the clicked result.
+pub fn concepts_in_snippet(concepts: &[ContentConcept], snippet: &str) -> Vec<usize> {
+    let analyzer = Analyzer::default();
+    let tokens = analyzer.analyze(snippet);
+    let unigrams: HashSet<&str> = tokens.iter().map(|s| s.as_str()).collect();
+    let bigram_set: HashSet<String> = bigrams(&tokens).into_iter().collect();
+    concepts
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            if c.term.contains(' ') {
+                bigram_set.contains(&c.term)
+            } else {
+                unigrams.contains(c.term.as_str())
+            }
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snips(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|t| t.to_string()).collect()
+    }
+
+    fn cfg(min_support: f64) -> ConceptConfig {
+        ConceptConfig { min_support, min_snippet_freq: 1, bigrams: true, max_concepts: 100 }
+    }
+
+    #[test]
+    fn empty_snippets_give_no_concepts() {
+        assert!(extract_content("q", &[], &ConceptConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn support_is_snippet_fraction() {
+        let s = snips(&["seafood here", "seafood there", "nothing else"]);
+        let cs = extract_content("restaurant", &s, &cfg(0.0));
+        let seafood = cs.iter().find(|c| c.term == "seafood").expect("seafood extracted");
+        assert_eq!(seafood.snippet_freq, 2);
+        assert!((seafood.support - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_mentions_in_one_snippet_count_once() {
+        let s = snips(&["lobster lobster lobster", "other text"]);
+        let cs = extract_content("q", &s, &cfg(0.0));
+        let lob = cs.iter().find(|c| c.term == "lobster").unwrap();
+        assert_eq!(lob.snippet_freq, 1);
+    }
+
+    #[test]
+    fn query_terms_are_excluded() {
+        let s = snips(&["restaurant seafood", "restaurant sushi"]);
+        let cs = extract_content("restaurant", &s, &cfg(0.0));
+        assert!(!cs.iter().any(|c| c.term == "restaur"), "query term leaked: {cs:?}");
+        assert!(cs.iter().any(|c| c.term == "seafood"));
+    }
+
+    #[test]
+    fn stemmed_query_matching_excludes_inflections() {
+        let s = snips(&["restaurants everywhere", "many restaurants"]);
+        let cs = extract_content("restaurant", &s, &cfg(0.0));
+        // "restaurants" stems to the query term's stem → excluded as a
+        // unigram concept (bigrams containing it may survive by design).
+        assert!(cs.iter().all(|c| c.term != "restaur"), "{cs:?}");
+    }
+
+    #[test]
+    fn threshold_filters_low_support() {
+        let s = snips(&["seafood a", "seafood b", "seafood c", "rare d"]);
+        let cs = extract_content("q", &s, &cfg(0.5));
+        assert!(cs.iter().any(|c| c.term == "seafood"));
+        assert!(!cs.iter().any(|c| c.term == "rare"));
+    }
+
+    #[test]
+    fn min_snippet_freq_guards_small_sets() {
+        let s = snips(&["unique mention only"]);
+        let c = ConceptConfig { min_support: 0.0, min_snippet_freq: 2, ..ConceptConfig::default() };
+        assert!(extract_content("q", &s, &c).is_empty());
+    }
+
+    #[test]
+    fn bigram_concepts_extracted() {
+        let s = snips(&["lobster roll special", "try the lobster roll"]);
+        let cs = extract_content("q", &s, &cfg(0.5));
+        assert!(cs.iter().any(|c| c.term == "lobster roll"), "{cs:?}");
+    }
+
+    #[test]
+    fn bigram_with_query_term_is_kept_but_pure_query_bigram_dropped() {
+        let s = snips(&["seafood restaurant here", "seafood restaurant there"]);
+        let cs = extract_content("seafood restaurant", &s, &cfg(0.0));
+        assert!(!cs.iter().any(|c| c.term == "seafood restaur"), "{cs:?}");
+    }
+
+    #[test]
+    fn bigrams_disabled() {
+        let s = snips(&["lobster roll a", "lobster roll b"]);
+        let c = ConceptConfig { bigrams: false, min_support: 0.0, min_snippet_freq: 1, max_concepts: 100 };
+        let cs = extract_content("q", &s, &c);
+        assert!(cs.iter().all(|c| !c.term.contains(' ')));
+    }
+
+    #[test]
+    fn ordering_is_support_desc_then_term() {
+        let s = snips(&["alpha beta", "alpha gamma", "alpha beta"]);
+        let cs = extract_content("q", &s, &cfg(0.0));
+        assert_eq!(cs[0].term, "alpha");
+        for w in cs.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn max_concepts_caps_output() {
+        let s = snips(&["aa bb cc dd ee ff gg hh", "aa bb cc dd ee ff gg hh"]);
+        let c = ConceptConfig { max_concepts: 3, min_support: 0.0, min_snippet_freq: 1, bigrams: true };
+        assert_eq!(extract_content("q", &s, &c).len(), 3);
+    }
+
+    #[test]
+    fn concepts_in_snippet_finds_unigrams_and_bigrams() {
+        let concepts = vec![
+            ContentConcept { term: "seafood".into(), snippet_freq: 2, support: 0.5 },
+            ContentConcept { term: "lobster roll".into(), snippet_freq: 2, support: 0.5 },
+            ContentConcept { term: "sushi".into(), snippet_freq: 2, support: 0.5 },
+        ];
+        let idx = concepts_in_snippet(&concepts, "fresh lobster roll and seafood platter");
+        assert_eq!(idx, vec![0, 1]);
+        assert!(concepts_in_snippet(&concepts, "nothing here").is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Concept relationship graph.
+//!
+//! Concepts extracted for a query are related through their *snippet
+//! incidence*: two concepts appearing in many of the same snippets are
+//! similar. Similarity is the cosine over snippet-incidence vectors,
+//!
+//! ```text
+//! sim(a, b) = |S_a ∩ S_b| / sqrt(|S_a| · |S_b|)
+//! ```
+//!
+//! with `S_c` the set of snippets containing `c`. The graph also types
+//! edges: when one concept's snippet set (nearly) contains another's, the
+//! broader concept is a *parent* (e.g. "seafood" ⊃ "lobster roll").
+//!
+//! The user profile uses this graph to spread a click's preference mass to
+//! concepts related to the clicked ones (the paper's expansion step; GCS
+//! ablation in F7).
+
+use crate::content::ContentConcept;
+use pws_text::{bigrams, Analyzer};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Edge type between two concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConceptRelation {
+    /// Symmetric: high snippet-incidence cosine.
+    Similar,
+    /// `a` is broader than `b` (S_b mostly ⊆ S_a).
+    ParentOf,
+    /// `a` is narrower than `b`.
+    ChildOf,
+}
+
+/// One typed, weighted edge (indices into the concept list).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConceptEdge {
+    /// Source concept index.
+    pub a: usize,
+    /// Target concept index.
+    pub b: usize,
+    /// Cosine similarity in [0, 1].
+    pub weight: f64,
+    /// Relation as seen from `a`.
+    pub relation: ConceptRelation,
+}
+
+/// Similarity graph over one query's content concepts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConceptGraph {
+    /// Number of concepts (nodes).
+    num_concepts: usize,
+    /// All edges with weight ≥ the build threshold, `a < b` normalized for
+    /// `Similar`, directed for parent/child.
+    edges: Vec<ConceptEdge>,
+}
+
+impl ConceptGraph {
+    /// Build the graph for `concepts` from the snippets they were extracted
+    /// from.
+    ///
+    /// `sim_threshold` — minimum cosine to keep an edge;
+    /// `containment_threshold` — minimum |S_a∩S_b|/|S_b| for `a` to count
+    /// as a parent of `b` (0.8 is a good default).
+    pub fn build(
+        concepts: &[ContentConcept],
+        snippets: &[String],
+        sim_threshold: f64,
+        containment_threshold: f64,
+    ) -> Self {
+        let analyzer = Analyzer::default();
+        // Incidence sets per concept.
+        let mut incidence: Vec<HashSet<usize>> = vec![HashSet::new(); concepts.len()];
+        for (si, snippet) in snippets.iter().enumerate() {
+            let tokens = analyzer.analyze(snippet);
+            let unigrams: HashSet<&str> = tokens.iter().map(|s| s.as_str()).collect();
+            let bigram_set: HashSet<String> = bigrams(&tokens).into_iter().collect();
+            for (ci, c) in concepts.iter().enumerate() {
+                let present = if c.term.contains(' ') {
+                    bigram_set.contains(&c.term)
+                } else {
+                    unigrams.contains(c.term.as_str())
+                };
+                if present {
+                    incidence[ci].insert(si);
+                }
+            }
+        }
+
+        let mut edges = Vec::new();
+        for a in 0..concepts.len() {
+            for b in (a + 1)..concepts.len() {
+                let sa = &incidence[a];
+                let sb = &incidence[b];
+                if sa.is_empty() || sb.is_empty() {
+                    continue;
+                }
+                let inter = sa.intersection(sb).count() as f64;
+                if inter == 0.0 {
+                    continue;
+                }
+                let cosine = inter / ((sa.len() as f64) * (sb.len() as f64)).sqrt();
+                if cosine < sim_threshold {
+                    continue;
+                }
+                // Containment checks decide parent/child typing.
+                let a_contains_b = inter / sb.len() as f64;
+                let b_contains_a = inter / sa.len() as f64;
+                let relation = if a_contains_b >= containment_threshold
+                    && sa.len() > sb.len()
+                {
+                    ConceptRelation::ParentOf
+                } else if b_contains_a >= containment_threshold && sb.len() > sa.len() {
+                    ConceptRelation::ChildOf
+                } else {
+                    ConceptRelation::Similar
+                };
+                edges.push(ConceptEdge { a, b, weight: cosine, relation });
+            }
+        }
+        ConceptGraph { num_concepts: concepts.len(), edges }
+    }
+
+    /// Number of nodes.
+    pub fn num_concepts(&self) -> usize {
+        self.num_concepts
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[ConceptEdge] {
+        &self.edges
+    }
+
+    /// Neighbors of concept `i` with weights (both directions).
+    pub fn neighbors(&self, i: usize) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for e in &self.edges {
+            if e.a == i {
+                out.push((e.b, e.weight));
+            } else if e.b == i {
+                out.push((e.a, e.weight));
+            }
+        }
+        out
+    }
+
+    /// Spread `mass` from concept `i` to its neighbors: returns
+    /// `(concept, mass · weight · damping)` pairs. This implements the
+    /// profile's concept-expansion step.
+    pub fn spread(&self, i: usize, mass: f64, damping: f64) -> Vec<(usize, f64)> {
+        self.neighbors(i)
+            .into_iter()
+            .map(|(j, w)| (j, mass * w * damping))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{extract_content, ConceptConfig};
+
+    fn snips(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|t| t.to_string()).collect()
+    }
+
+    fn cfg() -> ConceptConfig {
+        ConceptConfig { min_support: 0.0, min_snippet_freq: 1, bigrams: false, max_concepts: 100 }
+    }
+
+    #[test]
+    fn cooccurring_concepts_get_edges() {
+        let s = snips(&["seafood lobster platter", "seafood lobster rolls", "sushi menu"]);
+        let concepts = extract_content("q", &s, &cfg());
+        let g = ConceptGraph::build(&concepts, &s, 0.3, 0.8);
+        let sea = concepts.iter().position(|c| c.term == "seafood").unwrap();
+        let lob = concepts.iter().position(|c| c.term == "lobster").unwrap();
+        assert!(
+            g.neighbors(sea).iter().any(|(j, _)| *j == lob),
+            "seafood–lobster edge missing: {:?}",
+            g.edges()
+        );
+    }
+
+    #[test]
+    fn disjoint_concepts_have_no_edge() {
+        let s = snips(&["seafood platter", "sushi menu"]);
+        let concepts = extract_content("q", &s, &cfg());
+        let g = ConceptGraph::build(&concepts, &s, 0.1, 0.8);
+        let sea = concepts.iter().position(|c| c.term == "seafood").unwrap();
+        let sus = concepts.iter().position(|c| c.term == "sushi").unwrap();
+        assert!(!g.neighbors(sea).iter().any(|(j, _)| *j == sus));
+    }
+
+    #[test]
+    fn perfect_cooccurrence_has_cosine_one() {
+        let s = snips(&["alpha beta", "alpha beta", "gamma delta"]);
+        let concepts = extract_content("q", &s, &cfg());
+        let g = ConceptGraph::build(&concepts, &s, 0.5, 2.0);
+        let a = concepts.iter().position(|c| c.term == "alpha").unwrap();
+        let b = concepts.iter().position(|c| c.term == "beta").unwrap();
+        let e = g
+            .edges()
+            .iter()
+            .find(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+            .expect("edge");
+        assert!((e.weight - 1.0).abs() < 1e-12);
+        assert_eq!(e.relation, ConceptRelation::Similar);
+    }
+
+    #[test]
+    fn containment_types_parent_child() {
+        // "seafood" in 3 snippets; "lobster" only where seafood also is.
+        let s = snips(&["seafood lobster", "seafood lobster", "seafood crab"]);
+        let concepts = extract_content("q", &s, &cfg());
+        let g = ConceptGraph::build(&concepts, &s, 0.1, 0.8);
+        let sea = concepts.iter().position(|c| c.term == "seafood").unwrap();
+        let lob = concepts.iter().position(|c| c.term == "lobster").unwrap();
+        let e = g
+            .edges()
+            .iter()
+            .find(|e| (e.a == sea && e.b == lob) || (e.a == lob && e.b == sea))
+            .expect("edge");
+        let rel_from_sea = if e.a == sea { e.relation } else {
+            match e.relation {
+                ConceptRelation::ParentOf => ConceptRelation::ChildOf,
+                ConceptRelation::ChildOf => ConceptRelation::ParentOf,
+                r => r,
+            }
+        };
+        assert_eq!(rel_from_sea, ConceptRelation::ParentOf);
+    }
+
+    #[test]
+    fn threshold_prunes_weak_edges() {
+        let s = snips(&["aa bb", "aa cc", "aa dd", "bb cc", "cc dd", "bb dd"]);
+        let concepts = extract_content("q", &s, &cfg());
+        let loose = ConceptGraph::build(&concepts, &s, 0.0, 0.9);
+        let tight = ConceptGraph::build(&concepts, &s, 0.9, 0.9);
+        assert!(loose.edges().len() > tight.edges().len());
+    }
+
+    #[test]
+    fn spread_scales_mass_by_weight_and_damping() {
+        let s = snips(&["alpha beta", "alpha beta"]);
+        let concepts = extract_content("q", &s, &cfg());
+        let g = ConceptGraph::build(&concepts, &s, 0.5, 2.0);
+        let a = concepts.iter().position(|c| c.term == "alpha").unwrap();
+        let spread = g.spread(a, 2.0, 0.5);
+        assert_eq!(spread.len(), 1);
+        assert!((spread[0].1 - 1.0).abs() < 1e-12); // 2.0 * cos(1.0) * 0.5
+    }
+
+    #[test]
+    fn empty_concepts_build_empty_graph() {
+        let g = ConceptGraph::build(&[], &snips(&["x"]), 0.1, 0.8);
+        assert_eq!(g.num_concepts(), 0);
+        assert!(g.edges().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # pws-concepts — content & location concept extraction
+//!
+//! The heart of the paper's representation: for each query, mine from the
+//! top-K result *snippets*
+//!
+//! * **content concepts** ([`content`]) — unigrams and bigrams that
+//!   co-occur with the query in snippets with *support* above a threshold
+//!   (support = fraction of snippets containing the candidate). These are
+//!   the topical angles of the result set ("seafood", "lobster roll" for
+//!   query "restaurant");
+//! * **location concepts** ([`location`]) — place names of the location
+//!   ontology matched in snippets, rolled up the ontology so a mention of a
+//!   city also (fractionally) supports its state and country;
+//! * a **concept relationship graph** ([`graph`]) — snippet-incidence
+//!   cosine similarity between content concepts, used to expand profile
+//!   mass to related concepts (the GCS ablation of F7);
+//! * the **per-query concept ontology** ([`ontology`]) — the combined
+//!   structure consumed by user profiling.
+//!
+//! ```
+//! use pws_concepts::{ConceptConfig, extract_content};
+//!
+//! let snippets = vec![
+//!     "fresh seafood daily lobster specials".to_string(),
+//!     "the seafood menu and lobster rolls".to_string(),
+//!     "seafood buffet downtown".to_string(),
+//! ];
+//! let concepts = extract_content("restaurant", &snippets, &ConceptConfig::default());
+//! assert!(concepts.iter().any(|c| c.term == "seafood"));
+//! ```
+
+pub mod content;
+pub mod graph;
+pub mod location;
+pub mod ontology;
+
+pub use content::{extract_content, ConceptConfig, ContentConcept};
+pub use graph::{ConceptGraph, ConceptRelation};
+pub use location::{extract_locations, LocationConcept, LocationConceptConfig};
+pub use ontology::QueryConceptOntology;

@@ -1,0 +1,168 @@
+//! Per-query concept ontology.
+//!
+//! Bundles everything the extraction stage produces for one query issue:
+//! the content concepts + their relationship graph, and the location
+//! concepts. User profiling consumes this; the entropy module measures its
+//! diversity.
+
+use crate::content::{concepts_in_snippet, extract_content, ConceptConfig, ContentConcept};
+use crate::graph::ConceptGraph;
+use crate::location::{extract_locations, LocationConcept, LocationConceptConfig};
+use pws_geo::{LocationMatcher, LocationOntology};
+use serde::{Deserialize, Serialize};
+
+/// The combined concept view of one query's result snippets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryConceptOntology {
+    /// The query text concepts were extracted for.
+    pub query_text: String,
+    /// Content concepts, support-descending.
+    pub content: Vec<ContentConcept>,
+    /// Relationship graph over `content` (indices align).
+    pub graph: ConceptGraph,
+    /// Location concepts, support-descending.
+    pub locations: Vec<LocationConcept>,
+    /// Per-snippet concept membership: `content_by_snippet[i]` lists the
+    /// indices (into `content`) of the concepts occurring in snippet `i`.
+    pub content_by_snippet: Vec<Vec<usize>>,
+    /// Per-snippet location membership, indices into `locations`.
+    pub locations_by_snippet: Vec<Vec<usize>>,
+}
+
+impl QueryConceptOntology {
+    /// Extract the full ontology from a result page's snippets.
+    pub fn extract(
+        query_text: &str,
+        snippets: &[String],
+        matcher: &LocationMatcher,
+        world: &LocationOntology,
+        content_cfg: &ConceptConfig,
+        location_cfg: &LocationConceptConfig,
+    ) -> Self {
+        let content = extract_content(query_text, snippets, content_cfg);
+        let graph = ConceptGraph::build(&content, snippets, 0.4, 0.8);
+        let locations = extract_locations(snippets, matcher, world, location_cfg);
+
+        let content_by_snippet: Vec<Vec<usize>> =
+            snippets.iter().map(|s| concepts_in_snippet(&content, s)).collect();
+
+        let locations_by_snippet: Vec<Vec<usize>> = snippets
+            .iter()
+            .map(|s| {
+                let present = matcher.locations_in(s);
+                locations
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, lc)| present.contains(&lc.loc))
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+
+        QueryConceptOntology {
+            query_text: query_text.to_string(),
+            content,
+            graph,
+            locations,
+            content_by_snippet,
+            locations_by_snippet,
+        }
+    }
+
+    /// Total number of extracted concepts (content + location).
+    pub fn concept_count(&self) -> usize {
+        self.content.len() + self.locations.len()
+    }
+
+    /// True when no concepts of either kind were extracted — personalization
+    /// has nothing to work with for this query.
+    pub fn is_vacuous(&self) -> bool {
+        self.content.is_empty() && self.locations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_geo::LocId;
+
+    fn world() -> LocationOntology {
+        let mut o = LocationOntology::new();
+        let r = o.add(LocId::WORLD, "westland", vec![]);
+        let c = o.add(r, "ardonia", vec![]);
+        let s = o.add(c, "north vale", vec![]);
+        o.add(s, "port alden", vec![]);
+        o
+    }
+
+    fn snips() -> Vec<String> {
+        vec![
+            "seafood lobster specials in port alden".into(),
+            "the seafood menu with lobster rolls".into(),
+            "sushi and seafood downtown port alden".into(),
+        ]
+    }
+
+    fn extract(snippets: &[String]) -> QueryConceptOntology {
+        let w = world();
+        let m = LocationMatcher::build(&w);
+        QueryConceptOntology::extract(
+            "restaurant",
+            snippets,
+            &m,
+            &w,
+            &ConceptConfig { min_support: 0.0, min_snippet_freq: 1, bigrams: true, max_concepts: 50 },
+            &LocationConceptConfig { min_support: 0.0, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn extracts_both_dimensions() {
+        let o = extract(&snips());
+        assert!(o.content.iter().any(|c| c.term == "seafood"));
+        assert!(!o.locations.is_empty());
+        assert!(!o.is_vacuous());
+        assert_eq!(o.concept_count(), o.content.len() + o.locations.len());
+    }
+
+    #[test]
+    fn snippet_membership_is_consistent() {
+        let s = snips();
+        let o = extract(&s);
+        assert_eq!(o.content_by_snippet.len(), s.len());
+        assert_eq!(o.locations_by_snippet.len(), s.len());
+        // Snippet 0 contains "seafood".
+        let sea = o.content.iter().position(|c| c.term == "seafood").unwrap();
+        assert!(o.content_by_snippet[0].contains(&sea));
+        // Snippet 1 has no location.
+        assert!(o.locations_by_snippet[1].is_empty());
+        // Snippets 0 and 2 mention port alden.
+        assert!(!o.locations_by_snippet[0].is_empty());
+        assert!(!o.locations_by_snippet[2].is_empty());
+    }
+
+    #[test]
+    fn graph_aligns_with_content_indices() {
+        let o = extract(&snips());
+        assert_eq!(o.graph.num_concepts(), o.content.len());
+        for e in o.graph.edges() {
+            assert!(e.a < o.content.len() && e.b < o.content.len());
+        }
+    }
+
+    #[test]
+    fn empty_snippets_are_vacuous() {
+        let o = extract(&[]);
+        assert!(o.is_vacuous());
+        assert!(o.content_by_snippet.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let o = extract(&snips());
+        let j = serde_json::to_string(&o).unwrap();
+        let back: QueryConceptOntology = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.content, o.content);
+        assert_eq!(back.locations, o.locations);
+    }
+}

@@ -1,0 +1,721 @@
+//! The personalized search engine.
+
+use crate::config::{BlendStrategy, EngineConfig, PersonalizationMode};
+use crate::state::UserState;
+use pws_click::{Impression, UserId};
+use pws_concepts::QueryConceptOntology;
+use pws_entropy::{Effectiveness, QueryStats};
+use pws_geo::{LocationMatcher, LocationOntology};
+use pws_index::{SearchEngine, SearchHit};
+use pws_profile::{mine_pairs, FeatureExtractor, GeoContext, ResultFeatureInput, UserHistory};
+use pws_ranksvm::PairwiseTrainer;
+use std::collections::HashMap;
+
+/// Everything one `search` call produced: the page shown to the user plus
+/// the intermediate state `observe` needs to learn from the clicks.
+#[derive(Debug, Clone)]
+pub struct SearchTurn {
+    /// The issuing user.
+    pub user: UserId,
+    /// The query text as received.
+    pub query_text: String,
+    /// The final, (possibly) personalized page, ranks re-assigned 1-based.
+    pub hits: Vec<SearchHit>,
+    /// Concept ontology extracted over the *page* snippets (aligned with
+    /// `hits`; feeds profile updates and query statistics).
+    pub ontology: QueryConceptOntology,
+    /// Feature vectors aligned with `hits` (feeds pair mining).
+    pub features: Vec<Vec<f64>>,
+    /// The content/location blend weight used (location share).
+    pub beta: f64,
+    /// Whether personalization actually re-ranked (false for baseline mode
+    /// and for cold queries the effectiveness gate skipped).
+    pub personalized: bool,
+}
+
+/// The engine: baseline retrieval + per-user personalization state.
+pub struct PersonalizedSearchEngine<'a> {
+    base: &'a SearchEngine,
+    world: &'a LocationOntology,
+    matcher: LocationMatcher,
+    cfg: EngineConfig,
+    users: HashMap<UserId, UserState>,
+    query_stats: HashMap<String, QueryStats>,
+    trainer: PairwiseTrainer,
+    geo: Option<(&'a pws_geo::WorldCoords, f64)>,
+}
+
+impl<'a> PersonalizedSearchEngine<'a> {
+    /// Build an engine over an already-built baseline index.
+    pub fn new(base: &'a SearchEngine, world: &'a LocationOntology, cfg: EngineConfig) -> Self {
+        let matcher = LocationMatcher::build(world);
+        let trainer = PairwiseTrainer::new(cfg.train_cfg);
+        PersonalizedSearchEngine {
+            base,
+            world,
+            matcher,
+            cfg,
+            users: HashMap::new(),
+            query_stats: HashMap::new(),
+            trainer,
+            geo: None,
+        }
+    }
+
+    /// Enable proximity-smoothed location scoring (the GPS extension):
+    /// preference for a city also endorses geographically nearby places,
+    /// with the exponential kernel scale `scale_km`.
+    pub fn with_geo(mut self, coords: &'a pws_geo::WorldCoords, scale_km: f64) -> Self {
+        self.geo = Some((coords, scale_km));
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Borrow a user's state (if the user has been seen).
+    pub fn user_state(&self, user: UserId) -> Option<&UserState> {
+        self.users.get(&user)
+    }
+
+    /// Accumulated statistics for a query string (if seen).
+    pub fn query_stats(&self, query_text: &str) -> Option<&QueryStats> {
+        self.query_stats.get(&Self::query_key(query_text))
+    }
+
+    /// Number of distinct users with state.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    fn query_key(query_text: &str) -> String {
+        query_text.trim().to_lowercase()
+    }
+
+    /// Execute one personalized search for `user`.
+    pub fn search(&mut self, user: UserId, query_text: &str) -> SearchTurn {
+        let state = self.users.entry(user).or_default();
+
+        // ── Candidate pool ────────────────────────────────────────────────
+        let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
+        let mut candidates = normalize_pool(&base_hits);
+
+        // Location-aware query augmentation: also retrieve for
+        // "query + preferred city" so home-city documents enter the pool
+        // even when the baseline ranking buried them. Augmented candidates
+        // are re-scored against the *original* query (a doc matching only
+        // the city name is topically irrelevant and must not inherit the
+        // augmented query's inflated score).
+        if self.cfg.query_augmentation && self.cfg.mode.uses_location() {
+            if let Some(city) = state.location.preferred_city(self.world) {
+                let city_name = self.world.name(city);
+                if !Self::query_key(query_text).contains(city_name) {
+                    let aug = format!("{query_text} {city_name}");
+                    let aug_hits = self.base.search(&aug, self.cfg.rerank_pool);
+                    let new_hits: Vec<SearchHit> = aug_hits
+                        .into_iter()
+                        .filter(|h| !candidates.iter().any(|(c, _)| c.doc == h.doc))
+                        .collect();
+                    let new_docs: Vec<u32> = new_hits.iter().map(|h| h.doc).collect();
+                    let base_scores = self.base.score_docs(query_text, &new_docs);
+                    let base_max = base_hits
+                        .iter()
+                        .map(|h| h.score)
+                        .fold(0.0_f64, f64::max)
+                        .max(f64::MIN_POSITIVE);
+                    let rescored: Vec<(SearchHit, f64)> = new_hits
+                        .into_iter()
+                        .zip(base_scores)
+                        .filter(|(_, s)| *s > 0.0)
+                        .map(|(h, s)| (h, s / base_max))
+                        .collect();
+                    merge_pools(&mut candidates, rescored);
+                }
+            }
+        }
+
+        if self.cfg.mode == PersonalizationMode::Baseline || candidates.is_empty() {
+            let page: Vec<SearchHit> = candidates
+                .into_iter()
+                .take(self.cfg.top_k)
+                .enumerate()
+                .map(|(i, (mut h, _))| {
+                    h.rank = i + 1;
+                    h
+                })
+                .collect();
+            return self.finish_turn(user, query_text, page, 0.5, false);
+        }
+
+        // ── Features over the pool ────────────────────────────────────────
+        let pool_snippets: Vec<String> =
+            candidates.iter().map(|(h, _)| h.snippet.clone()).collect();
+        let pool_onto = QueryConceptOntology::extract(
+            query_text,
+            &pool_snippets,
+            &self.matcher,
+            self.world,
+            &self.cfg.concept_cfg,
+            &self.cfg.location_cfg,
+        );
+        let inputs: Vec<ResultFeatureInput> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, (h, norm))| ResultFeatureInput {
+                doc: h.doc,
+                rank: i + 1,
+                base_score: *norm,
+                url: h.url.clone(),
+                title: h.title.clone(),
+            })
+            .collect();
+        let extractor = FeatureExtractor::with_masks(
+            self.cfg.mode.uses_content(),
+            self.cfg.mode.uses_location(),
+        );
+        let state = self.users.get(&user).expect("state created above");
+        let geo_ctx = self.geo.map(|(coords, scale_km)| GeoContext { coords, scale_km });
+        let mut features = extractor.extract_page_geo(
+            query_text,
+            &inputs,
+            &pool_onto,
+            &state.content,
+            &state.location,
+            &state.history,
+            geo_ctx.as_ref(),
+        );
+
+        // ── Blend ────────────────────────────────────────────────────────
+        let beta = self.choose_beta(query_text);
+        for f in &mut features {
+            f[1] *= 2.0 * (1.0 - beta);
+            f[2] *= 2.0 * beta;
+        }
+
+        // ── Score & select the page ──────────────────────────────────────
+        let order = state.model.rank(&features);
+        let page: Vec<SearchHit> = order
+            .iter()
+            .take(self.cfg.top_k)
+            .enumerate()
+            .map(|(i, &idx)| {
+                let mut h = candidates[idx].0.clone();
+                h.rank = i + 1;
+                h
+            })
+            .collect();
+
+        self.finish_turn(user, query_text, page, beta, true)
+    }
+
+    /// β for this query under the configured strategy and mode.
+    fn choose_beta(&self, query_text: &str) -> f64 {
+        match self.cfg.mode {
+            PersonalizationMode::ContentOnly => 0.0,
+            PersonalizationMode::LocationOnly => 1.0,
+            PersonalizationMode::Baseline => 0.5,
+            PersonalizationMode::Combined => match self.cfg.blend {
+                BlendStrategy::Fixed(b) => b.clamp(0.0, 1.0),
+                BlendStrategy::Adaptive => self
+                    .query_stats
+                    .get(&Self::query_key(query_text))
+                    .map(|s| Effectiveness::from_stats(s, &self.cfg.effectiveness_cfg))
+                    .unwrap_or_else(Effectiveness::neutral)
+                    .beta(),
+            },
+        }
+    }
+
+    /// Extract the page-level ontology + page-aligned features and assemble
+    /// the turn.
+    fn finish_turn(
+        &mut self,
+        user: UserId,
+        query_text: &str,
+        page: Vec<SearchHit>,
+        beta: f64,
+        personalized: bool,
+    ) -> SearchTurn {
+        let page_snippets: Vec<String> = page.iter().map(|h| h.snippet.clone()).collect();
+        let ontology = QueryConceptOntology::extract(
+            query_text,
+            &page_snippets,
+            &self.matcher,
+            self.world,
+            &self.cfg.concept_cfg,
+            &self.cfg.location_cfg,
+        );
+        let geo = self.geo;
+        let state = self.users.entry(user).or_default();
+        let inputs: Vec<ResultFeatureInput> = page
+            .iter()
+            .map(|h| ResultFeatureInput {
+                doc: h.doc,
+                rank: h.rank,
+                base_score: h.score.max(f64::MIN_POSITIVE),
+                url: h.url.clone(),
+                title: h.title.clone(),
+            })
+            .collect();
+        let extractor = FeatureExtractor::with_masks(
+            self.cfg.mode.uses_content(),
+            self.cfg.mode.uses_location(),
+        );
+        let geo_ctx = geo.map(|(coords, scale_km)| GeoContext { coords, scale_km });
+        let features = extractor.extract_page_geo(
+            query_text,
+            &inputs,
+            &ontology,
+            &state.content,
+            &state.location,
+            &state.history,
+            geo_ctx.as_ref(),
+        );
+        SearchTurn {
+            user,
+            query_text: query_text.to_string(),
+            hits: page,
+            ontology,
+            features,
+            beta,
+            personalized,
+        }
+    }
+
+    /// Fold the user's clicks on a turn back into the engine.
+    ///
+    /// `impression.results` must correspond to `turn.hits` (same order) —
+    /// the simulator guarantees this by construction.
+    pub fn observe(&mut self, turn: &SearchTurn, impression: &Impression) {
+        // Query statistics always update (they also drive the adaptive β
+        // for baseline-mode logging).
+        self.query_stats
+            .entry(Self::query_key(&turn.query_text))
+            .or_default()
+            .observe(&turn.ontology, impression);
+
+        let state = self.users.entry(turn.user).or_default();
+        state.history.observe(impression);
+
+        if self.cfg.mode == PersonalizationMode::Baseline {
+            state.observations += 1;
+            return;
+        }
+
+        if self.cfg.mode.uses_content() {
+            state
+                .content
+                .observe(&turn.ontology, impression, &self.cfg.content_profile_cfg);
+        }
+        if self.cfg.mode.uses_location() {
+            state.location.observe(
+                &turn.ontology,
+                impression,
+                self.world,
+                &self.cfg.location_profile_cfg,
+            );
+        }
+
+        // Pair mining + periodic re-training.
+        if self.cfg.retrain_every > 0 {
+            let mut pairs = match &self.cfg.pair_source {
+                crate::config::PairSource::Joachims(cfg) => {
+                    mine_pairs(impression, &turn.features, cfg)
+                }
+                crate::config::PairSource::SpyNb(cfg) => {
+                    pws_profile::mine_spynb_pairs(impression, &turn.features, cfg)
+                }
+            };
+            state.pairs.append(&mut pairs);
+            if state.pairs.len() > self.cfg.max_pairs_per_user {
+                let excess = state.pairs.len() - self.cfg.max_pairs_per_user;
+                state.pairs.drain(..excess);
+            }
+            state.observations += 1;
+            if state.observations.is_multiple_of(self.cfg.retrain_every) && !state.pairs.is_empty() {
+                // Re-train from the prior each round (anchored): the pair
+                // window is the full training set, so warm-starting from
+                // the drifted model would double-count old pairs.
+                let anchor = UserState::prior_weights();
+                state.model = pws_ranksvm::LinearRankModel::from_weights(anchor.clone());
+                self.trainer.train_anchored(&mut state.model, &anchor, &state.pairs);
+            }
+        } else {
+            state.observations += 1;
+        }
+    }
+
+    /// Reset one user's learned state (testing / right-to-be-forgotten).
+    pub fn forget_user(&mut self, user: UserId) {
+        self.users.remove(&user);
+    }
+
+    /// Export one user's learned state as JSON — profile portability and
+    /// the user-facing "what do you know about me" view.
+    pub fn export_user(&self, user: UserId) -> Option<String> {
+        self.users.get(&user).map(|s| {
+            serde_json::to_string(s).expect("UserState serialization is infallible")
+        })
+    }
+
+    /// Import a previously exported user state, replacing any existing
+    /// state for that user id. Returns `Err` on malformed JSON.
+    pub fn import_user(&mut self, user: UserId, json: &str) -> Result<(), serde_json::Error> {
+        let state: UserState = serde_json::from_str(json)?;
+        self.users.insert(user, state);
+        Ok(())
+    }
+
+    /// A view of the revisit history for external diagnostics.
+    pub fn user_history(&self, user: UserId) -> Option<&UserHistory> {
+        self.users.get(&user).map(|s| &s.history)
+    }
+}
+
+/// Normalize a hit list's scores to [0, 1] by its own max.
+fn normalize_pool(hits: &[SearchHit]) -> Vec<(SearchHit, f64)> {
+    let max = hits.iter().map(|h| h.score).fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
+    hits.iter().map(|h| (h.clone(), h.score / max)).collect()
+}
+
+/// Merge `extra` into `pool`, deduplicating by doc id (keeping the higher
+/// normalized score) and re-sorting by normalized score desc, doc asc.
+fn merge_pools(pool: &mut Vec<(SearchHit, f64)>, extra: Vec<(SearchHit, f64)>) {
+    for (hit, norm) in extra {
+        match pool.iter_mut().find(|(h, _)| h.doc == hit.doc) {
+            Some((_, existing)) => {
+                if norm > *existing {
+                    *existing = norm;
+                }
+            }
+            None => pool.push((hit, norm)),
+        }
+    }
+    pool.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.doc.cmp(&b.0.doc))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_click::{Click, ShownResult};
+    use pws_corpus::query::QueryId;
+    use pws_geo::LocId;
+    use pws_index::{IndexBuilder, StoredDoc};
+
+    fn world() -> LocationOntology {
+        let mut o = LocationOntology::new();
+        let r = o.add(LocId::WORLD, "westland", vec![]);
+        let c = o.add(r, "ardonia", vec![]);
+        let s = o.add(c, "vale", vec![]);
+        o.add(s, "alden", vec![]);
+        o.add(s, "lakemoor", vec![]);
+        o
+    }
+
+    fn index() -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        b.add(StoredDoc::new(0, "http://a.test/0", "Seafood guide",
+            "seafood restaurant guide with lobster in alden harbor area"));
+        b.add(StoredDoc::new(1, "http://b.test/1", "Seafood lakemoor",
+            "seafood restaurant in lakemoor with fresh oysters"));
+        b.add(StoredDoc::new(2, "http://c.test/2", "Sushi place",
+            "sushi restaurant downtown with omakase menu in alden"));
+        b.add(StoredDoc::new(3, "http://d.test/3", "Steak house",
+            "steak restaurant grill with ribeye specials"));
+        b.build()
+    }
+
+    fn impression_from(turn: &SearchTurn, clicked_ranks: &[usize]) -> Impression {
+        Impression {
+            user: turn.user,
+            query: QueryId(0),
+            query_text: turn.query_text.clone(),
+            results: turn
+                .hits
+                .iter()
+                .map(|h| ShownResult {
+                    doc: h.doc,
+                    rank: h.rank,
+                    url: h.url.clone(),
+                    title: h.title.clone(),
+                    snippet: h.snippet.clone(),
+                })
+                .collect(),
+            clicks: clicked_ranks
+                .iter()
+                .filter_map(|&r| {
+                    turn.hits
+                        .iter()
+                        .find(|h| h.rank == r)
+                        .map(|h| Click { doc: h.doc, rank: r, dwell: 600 })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn baseline_mode_returns_base_order() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig::for_mode(PersonalizationMode::Baseline),
+        );
+        let turn = e.search(UserId(0), "seafood restaurant");
+        let base = idx.search("seafood restaurant", 10);
+        let turn_docs: Vec<u32> = turn.hits.iter().map(|h| h.doc).collect();
+        let base_docs: Vec<u32> = base.iter().map(|h| h.doc).collect();
+        assert_eq!(turn_docs, base_docs);
+        assert!(!turn.personalized);
+    }
+
+    #[test]
+    fn empty_query_is_safe() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let turn = e.search(UserId(0), "zzzz unknown");
+        assert!(turn.hits.is_empty());
+        assert!(turn.features.is_empty());
+        // Observing an empty impression must not panic.
+        let imp = impression_from(&turn, &[]);
+        e.observe(&turn, &imp);
+    }
+
+    #[test]
+    fn clicks_on_a_city_build_location_preference() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let user = UserId(7);
+        // Repeatedly click the lakemoor result for "seafood restaurant".
+        for _ in 0..6 {
+            let turn = e.search(user, "seafood restaurant");
+            let lakemoor_rank = turn
+                .hits
+                .iter()
+                .find(|h| h.doc == 1)
+                .map(|h| h.rank)
+                .expect("lakemoor doc in page");
+            let imp = impression_from(&turn, &[lakemoor_rank]);
+            e.observe(&turn, &imp);
+        }
+        let state = e.user_state(user).unwrap();
+        let lakemoor = LocId(5);
+        assert!(state.location.weight(lakemoor) > 0.0);
+        assert_eq!(state.location.preferred_city(&w), Some(lakemoor));
+        // After learning, the lakemoor doc should be promoted to rank 1.
+        let turn = e.search(user, "seafood restaurant");
+        assert_eq!(turn.hits[0].doc, 1, "personalization should surface lakemoor doc");
+        assert!(turn.personalized);
+    }
+
+    #[test]
+    fn content_clicks_build_content_preference() {
+        let idx = index();
+        let w = world();
+        // Loose extraction thresholds: with only four docs in the fixture,
+        // "sushi" appears in a single snippet and the default
+        // min_snippet_freq=2 would drop it.
+        let mut e = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig {
+                concept_cfg: pws_concepts::ConceptConfig {
+                    min_support: 0.0,
+                    min_snippet_freq: 1,
+                    ..Default::default()
+                },
+                ..EngineConfig::for_mode(PersonalizationMode::ContentOnly)
+            },
+        );
+        let user = UserId(3);
+        for _ in 0..6 {
+            let turn = e.search(user, "restaurant");
+            let sushi_rank = turn.hits.iter().find(|h| h.doc == 2).map(|h| h.rank);
+            let Some(r) = sushi_rank else { continue };
+            let imp = impression_from(&turn, &[r]);
+            e.observe(&turn, &imp);
+        }
+        let state = e.user_state(user).unwrap();
+        assert!(state.content.weight("sushi") > 0.0);
+        let turn = e.search(user, "restaurant");
+        assert_eq!(turn.hits[0].doc, 2, "sushi doc should be promoted");
+    }
+
+    #[test]
+    fn modes_set_beta_extremes() {
+        let idx = index();
+        let w = world();
+        let mut c = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig::for_mode(PersonalizationMode::ContentOnly),
+        );
+        assert_eq!(c.search(UserId(0), "restaurant").beta, 0.0);
+        let mut l = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig::for_mode(PersonalizationMode::LocationOnly),
+        );
+        assert_eq!(l.search(UserId(0), "restaurant").beta, 1.0);
+        let mut f = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig {
+                blend: BlendStrategy::Fixed(0.3),
+                ..EngineConfig::default()
+            },
+        );
+        assert!((f.search(UserId(0), "restaurant").beta - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_beta_starts_neutral_then_tracks_stats() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let turn = e.search(UserId(0), "restaurant");
+        assert_eq!(turn.beta, 0.5, "no stats yet → neutral");
+        // Feed diverse location clicks from two users.
+        for (u, doc) in [(0u32, 0u32), (1, 1), (0, 0), (1, 1), (0, 0), (1, 1)] {
+            let turn = e.search(UserId(u), "restaurant");
+            if let Some(h) = turn.hits.iter().find(|h| h.doc == doc) {
+                let imp = impression_from(&turn, &[h.rank]);
+                e.observe(&turn, &imp);
+            }
+        }
+        assert!(e.query_stats("restaurant").is_some());
+        let beta = e.search(UserId(9), "restaurant").beta;
+        assert!(beta > 0.0 && beta < 1.0);
+    }
+
+    #[test]
+    fn ranks_are_reassigned_after_rerank() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let turn = e.search(UserId(0), "restaurant");
+        for (i, h) in turn.hits.iter().enumerate() {
+            assert_eq!(h.rank, i + 1);
+        }
+        assert_eq!(turn.features.len(), turn.hits.len());
+        assert_eq!(turn.ontology.content_by_snippet.len(), turn.hits.len());
+    }
+
+    #[test]
+    fn retraining_changes_model_weights() {
+        let idx = index();
+        let w = world();
+        let cfg = EngineConfig { retrain_every: 2, ..EngineConfig::default() };
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, cfg);
+        let user = UserId(1);
+        let prior = UserState::new().model.weights.clone();
+        for _ in 0..4 {
+            let turn = e.search(user, "restaurant");
+            // Click the last result to generate skip-above pairs.
+            let last = turn.hits.last().map(|h| h.rank);
+            if let Some(r) = last {
+                let imp = impression_from(&turn, &[r]);
+                e.observe(&turn, &imp);
+            }
+        }
+        let state = e.user_state(user).unwrap();
+        assert!(!state.pairs.is_empty());
+        assert_ne!(state.model.weights, prior, "model should have been retrained");
+    }
+
+    #[test]
+    fn forget_user_clears_state() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let turn = e.search(UserId(0), "restaurant");
+        let imp = impression_from(&turn, &[1]);
+        e.observe(&turn, &imp);
+        assert!(e.user_state(UserId(0)).is_some());
+        e.forget_user(UserId(0));
+        assert!(e.user_state(UserId(0)).is_none());
+    }
+
+    #[test]
+    fn user_state_export_import_round_trips() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let user = UserId(4);
+        for _ in 0..3 {
+            let turn = e.search(user, "seafood restaurant");
+            let imp = impression_from(&turn, &[1]);
+            e.observe(&turn, &imp);
+        }
+        let json = e.export_user(user).expect("state exists");
+        let before = e.user_state(user).unwrap().model.weights.clone();
+
+        // Import into a fresh engine: same learned state, same ranking.
+        let mut e2 = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        e2.import_user(user, &json).expect("import");
+        let after = e2.user_state(user).unwrap();
+        assert_eq!(after.model.weights, before);
+        assert_eq!(after.observations, 3);
+        let page1: Vec<u32> = e.search(user, "restaurant").hits.iter().map(|h| h.doc).collect();
+        let page2: Vec<u32> = e2.search(user, "restaurant").hits.iter().map(|h| h.doc).collect();
+        assert_eq!(page1, page2);
+
+        // Malformed JSON is rejected.
+        assert!(e2.import_user(user, "{not json").is_err());
+        // Unknown users export None.
+        assert!(e.export_user(UserId(999)).is_none());
+    }
+
+    #[test]
+    fn geo_smoothing_scores_nearby_cities() {
+        let idx = index();
+        let w = world();
+        let coords = pws_geo::WorldCoords::generate(&w, 5);
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default())
+            .with_geo(&coords, 500.0);
+        let user = UserId(2);
+        // Train on lakemoor clicks as in the non-geo test.
+        for _ in 0..4 {
+            let turn = e.search(user, "seafood restaurant");
+            if let Some(h) = turn.hits.iter().find(|h| h.doc == 1) {
+                let imp = impression_from(&turn, &[h.rank]);
+                e.observe(&turn, &imp);
+            }
+        }
+        // The engine still works end-to-end and ranks deterministically.
+        let turn = e.search(user, "seafood restaurant");
+        assert!(!turn.hits.is_empty());
+        assert_eq!(turn.features.len(), turn.hits.len());
+        // Geo scoring endorses *all* locations somewhat (exp kernel > 0),
+        // so the alden doc's location feature is nonzero too once the
+        // profile is warm — unlike the exact-match scorer.
+        let state = e.user_state(user).unwrap();
+        assert!(!state.location.is_empty());
+    }
+
+    #[test]
+    fn merge_pools_dedups_and_sorts() {
+        let h = |doc: u32, score: f64| SearchHit {
+            doc,
+            score,
+            rank: 1,
+            url: format!("u{doc}"),
+            title: "t".into(),
+            snippet: "s".into(),
+        };
+        let mut pool = vec![(h(0, 1.0), 1.0), (h(1, 0.5), 0.5)];
+        merge_pools(&mut pool, vec![(h(1, 0.9), 0.9), (h(2, 0.7), 0.7)]);
+        let docs: Vec<u32> = pool.iter().map(|(x, _)| x.doc).collect();
+        assert_eq!(docs, vec![0, 1, 2]);
+        assert_eq!(pool[1].1, 0.9, "kept the higher normalized score");
+    }
+}

@@ -1,0 +1,39 @@
+//! # pws-core — the personalized search engine
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//! a search engine whose results are re-ranked per user by **content** and
+//! **location** preferences mined from that user's clickthrough history.
+//!
+//! ## The online loop
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────┐
+//!  query ───►│ baseline retrieval (BM25, pool > page size)    │
+//!            │   + location-aware query augmentation          │
+//!            ├────────────────────────────────────────────────┤
+//!            │ concept extraction from snippets               │
+//!            │   content concepts · location concepts · graph │
+//!            ├────────────────────────────────────────────────┤
+//!            │ feature vectors (base score, content pref,     │
+//!            │   location pref, rank prior, title, revisit)   │
+//!            ├────────────────────────────────────────────────┤
+//!            │ effectiveness-adaptive blend β  → RankSVM      │
+//!            │   score → re-ranked top-K                      │
+//!            └────────────────────────────────────────────────┘
+//!  clicks ──► profiles (content + location) · click history ·
+//!             query statistics (entropies) · preference pairs →
+//!             periodic RankSVM re-training
+//! ```
+//!
+//! [`engine::PersonalizedSearchEngine`] owns all per-user state; one
+//! instance serves the whole user population (as the paper's middleware
+//! did). [`config::PersonalizationMode`] selects the evaluation variants:
+//! baseline / content-only / location-only / combined.
+
+pub mod config;
+pub mod engine;
+pub mod state;
+
+pub use config::{BlendStrategy, EngineConfig, PairSource, PersonalizationMode};
+pub use engine::{PersonalizedSearchEngine, SearchTurn};
+pub use state::UserState;

@@ -1,0 +1,97 @@
+//! Per-user engine state.
+
+use pws_profile::{ContentProfile, LocationProfile, UserHistory, FEATURE_DIM};
+use pws_ranksvm::{LinearRankModel, PreferencePair};
+use serde::{Deserialize, Serialize};
+
+/// Everything the engine remembers about one user.
+///
+/// Serializable: a deployment persists user states across restarts (and a
+/// user can export/inspect their own profile — see
+/// [`crate::PersonalizedSearchEngine::export_user`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserState {
+    /// Content-concept preference weights.
+    pub content: ContentProfile,
+    /// Location-ontology preference weights.
+    pub location: LocationProfile,
+    /// URL/domain revisit history.
+    pub history: UserHistory,
+    /// The user's personalized ranking model.
+    pub model: LinearRankModel,
+    /// Sliding window of mined preference pairs (training set).
+    pub pairs: Vec<PreferencePair>,
+    /// Observations folded in (drives the retraining schedule).
+    pub observations: u64,
+}
+
+impl UserState {
+    /// The hand-tuned prior weight vector every user starts from — and the
+    /// anchor the online RankSVM regularizes towards (see
+    /// `TrainConfig::frozen_mask` and `PairwiseTrainer::train_anchored`
+    /// for why anchoring matters when learning from position-biased
+    /// clicks). Feature order matches [`pws_profile::FEATURE_NAMES`].
+    pub fn prior_weights() -> Vec<f64> {
+        vec![
+            1.0,  // base_score_norm: trust the baseline ranker
+            1.5,  // content_pref
+            1.5,  // location_pref
+            0.2,  // rank_prior
+            0.15, // title_match
+            0.15, // url_revisit: modest — one noise click must not pin a URL
+            0.1,  // domain_affinity
+        ]
+    }
+
+    /// Fresh state with the *prior* ranking model.
+    ///
+    /// The prior puts positive weight on the base score and both preference
+    /// dimensions, so personalization acts from the first profile update —
+    /// before the first RankSVM training round — which is exactly the
+    /// cold-start behaviour measured in F6.
+    pub fn new() -> Self {
+        let prior = Self::prior_weights();
+        debug_assert_eq!(prior.len(), FEATURE_DIM);
+        UserState {
+            content: ContentProfile::new(),
+            location: LocationProfile::new(),
+            history: UserHistory::new(),
+            model: LinearRankModel::from_weights(prior),
+            pairs: Vec::new(),
+            observations: 0,
+        }
+    }
+
+    /// Is the user still cold (no clicks observed)?
+    pub fn is_cold(&self) -> bool {
+        self.observations == 0
+    }
+}
+
+impl Default for UserState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_cold_with_prior_model() {
+        let s = UserState::new();
+        assert!(s.is_cold());
+        assert_eq!(s.model.dim(), FEATURE_DIM);
+        assert!(s.model.weights[0] > 0.0);
+        assert!(s.pairs.is_empty());
+    }
+
+    #[test]
+    fn prior_prefers_higher_base_score() {
+        let s = UserState::new();
+        let better = vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let worse = vec![0.5, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0];
+        assert!(s.model.score(&better) > s.model.score(&worse));
+    }
+}

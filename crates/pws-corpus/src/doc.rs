@@ -1,0 +1,130 @@
+//! Document and corpus types.
+
+use crate::vocab::TopicId;
+use pws_geo::LocId;
+use serde::{Deserialize, Serialize};
+
+/// Dense document identifier, `0..corpus.len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One synthetic web document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    /// Dense id, equal to the document's position in [`Corpus::docs`].
+    pub id: DocId,
+    /// Synthetic URL, unique per document.
+    pub url: String,
+    /// Registrable domain of `url` (several docs share a domain).
+    pub domain: String,
+    /// Title: a few topical terms, plus the city name when localized.
+    pub title: String,
+    /// Body text (~60–160 tokens).
+    pub body: String,
+    /// Ground-truth topic this document was generated from.
+    pub topic: TopicId,
+    /// Ground-truth subtopic within `topic` (`< Topics::SUBTOPICS`) —
+    /// the within-topic angle content personalization discriminates on.
+    pub subtopic: u8,
+    /// Ground-truth city when the document is location-specific.
+    pub city: Option<LocId>,
+}
+
+impl Document {
+    /// Title and body concatenated — what gets indexed.
+    pub fn full_text(&self) -> String {
+        format!("{} {}", self.title, self.body)
+    }
+}
+
+/// A generated corpus plus the provenance needed by the evaluation harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// All documents; `docs[i].id == DocId(i)`.
+    pub docs: Vec<Document>,
+    /// Seed used for generation (recorded for reproducibility).
+    pub seed: u64,
+}
+
+impl Corpus {
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Borrow a document by id.
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// Documents of a given topic.
+    pub fn by_topic(&self, topic: TopicId) -> impl Iterator<Item = &Document> {
+        self.docs.iter().filter(move |d| d.topic == topic)
+    }
+
+    /// Documents localized to a given city.
+    pub fn by_city(&self, city: LocId) -> impl Iterator<Item = &Document> {
+        self.docs.iter().filter(move |d| d.city == Some(city))
+    }
+
+    /// Fraction of documents that are location-specific.
+    pub fn localized_fraction(&self) -> f64 {
+        if self.docs.is_empty() {
+            return 0.0;
+        }
+        self.docs.iter().filter(|d| d.city.is_some()).count() as f64 / self.docs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, topic: u16, city: Option<u32>) -> Document {
+        Document {
+            id: DocId(id),
+            url: format!("http://example-{id}.test/page"),
+            domain: format!("example-{id}.test"),
+            title: "title words".into(),
+            body: "body words here".into(),
+            topic: TopicId(topic),
+            subtopic: 0,
+            city: city.map(LocId),
+        }
+    }
+
+    #[test]
+    fn full_text_concatenates() {
+        let d = doc(0, 0, None);
+        assert_eq!(d.full_text(), "title words body words here");
+    }
+
+    #[test]
+    fn corpus_accessors() {
+        let c = Corpus { docs: vec![doc(0, 0, None), doc(1, 1, Some(9)), doc(2, 1, None)], seed: 0 };
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.doc(DocId(1)).topic, TopicId(1));
+        assert_eq!(c.by_topic(TopicId(1)).count(), 2);
+        assert_eq!(c.by_city(LocId(9)).count(), 1);
+        assert!((c.localized_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_fraction_is_zero() {
+        let c = Corpus { docs: vec![], seed: 0 };
+        assert!(c.is_empty());
+        assert_eq!(c.localized_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pws-corpus — synthetic web corpus & query workload
+//!
+//! The paper evaluated on a live commercial search backend over the real
+//! web; offline we substitute a *generated* corpus whose two relevant
+//! properties are controllable:
+//!
+//! 1. **Topical structure** — documents are drawn from a fixed set of topics
+//!    with distinct core vocabularies ([`vocab`]), so content concepts exist
+//!    and are minable from snippets with a support threshold;
+//! 2. **Geographic salting** — a controllable fraction of documents is tied
+//!    to a city of the [`pws_geo`] ontology and mentions that city (and
+//!    sometimes its ancestors) in title/body, so location concepts exist and
+//!    correlate with document identity.
+//!
+//! Queries ([`query::QueryGen`]) are sampled from topic vocabularies, with a
+//! controllable fraction of *location-sensitive* queries ("restaurant" typed
+//! by a user who means "restaurant near me") — exactly the query class the
+//! paper's location preferences target.
+//!
+//! Everything is deterministic given the seed.
+//!
+//! ```
+//! use pws_corpus::{CorpusGen, CorpusSpec};
+//! use pws_geo::{WorldGen, WorldSpec};
+//!
+//! let world = WorldGen::new(1).generate(&WorldSpec::small());
+//! let corpus = CorpusGen::new(7).generate(&CorpusSpec::small(), &world);
+//! assert!(!corpus.docs.is_empty());
+//! assert!(corpus.docs.iter().any(|d| d.city.is_some()));
+//! ```
+
+pub mod doc;
+pub mod gen;
+pub mod query;
+pub mod session;
+pub mod vocab;
+
+pub use doc::{Corpus, DocId, Document};
+pub use gen::{CorpusGen, CorpusSpec};
+pub use query::{Query, QueryGen, QueryId, QuerySpec};
+pub use session::{generate_session, Refinement, SessionSpec, SessionStep};
+pub use vocab::{TopicId, Topics};

@@ -1,0 +1,207 @@
+//! Query workload generation.
+//!
+//! Three query classes, mirroring the paper's analysis of which queries
+//! benefit from which personalization dimension:
+//!
+//! * **Content queries** — topical terms only ("seafood buffet"). Different
+//!   users mean different *topics of interest*; content personalization
+//!   helps, location personalization is mostly irrelevant.
+//! * **Location-sensitive queries** — topical terms with an implicit place
+//!   intent ("restaurant", "hotel booking"): the user wants results about
+//!   *their* preferred city even though no city appears in the query text.
+//!   This is the class the paper's location preferences exist for.
+//! * **Explicit-location queries** — the city name is typed into the query
+//!   ("seafood port alden"). The baseline engine already handles these
+//!   reasonably; personalization gains are smaller.
+
+use crate::vocab::{TopicId, Topics};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Dense query identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Query class, part of the generated ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// Pure topical query; location plays no role in its intent.
+    Content,
+    /// Topical query with implicit location intent (resolved per-user).
+    LocationSensitive,
+    /// The query text itself names a city (filled in per-issue by the
+    /// simulator, since the city depends on the issuing user).
+    ExplicitLocation,
+}
+
+/// One workload query template.
+///
+/// The template deliberately does *not* fix a city: for location-sensitive
+/// and explicit-location classes the relevant city is the issuing user's
+/// preferred city, so the same template means different things to different
+/// users — the precondition for personalization to help at all.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// Dense id, equal to position in the workload.
+    pub id: QueryId,
+    /// The topical terms of the query (without any city name).
+    pub text: String,
+    /// Ground-truth topic the terms were drawn from.
+    pub topic: TopicId,
+    /// Ground-truth class.
+    pub class: QueryClass,
+}
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Number of query templates.
+    pub num_queries: usize,
+    /// Number of topics in play (must match the corpus spec).
+    pub num_topics: usize,
+    /// Terms per query (min, max).
+    pub terms_per_query: (usize, usize),
+    /// Fraction of queries that are location-sensitive.
+    pub location_sensitive_frac: f64,
+    /// Fraction of queries that carry an explicit city name.
+    pub explicit_location_frac: f64,
+}
+
+impl QuerySpec {
+    /// Default experimental workload: 120 templates (T1).
+    pub fn default_workload() -> Self {
+        QuerySpec {
+            num_queries: 120,
+            num_topics: 12,
+            terms_per_query: (1, 3),
+            location_sensitive_frac: 0.4,
+            explicit_location_frac: 0.15,
+        }
+    }
+
+    /// Small workload for tests.
+    pub fn small() -> Self {
+        QuerySpec {
+            num_queries: 20,
+            num_topics: 4,
+            terms_per_query: (1, 2),
+            location_sensitive_frac: 0.4,
+            explicit_location_frac: 0.2,
+        }
+    }
+}
+
+/// Seeded workload generator.
+#[derive(Debug)]
+pub struct QueryGen {
+    seed: u64,
+}
+
+impl QueryGen {
+    /// Create a generator; same seed + spec yields the same workload.
+    pub fn new(seed: u64) -> Self {
+        QueryGen { seed }
+    }
+
+    /// Generate the workload.
+    pub fn generate(&self, spec: &QuerySpec) -> Vec<Query> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let topics = Topics::first(spec.num_topics);
+        let mut out = Vec::with_capacity(spec.num_queries);
+        for i in 0..spec.num_queries {
+            let topic = TopicId(rng.gen_range(0..topics.len()) as u16);
+            let n = rng.gen_range(spec.terms_per_query.0..=spec.terms_per_query.1).max(1);
+            let mut terms: Vec<String> = Vec::with_capacity(n);
+            // Sample without replacement so "seafood seafood" never happens.
+            let mut pool: Vec<&String> = topics.terms(topic).iter().collect();
+            pool.shuffle(&mut rng);
+            for t in pool.into_iter().take(n) {
+                terms.push(t.clone());
+            }
+            let r: f64 = rng.gen();
+            let class = if r < spec.explicit_location_frac {
+                QueryClass::ExplicitLocation
+            } else if r < spec.explicit_location_frac + spec.location_sensitive_frac {
+                QueryClass::LocationSensitive
+            } else {
+                QueryClass::Content
+            };
+            out.push(Query { id: QueryId(i as u32), text: terms.join(" "), topic, class });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = QueryGen::new(3).generate(&QuerySpec::small());
+        let b = QueryGen::new(3).generate(&QuerySpec::small());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.class, y.class);
+        }
+    }
+
+    #[test]
+    fn ids_dense_and_counts_match() {
+        let qs = QueryGen::new(3).generate(&QuerySpec::small());
+        assert_eq!(qs.len(), QuerySpec::small().num_queries);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.id, QueryId(i as u32));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_terms_within_query() {
+        let qs = QueryGen::new(9).generate(&QuerySpec::default_workload());
+        for q in &qs {
+            let mut terms: Vec<&str> = q.text.split(' ').collect();
+            let n = terms.len();
+            terms.sort();
+            terms.dedup();
+            assert_eq!(terms.len(), n, "dup terms in {:?}", q.text);
+        }
+    }
+
+    #[test]
+    fn class_mix_roughly_matches_spec() {
+        let spec = QuerySpec { num_queries: 2000, ..QuerySpec::default_workload() };
+        let qs = QueryGen::new(1).generate(&spec);
+        let loc = qs.iter().filter(|q| q.class == QueryClass::LocationSensitive).count() as f64
+            / qs.len() as f64;
+        let exp = qs.iter().filter(|q| q.class == QueryClass::ExplicitLocation).count() as f64
+            / qs.len() as f64;
+        assert!((loc - spec.location_sensitive_frac).abs() < 0.05, "loc {loc}");
+        assert!((exp - spec.explicit_location_frac).abs() < 0.04, "exp {exp}");
+    }
+
+    #[test]
+    fn terms_come_from_declared_topic() {
+        let spec = QuerySpec::small();
+        let topics = Topics::first(spec.num_topics);
+        let qs = QueryGen::new(4).generate(&spec);
+        for q in &qs {
+            for term in q.text.split(' ') {
+                assert!(
+                    topics.terms(q.topic).iter().any(|t| t == term),
+                    "term {term} not in topic {}",
+                    topics.name(q.topic)
+                );
+            }
+        }
+    }
+}

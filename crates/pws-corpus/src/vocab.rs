@@ -1,0 +1,282 @@
+//! Topic vocabularies.
+//!
+//! Twelve themed topics with real-English core vocabularies. Real words (as
+//! opposed to generated syllable soup) matter here: the analyzer's stemming
+//! and stopword handling then behave as they would on real snippets, and the
+//! extracted content concepts are interpretable in examples and tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense topic identifier, `0..Topics::len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopicId(pub u16);
+
+impl TopicId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One topic theme: a label plus its core vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topic {
+    /// Human-readable label ("dining").
+    pub name: String,
+    /// Core content terms characteristic of the topic.
+    pub terms: Vec<String>,
+}
+
+/// The fixed topic inventory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topics {
+    topics: Vec<Topic>,
+}
+
+/// `(label, core terms)` for each built-in theme.
+const THEMES: &[(&str, &[&str])] = &[
+    (
+        "dining",
+        &["restaurant", "seafood", "buffet", "lobster", "steak", "sushi", "menu", "dinner",
+          "brunch", "cuisine", "chef", "bistro", "pizza", "noodle", "dessert", "vegetarian",
+          "grill", "tapas", "reservation", "michelin", "bakery", "ramen", "taco", "curry"],
+    ),
+    (
+        "hotels",
+        &["hotel", "resort", "suite", "booking", "hostel", "amenities", "checkin", "lobby",
+          "motel", "spa", "concierge", "oceanview", "accommodation", "nightly", "vacancy",
+          "penthouse", "bedding", "housekeeping", "minibar", "lodging", "inn", "villa"],
+    ),
+    (
+        "phones",
+        &["smartphone", "android", "battery", "screen", "camera", "megapixel", "charger",
+          "unlocked", "warranty", "firmware", "bluetooth", "processor", "storage", "sim",
+          "touchscreen", "handset", "earbuds", "wireless", "gadget", "specs", "tradein"],
+    ),
+    (
+        "sports",
+        &["football", "league", "playoff", "championship", "stadium", "coach", "quarterback",
+          "basketball", "tournament", "score", "athlete", "training", "marathon", "soccer",
+          "hockey", "baseball", "referee", "roster", "season", "ticket", "arena", "olympics"],
+    ),
+    (
+        "health",
+        &["clinic", "doctor", "symptom", "treatment", "vaccine", "pharmacy", "nutrition",
+          "therapy", "dentist", "wellness", "diagnosis", "cardiology", "prescription",
+          "surgery", "pediatric", "allergy", "fitness", "yoga", "immunity", "hospital"],
+    ),
+    (
+        "realestate",
+        &["apartment", "mortgage", "rental", "condo", "listing", "realtor", "downpayment",
+          "tenant", "lease", "bedroom", "townhouse", "foreclosure", "appraisal", "escrow",
+          "landlord", "duplex", "zoning", "renovation", "bungalow", "property", "acre"],
+    ),
+    (
+        "education",
+        &["university", "tuition", "scholarship", "campus", "professor", "semester",
+          "admission", "curriculum", "diploma", "lecture", "graduate", "faculty", "exam",
+          "kindergarten", "enrollment", "textbook", "dormitory", "thesis", "academy"],
+    ),
+    (
+        "music",
+        &["concert", "album", "guitar", "orchestra", "festival", "vinyl", "playlist",
+          "acoustic", "drummer", "symphony", "lyrics", "jazz", "piano", "soundtrack",
+          "chorus", "violin", "opera", "karaoke", "remix", "studio", "band", "melody"],
+    ),
+    (
+        "cars",
+        &["sedan", "dealership", "hybrid", "mileage", "horsepower", "transmission",
+          "convertible", "diesel", "coupe", "towing", "sunroof", "odometer", "turbo",
+          "brakes", "chassis", "airbag", "electric", "charging", "warranty", "suv"],
+    ),
+    (
+        "finance",
+        &["investment", "portfolio", "dividend", "savings", "banking", "credit", "loan",
+          "interest", "retirement", "equity", "brokerage", "insurance", "budget", "audit",
+          "taxes", "refund", "pension", "stocks", "bonds", "hedge", "deposit", "mortgage"],
+    ),
+    (
+        "weather",
+        &["forecast", "rainfall", "humidity", "temperature", "blizzard", "hurricane",
+          "sunshine", "thunderstorm", "drought", "snowfall", "windchill", "barometer",
+          "climate", "frost", "heatwave", "monsoon", "overcast", "precipitation", "radar"],
+    ),
+    (
+        "shopping",
+        &["discount", "coupon", "outlet", "boutique", "clearance", "checkout", "retailer",
+          "bargain", "wholesale", "refund", "catalog", "storefront", "membership",
+          "giftcard", "shipping", "marketplace", "thrift", "apparel", "jewelry", "mall"],
+    ),
+];
+
+/// Generic filler vocabulary mixed into every document regardless of topic.
+pub const FILLER: &[&str] = &[
+    "best", "guide", "review", "local", "top", "near", "popular", "cheap", "quality",
+    "service", "open", "hours", "price", "free", "official", "online", "new", "find",
+    "directory", "list", "information", "visit", "area", "great", "people", "place",
+    "today", "home", "world", "read", "full", "daily", "weekly", "news",
+];
+
+impl Default for Topics {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl Topics {
+    /// The full 12-topic built-in inventory.
+    pub fn builtin() -> Self {
+        Topics {
+            topics: THEMES
+                .iter()
+                .map(|(name, terms)| Topic {
+                    name: (*name).to_string(),
+                    terms: terms.iter().map(|t| (*t).to_string()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The first `k` built-in topics (for small tests).
+    pub fn first(k: usize) -> Self {
+        let mut t = Self::builtin();
+        t.topics.truncate(k.max(1));
+        t
+    }
+
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Always false — at least one topic exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate topic ids.
+    pub fn ids(&self) -> impl Iterator<Item = TopicId> {
+        (0..self.topics.len() as u16).map(TopicId)
+    }
+
+    /// Borrow one topic.
+    pub fn topic(&self, id: TopicId) -> &Topic {
+        &self.topics[id.index()]
+    }
+
+    /// Label of a topic.
+    pub fn name(&self, id: TopicId) -> &str {
+        &self.topics[id.index()].name
+    }
+
+    /// Core terms of a topic.
+    pub fn terms(&self, id: TopicId) -> &[String] {
+        &self.topics[id.index()].terms
+    }
+
+    /// Number of subtopics every topic is partitioned into.
+    ///
+    /// Subtopics model *within-topic* user taste (sushi vs. steak inside
+    /// "dining") — the signal content personalization learns. Each
+    /// subtopic owns a contiguous chunk of the topic's term list.
+    pub const SUBTOPICS: u8 = 3;
+
+    /// The terms owned by subtopic `s` of `id` (`s < SUBTOPICS`).
+    ///
+    /// Chunks are contiguous, near-equal slices of the topic's term list;
+    /// every term belongs to exactly one subtopic.
+    pub fn subtopic_terms(&self, id: TopicId, s: u8) -> &[String] {
+        assert!(s < Self::SUBTOPICS, "subtopic {s} out of range");
+        let terms = self.terms(id);
+        let n = terms.len();
+        let k = Self::SUBTOPICS as usize;
+        let per = n.div_ceil(k);
+        let start = (s as usize * per).min(n);
+        let end = ((s as usize + 1) * per).min(n);
+        &terms[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_has_twelve_topics() {
+        assert_eq!(Topics::builtin().len(), 12);
+    }
+
+    #[test]
+    fn every_topic_has_enough_terms() {
+        let t = Topics::builtin();
+        for id in t.ids() {
+            assert!(t.terms(id).len() >= 15, "topic {} too small", t.name(id));
+        }
+    }
+
+    #[test]
+    fn topic_names_unique() {
+        let t = Topics::builtin();
+        let mut names: Vec<&str> = t.ids().map(|i| t.name(i)).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), t.len());
+    }
+
+    #[test]
+    fn terms_are_lowercase_single_words() {
+        let t = Topics::builtin();
+        for id in t.ids() {
+            for term in t.terms(id) {
+                assert!(!term.contains(' '), "{term} is multiword");
+                assert_eq!(term, &term.to_lowercase());
+            }
+        }
+    }
+
+    #[test]
+    fn first_truncates_but_never_empties() {
+        assert_eq!(Topics::first(3).len(), 3);
+        assert_eq!(Topics::first(0).len(), 1);
+        assert_eq!(Topics::first(100).len(), 12);
+    }
+
+    #[test]
+    fn subtopics_partition_topic_terms() {
+        let t = Topics::builtin();
+        for id in t.ids() {
+            let mut all: Vec<&String> = Vec::new();
+            for s in 0..Topics::SUBTOPICS {
+                all.extend(t.subtopic_terms(id, s));
+            }
+            assert_eq!(all.len(), t.terms(id).len(), "topic {}", t.name(id));
+            for (a, b) in all.iter().zip(t.terms(id)) {
+                assert_eq!(*a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn every_subtopic_nonempty() {
+        let t = Topics::builtin();
+        for id in t.ids() {
+            for s in 0..Topics::SUBTOPICS {
+                assert!(!t.subtopic_terms(id, s).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_subtopic_panics() {
+        let t = Topics::builtin();
+        let _ = t.subtopic_terms(TopicId(0), Topics::SUBTOPICS);
+    }
+
+    #[test]
+    fn filler_terms_are_not_stopwords() {
+        for w in FILLER {
+            assert!(!pws_text::is_stopword(w), "{w} is a stopword");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # pws-entropy — when (and how) to personalize
+//!
+//! The paper's second contribution: not every query benefits equally from
+//! each personalization dimension. Queries whose clicks concentrate on one
+//! interpretation need no personalization; queries whose clicks spread over
+//! many content concepts benefit from *content* personalization; queries
+//! whose clicks spread over many locations benefit from *location*
+//! personalization.
+//!
+//! * [`shannon`] — entropy primitives (Shannon entropy over count
+//!   distributions, normalized variants);
+//! * [`stats::QueryStats`] — per-query accumulator of click distributions
+//!   over URLs, content concepts, and location concepts;
+//! * [`effectiveness`] — maps those entropies to *personalization
+//!   effectiveness* scores in [0, 1] and to the content/location blend
+//!   weight `β` the engine uses when combining the two preference scores.
+
+pub mod effectiveness;
+pub mod shannon;
+pub mod stats;
+
+pub use effectiveness::{Effectiveness, EffectivenessConfig};
+pub use shannon::{entropy, normalized_entropy};
+pub use stats::QueryStats;

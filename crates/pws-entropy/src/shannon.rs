@@ -1,0 +1,91 @@
+//! Entropy primitives.
+
+/// Shannon entropy (base 2) of a count/weight distribution.
+///
+/// Non-positive entries are ignored; the distribution is normalized
+/// internally. Returns 0 for empty or single-support distributions.
+///
+/// ```
+/// use pws_entropy::entropy;
+/// assert_eq!(entropy(&[1.0, 1.0]), 1.0);        // uniform over 2 → 1 bit
+/// assert_eq!(entropy(&[5.0]), 0.0);             // concentrated → 0 bits
+/// assert!(entropy(&[1.0, 1.0, 1.0, 1.0]) > entropy(&[10.0, 1.0, 1.0, 1.0]));
+/// ```
+pub fn entropy(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().filter(|&&c| c > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts.iter().filter(|&&c| c > 0.0) {
+        let p = c / total;
+        h -= p * p.log2();
+    }
+    // Guard tiny negative float residue.
+    h.max(0.0)
+}
+
+/// Entropy normalized to [0, 1] by the maximum possible for the support
+/// size (`log2 k` for `k` positive entries). A distribution with 0 or 1
+/// positive entries has normalized entropy 0.
+pub fn normalized_entropy(counts: &[f64]) -> f64 {
+    let k = counts.iter().filter(|&&c| c > 0.0).count();
+    if k <= 1 {
+        return 0.0;
+    }
+    let h = entropy(counts);
+    (h / (k as f64).log2()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_zero_distributions() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0.0, 0.0]), 0.0);
+        assert_eq!(normalized_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn uniform_maximizes() {
+        let u = entropy(&[1.0; 8]);
+        assert!((u - 3.0).abs() < 1e-12);
+        assert!((normalized_entropy(&[1.0; 8]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_lowers_entropy() {
+        assert!(entropy(&[9.0, 1.0]) < entropy(&[5.0, 5.0]));
+        assert!(normalized_entropy(&[9.0, 1.0]) < 1.0);
+    }
+
+    #[test]
+    fn negative_entries_ignored() {
+        assert_eq!(entropy(&[-3.0, 4.0]), 0.0);
+        assert_eq!(entropy(&[-1.0, 2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = entropy(&[1.0, 2.0, 3.0]);
+        let b = entropy(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn entropy_bounds(counts in proptest::collection::vec(0.0f64..100.0, 0..30)) {
+            let h = entropy(&counts);
+            let k = counts.iter().filter(|&&c| c > 0.0).count();
+            prop_assert!(h >= 0.0);
+            if k > 0 {
+                prop_assert!(h <= (k as f64).log2() + 1e-9);
+            }
+            let nh = normalized_entropy(&counts);
+            prop_assert!((0.0..=1.0).contains(&nh));
+        }
+    }
+}

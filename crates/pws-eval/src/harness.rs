@@ -1,0 +1,272 @@
+//! The train-then-evaluate protocol.
+//!
+//! For each user: `train_per_user` interactions in which the engine serves
+//! a (personalized) page, the simulated user clicks, and the engine
+//! observes; then `eval_per_user` interactions whose pages are scored
+//! against the latent grades. This mirrors the paper's protocol of
+//! collecting clickthrough for a training period and judging the re-ranked
+//! results afterwards.
+
+use crate::metrics::{IssueMetrics, MetricAccumulator};
+use crate::setup::ExperimentWorld;
+use pws_click::{CascadeModel, ClickModel, DbnModel, PositionBiasModel, SessionSimulator, SimConfig, UserId};
+use pws_core::{EngineConfig, PersonalizedSearchEngine};
+use pws_corpus::query::QueryId;
+use serde::{Deserialize, Serialize};
+
+/// Which click model the simulated users follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClickModelKind {
+    /// Examination hypothesis with geometric position decay (default).
+    #[default]
+    PositionBias,
+    /// Cascade: top-down scan, stop after a satisfying click.
+    Cascade,
+    /// Dynamic Bayesian Network: attractiveness/satisfaction split.
+    Dbn,
+}
+
+impl ClickModelKind {
+    /// Instantiate the model with its default parameters.
+    pub fn build(self) -> Box<dyn ClickModel> {
+        match self {
+            ClickModelKind::PositionBias => Box::new(PositionBiasModel::default()),
+            ClickModelKind::Cascade => Box::new(CascadeModel::default()),
+            ClickModelKind::Dbn => Box::new(DbnModel::default()),
+        }
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClickModelKind::PositionBias => "position-bias",
+            ClickModelKind::Cascade => "cascade",
+            ClickModelKind::Dbn => "dbn",
+        }
+    }
+}
+
+/// Harness configuration for one method run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Engine (method) configuration.
+    pub engine: EngineConfig,
+    /// Training interactions per user.
+    pub train_per_user: usize,
+    /// Evaluation interactions per user.
+    pub eval_per_user: usize,
+    /// Keep learning during evaluation (online protocol, used by F6).
+    pub observe_during_eval: bool,
+    /// Harness RNG seed (query scheduling, clicks).
+    pub seed: u64,
+    /// Label override for the result row (defaults to the mode label).
+    pub label: Option<String>,
+    /// Click model the simulated users follow.
+    pub click_model: ClickModelKind,
+}
+
+impl RunConfig {
+    /// The default protocol: 40 train + 20 eval interactions per user.
+    pub fn standard(engine: EngineConfig) -> Self {
+        RunConfig {
+            engine,
+            train_per_user: 40,
+            eval_per_user: 20,
+            observe_during_eval: false,
+            seed: 99,
+            label: None,
+            click_model: ClickModelKind::PositionBias,
+        }
+    }
+
+    /// A fast protocol for tests.
+    pub fn quick(engine: EngineConfig) -> Self {
+        RunConfig { train_per_user: 8, eval_per_user: 4, ..Self::standard(engine) }
+    }
+
+    /// Same run with a custom result label.
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.label = Some(label.to_string());
+        self
+    }
+}
+
+/// Per-issue detail retained for entropy bucketing (F4).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IssueDetail {
+    /// Query template of the issue.
+    pub query: QueryId,
+    /// The issue's metrics.
+    pub metrics: IssueMetrics,
+}
+
+/// Aggregate result of one method run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method label (mode label unless overridden).
+    pub label: String,
+    /// Aggregated evaluation metrics.
+    pub metrics: MetricAccumulator,
+    /// Per-issue detail (evaluation phase only).
+    pub detail: Vec<IssueDetail>,
+}
+
+impl MethodResult {
+    /// Relative improvement of this result's nDCG over a baseline's, in %.
+    pub fn ndcg_gain_over(&self, baseline: &MethodResult) -> f64 {
+        let b = baseline.metrics.ndcg10();
+        if b <= 0.0 {
+            0.0
+        } else {
+            (self.metrics.ndcg10() - b) / b * 100.0
+        }
+    }
+}
+
+/// Run one method over the experiment world.
+pub fn run_method(world: &ExperimentWorld, cfg: &RunConfig) -> MethodResult {
+    let label = cfg.label.clone().unwrap_or_else(|| cfg.engine.mode.label().to_string());
+    let top_k = cfg.engine.top_k;
+    let mut engine = PersonalizedSearchEngine::new(&world.engine, &world.world, cfg.engine.clone());
+    let mut sim = SessionSimulator::with_model(
+        &world.engine,
+        &world.corpus,
+        &world.world,
+        &world.population,
+        &world.queries,
+        SimConfig { top_k, seed: cfg.seed },
+        cfg.click_model.build(),
+    );
+    let mut acc = MetricAccumulator::new();
+    let mut detail = Vec::new();
+
+    for user_idx in 0..world.population.len() {
+        let user = UserId(user_idx as u32);
+
+        // ── Training phase ────────────────────────────────────────────────
+        for _ in 0..cfg.train_per_user {
+            let qid = sim.sample_query(user);
+            let (turn, outcome) = one_issue(&mut engine, &mut sim, user, qid);
+            engine.observe(&turn, &outcome.impression);
+        }
+
+        // ── Evaluation phase ──────────────────────────────────────────────
+        for _ in 0..cfg.eval_per_user {
+            let qid = sim.sample_query(user);
+            let (turn, outcome) = one_issue(&mut engine, &mut sim, user, qid);
+            let clicked_at_1 = outcome.impression.clicks.iter().any(|c| c.rank == 1);
+            let m = IssueMetrics::from_page(&outcome.grades, clicked_at_1);
+            acc.push(&m);
+            detail.push(IssueDetail { query: qid, metrics: m });
+            if cfg.observe_during_eval {
+                engine.observe(&turn, &outcome.impression);
+            }
+        }
+    }
+
+    MethodResult { label, metrics: acc, detail }
+}
+
+/// Run several method configurations concurrently (one OS thread each).
+///
+/// The experiment world is immutable and shared; each run owns its engine
+/// and simulator, so runs are independent and results are identical to
+/// sequential execution (every run is internally seeded).
+pub fn run_methods_parallel(world: &ExperimentWorld, cfgs: &[RunConfig]) -> Vec<MethodResult> {
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = cfgs
+            .iter()
+            .map(|cfg| scope.spawn(move |_| run_method(world, cfg)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run_method panicked")).collect()
+    })
+    .expect("thread scope")
+}
+
+/// One issue through the personalized engine + the click simulator.
+fn one_issue<'a>(
+    engine: &mut PersonalizedSearchEngine<'_>,
+    sim: &mut SessionSimulator<'a>,
+    user: UserId,
+    qid: QueryId,
+) -> (pws_core::SearchTurn, pws_click::session::IssueOutcome) {
+    let intent = sim.sample_intent_city(user);
+    let query = &sim_queries(sim)[qid.index()];
+    let text = sim.render_query(query, intent);
+    let turn = engine.search(user, &text);
+    let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
+    (turn, outcome)
+}
+
+/// Accessor shim: the simulator owns a borrow of the workload; reach it
+/// through a small helper to keep `one_issue` readable.
+fn sim_queries<'a>(sim: &SessionSimulator<'a>) -> &'a [pws_corpus::Query] {
+    sim.queries()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::ExperimentSpec;
+    use pws_core::PersonalizationMode;
+
+    fn world() -> ExperimentWorld {
+        ExperimentWorld::build(ExperimentSpec::small())
+    }
+
+    #[test]
+    fn baseline_run_produces_metrics() {
+        let w = world();
+        let r = run_method(
+            &w,
+            &RunConfig::quick(EngineConfig::for_mode(PersonalizationMode::Baseline)),
+        );
+        assert_eq!(r.label, "baseline");
+        let expected = w.population.len() * 4;
+        assert_eq!(r.metrics.issues() as usize, expected);
+        assert_eq!(r.detail.len(), expected);
+        assert!(r.metrics.ndcg10() > 0.0, "some pages must have relevant results");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = world();
+        let cfg = RunConfig::quick(EngineConfig::for_mode(PersonalizationMode::Combined));
+        let a = run_method(&w, &cfg);
+        let b = run_method(&w, &cfg);
+        assert_eq!(a.metrics.ndcg10(), b.metrics.ndcg10());
+        assert_eq!(a.metrics.avg_rank_high(), b.metrics.avg_rank_high());
+    }
+
+    #[test]
+    fn combined_beats_baseline_on_high_relevance() {
+        // The headline sanity check, at small scale: after training,
+        // personalization should rank highly-relevant (user-specific)
+        // results better than the static baseline.
+        let w = world();
+        let base = run_method(
+            &w,
+            &RunConfig::quick(EngineConfig::for_mode(PersonalizationMode::Baseline)),
+        );
+        let mut cfg = RunConfig::quick(EngineConfig::for_mode(PersonalizationMode::Combined));
+        cfg.train_per_user = 16;
+        let comb = run_method(&w, &cfg);
+        assert!(
+            comb.metrics.p_high()[0] >= base.metrics.p_high()[0],
+            "combined P@1(high) {} < baseline {}",
+            comb.metrics.p_high()[0],
+            base.metrics.p_high()[0]
+        );
+    }
+
+    #[test]
+    fn ndcg_gain_helper() {
+        let w = world();
+        let base = run_method(
+            &w,
+            &RunConfig::quick(EngineConfig::for_mode(PersonalizationMode::Baseline)),
+        );
+        let gain = base.ndcg_gain_over(&base);
+        assert!(gain.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pws-eval — metrics, experiment harness, and the paper's evaluation
+//!
+//! Reproduces every table and figure of the evaluation (see DESIGN.md §5):
+//!
+//! | Id | Function | What it shows |
+//! |----|----------|---------------|
+//! | T1 | [`experiments::t1_dataset_stats`] | dataset & ontology statistics |
+//! | T2 | [`experiments::t2_sample_concepts`] | extracted concepts for sample queries |
+//! | T3 | [`experiments::t3_method_comparison`] | baseline vs content vs location vs combined |
+//! | F1 | [`experiments::f1_learning_curve`] | quality vs training interactions |
+//! | F2 | [`experiments::f2_topn_precision`] | P@1/3/5/10 per method |
+//! | F3 | [`experiments::f3_support_threshold_sweep`] | concept support threshold sweep |
+//! | F4 | [`experiments::f4_entropy_analysis`] | gain vs location click-entropy bucket |
+//! | F5 | [`experiments::f5_blend_sweep`] | fixed β sweep vs adaptive β |
+//! | F6 | [`experiments::f6_cold_start`] | per-interaction quality for new users |
+//! | F7 | [`experiments::f7_ablations`] | GCS / rollup / augmentation / skip / SpyNB ablations |
+//! | T5 | [`experiments::t5_class_breakdown`] | gains per query class |
+//! | F8 | [`experiments::f8_noise_robustness`] | gains vs click-noise level |
+//! | F9 | [`experiments::f9_click_model_robustness`] | gains under 3 click models |
+//! | F10 | [`experiments::f10_session_adaptation`] | quality by refinement step within sessions |
+//!
+//! The shared machinery:
+//!
+//! * [`setup::ExperimentWorld`] — builds world, corpus, users, queries, and
+//!   the baseline index from one seeded [`setup::ExperimentSpec`];
+//! * [`harness::run_method`] — the train-then-evaluate protocol for one
+//!   engine configuration;
+//! * [`metrics`] — average rank, P@N, MRR, nDCG over latent grades.
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod setup;
+
+pub use harness::{run_method, run_methods_parallel, ClickModelKind, MethodResult, RunConfig};
+pub use metrics::{ndcg_at, precision_at, IssueMetrics, MetricAccumulator};
+pub use setup::{ExperimentSpec, ExperimentWorld};

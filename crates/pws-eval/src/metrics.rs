@@ -1,0 +1,312 @@
+//! Ranking-quality metrics over latent relevance grades.
+//!
+//! All metrics are computed against the *latent* grades the simulator
+//! exposes — the ground truth human-subject studies approximate with
+//! questionnaires. Two relevance cuts matter:
+//!
+//! * **relevant** (grade ≥ 1): topically right — the baseline engine can
+//!   already find these;
+//! * **highly relevant** (grade 2): matches the user's personal content or
+//!   location preference — only personalization can systematically put
+//!   these on top. The paper's headline numbers live here.
+
+use pws_click::relevance::Grade;
+use serde::{Deserialize, Serialize};
+
+/// Precision@N over a grade cut.
+///
+/// `grades` are page-ordered (index 0 = rank 1).
+pub fn precision_at(grades: &[Grade], n: usize, min_grade: Grade) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = grades.iter().take(n).filter(|g| **g >= min_grade).count();
+    hits as f64 / n as f64
+}
+
+/// Reciprocal rank of the first result meeting the grade cut (0 if none).
+pub fn reciprocal_rank(grades: &[Grade], min_grade: Grade) -> f64 {
+    grades
+        .iter()
+        .position(|g| *g >= min_grade)
+        .map(|i| 1.0 / (i + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Mean rank of results meeting the grade cut (`None` if none on the page).
+pub fn avg_rank(grades: &[Grade], min_grade: Grade) -> Option<f64> {
+    let ranks: Vec<f64> = grades
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| **g >= min_grade)
+        .map(|(i, _)| (i + 1) as f64)
+        .collect();
+    if ranks.is_empty() {
+        None
+    } else {
+        Some(ranks.iter().sum::<f64>() / ranks.len() as f64)
+    }
+}
+
+/// nDCG@n with gains `2^grade − 1`, normalized by the ideal ordering of the
+/// *page's own* grades (standard evaluation practice when the full corpus
+/// judgment set is the page).
+pub fn ndcg_at(grades: &[Grade], n: usize) -> f64 {
+    fn dcg(gains: impl Iterator<Item = u32>) -> f64 {
+        gains
+            .enumerate()
+            .map(|(i, g)| (f64::from((1u32 << g) - 1)) / ((i + 2) as f64).log2())
+            .sum()
+    }
+    let actual = dcg(grades.iter().take(n).map(|g| g.gain()));
+    let mut ideal_grades: Vec<u32> = grades.iter().map(|g| g.gain()).collect();
+    ideal_grades.sort_unstable_by(|a, b| b.cmp(a));
+    let ideal = dcg(ideal_grades.into_iter().take(n));
+    if ideal <= 0.0 {
+        0.0
+    } else {
+        (actual / ideal).clamp(0.0, 1.0)
+    }
+}
+
+/// All metrics of one evaluated issue.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IssueMetrics {
+    /// Mean rank of relevant (grade ≥ 1) results, if any.
+    pub avg_rank_rel: Option<f64>,
+    /// Mean rank of highly relevant results, if any.
+    pub avg_rank_high: Option<f64>,
+    /// P@1 / P@3 / P@5 / P@10 at grade ≥ 1.
+    pub p_rel: [f64; 4],
+    /// P@1 / P@3 / P@5 / P@10 at grade 2.
+    pub p_high: [f64; 4],
+    /// MRR at grade ≥ 1.
+    pub mrr_rel: f64,
+    /// MRR at grade 2.
+    pub mrr_high: f64,
+    /// nDCG@10 (graded).
+    pub ndcg10: f64,
+    /// Whether the rank-1 result was clicked.
+    pub clicked_at_1: bool,
+}
+
+impl IssueMetrics {
+    /// Compute from one page's grades and the click on rank 1 (if known).
+    pub fn from_page(grades: &[Grade], clicked_at_1: bool) -> Self {
+        let cuts = [1, 3, 5, 10];
+        let p = |min: Grade| cuts.map(|n| precision_at(grades, n, min));
+        IssueMetrics {
+            avg_rank_rel: avg_rank(grades, Grade::Relevant),
+            avg_rank_high: avg_rank(grades, Grade::HighlyRelevant),
+            p_rel: p(Grade::Relevant),
+            p_high: p(Grade::HighlyRelevant),
+            mrr_rel: reciprocal_rank(grades, Grade::Relevant),
+            mrr_high: reciprocal_rank(grades, Grade::HighlyRelevant),
+            ndcg10: ndcg_at(grades, 10),
+            clicked_at_1,
+        }
+    }
+}
+
+/// Streaming mean aggregator over many issues.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricAccumulator {
+    issues: u64,
+    sum_avg_rank_rel: f64,
+    n_avg_rank_rel: u64,
+    sum_avg_rank_high: f64,
+    n_avg_rank_high: u64,
+    sum_p_rel: [f64; 4],
+    sum_p_high: [f64; 4],
+    sum_mrr_rel: f64,
+    sum_mrr_high: f64,
+    sum_ndcg: f64,
+    clicks_at_1: u64,
+}
+
+impl MetricAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of issues folded in.
+    pub fn issues(&self) -> u64 {
+        self.issues
+    }
+
+    /// Fold one issue in.
+    pub fn push(&mut self, m: &IssueMetrics) {
+        self.issues += 1;
+        if let Some(r) = m.avg_rank_rel {
+            self.sum_avg_rank_rel += r;
+            self.n_avg_rank_rel += 1;
+        }
+        if let Some(r) = m.avg_rank_high {
+            self.sum_avg_rank_high += r;
+            self.n_avg_rank_high += 1;
+        }
+        for i in 0..4 {
+            self.sum_p_rel[i] += m.p_rel[i];
+            self.sum_p_high[i] += m.p_high[i];
+        }
+        self.sum_mrr_rel += m.mrr_rel;
+        self.sum_mrr_high += m.mrr_high;
+        self.sum_ndcg += m.ndcg10;
+        if m.clicked_at_1 {
+            self.clicks_at_1 += 1;
+        }
+    }
+
+    fn mean(sum: f64, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean rank of relevant results (issues with none are excluded).
+    pub fn avg_rank_rel(&self) -> f64 {
+        Self::mean(self.sum_avg_rank_rel, self.n_avg_rank_rel)
+    }
+
+    /// Mean rank of highly relevant results.
+    pub fn avg_rank_high(&self) -> f64 {
+        Self::mean(self.sum_avg_rank_high, self.n_avg_rank_high)
+    }
+
+    /// Mean P@{1,3,5,10} at grade ≥ 1.
+    pub fn p_rel(&self) -> [f64; 4] {
+        self.sum_p_rel.map(|s| Self::mean(s, self.issues))
+    }
+
+    /// Mean P@{1,3,5,10} at grade 2.
+    pub fn p_high(&self) -> [f64; 4] {
+        self.sum_p_high.map(|s| Self::mean(s, self.issues))
+    }
+
+    /// Mean MRR at grade ≥ 1.
+    pub fn mrr_rel(&self) -> f64 {
+        Self::mean(self.sum_mrr_rel, self.issues)
+    }
+
+    /// Mean MRR at grade 2.
+    pub fn mrr_high(&self) -> f64 {
+        Self::mean(self.sum_mrr_high, self.issues)
+    }
+
+    /// Mean nDCG@10.
+    pub fn ndcg10(&self) -> f64 {
+        Self::mean(self.sum_ndcg, self.issues)
+    }
+
+    /// Fraction of issues whose rank-1 result was clicked.
+    pub fn ctr_at_1(&self) -> f64 {
+        Self::mean(self.clicks_at_1 as f64, self.issues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g(levels: &[u32]) -> Vec<Grade> {
+        levels.iter().map(|&l| Grade::from_level(l)).collect()
+    }
+
+    #[test]
+    fn precision_basics() {
+        let grades = g(&[2, 0, 1, 0]);
+        assert_eq!(precision_at(&grades, 1, Grade::Relevant), 1.0);
+        assert_eq!(precision_at(&grades, 2, Grade::Relevant), 0.5);
+        assert_eq!(precision_at(&grades, 4, Grade::Relevant), 0.5);
+        assert_eq!(precision_at(&grades, 1, Grade::HighlyRelevant), 1.0);
+        assert_eq!(precision_at(&grades, 4, Grade::HighlyRelevant), 0.25);
+        assert_eq!(precision_at(&grades, 0, Grade::Relevant), 0.0);
+    }
+
+    #[test]
+    fn precision_beyond_page_counts_misses() {
+        // P@10 with a 4-result page: absent results are misses.
+        let grades = g(&[2, 2, 2, 2]);
+        assert_eq!(precision_at(&grades, 10, Grade::Relevant), 0.4);
+    }
+
+    #[test]
+    fn reciprocal_rank_basics() {
+        assert_eq!(reciprocal_rank(&g(&[0, 0, 1]), Grade::Relevant), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(&g(&[2]), Grade::HighlyRelevant), 1.0);
+        assert_eq!(reciprocal_rank(&g(&[0, 0]), Grade::Relevant), 0.0);
+        assert_eq!(reciprocal_rank(&[], Grade::Relevant), 0.0);
+    }
+
+    #[test]
+    fn avg_rank_basics() {
+        assert_eq!(avg_rank(&g(&[1, 0, 1]), Grade::Relevant), Some(2.0));
+        assert_eq!(avg_rank(&g(&[0, 0]), Grade::Relevant), None);
+        assert_eq!(avg_rank(&g(&[0, 2]), Grade::HighlyRelevant), Some(2.0));
+    }
+
+    #[test]
+    fn ndcg_perfect_ordering_is_one() {
+        assert!((ndcg_at(&g(&[2, 1, 0]), 10) - 1.0).abs() < 1e-12);
+        assert_eq!(ndcg_at(&g(&[0, 0, 0]), 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_penalizes_inversions() {
+        let good = ndcg_at(&g(&[2, 1, 0]), 10);
+        let bad = ndcg_at(&g(&[0, 1, 2]), 10);
+        assert!(good > bad);
+        assert!(bad > 0.0);
+    }
+
+    #[test]
+    fn issue_metrics_and_accumulator() {
+        let m1 = IssueMetrics::from_page(&g(&[2, 0, 1]), true);
+        let m2 = IssueMetrics::from_page(&g(&[0, 0, 0]), false);
+        let mut acc = MetricAccumulator::new();
+        acc.push(&m1);
+        acc.push(&m2);
+        assert_eq!(acc.issues(), 2);
+        assert_eq!(acc.ctr_at_1(), 0.5);
+        // avg_rank_rel only counts the issue that had relevant results.
+        assert_eq!(acc.avg_rank_rel(), 2.0); // ranks 1 and 3 → mean 2
+        assert_eq!(acc.p_rel()[0], 0.5); // P@1 means over both issues
+        assert!(acc.ndcg10() > 0.0 && acc.ndcg10() < 1.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = MetricAccumulator::new();
+        assert_eq!(acc.avg_rank_rel(), 0.0);
+        assert_eq!(acc.ndcg10(), 0.0);
+        assert_eq!(acc.ctr_at_1(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn metric_ranges(levels in proptest::collection::vec(0u32..3, 0..15)) {
+            let grades: Vec<Grade> = levels.iter().map(|&l| Grade::from_level(l)).collect();
+            let m = IssueMetrics::from_page(&grades, false);
+            for p in m.p_rel.iter().chain(m.p_high.iter()) {
+                prop_assert!((0.0..=1.0).contains(p));
+            }
+            prop_assert!((0.0..=1.0).contains(&m.mrr_rel));
+            prop_assert!((0.0..=1.0).contains(&m.ndcg10));
+            if let Some(r) = m.avg_rank_rel {
+                prop_assert!(r >= 1.0 && r <= grades.len() as f64);
+            }
+        }
+
+        #[test]
+        fn ndcg_of_sorted_page_is_maximal(levels in proptest::collection::vec(0u32..3, 1..12)) {
+            let grades: Vec<Grade> = levels.iter().map(|&l| Grade::from_level(l)).collect();
+            let mut sorted = grades.clone();
+            sorted.sort_by(|a, b| b.cmp(a));
+            prop_assert!(ndcg_at(&sorted, 10) >= ndcg_at(&grades, 10) - 1e-9);
+        }
+    }
+}

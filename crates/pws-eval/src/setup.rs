@@ -1,0 +1,131 @@
+//! Experiment-world construction: one spec → world + corpus + users +
+//! queries + baseline index, all seeded.
+
+use pws_click::{UserGen, UserPopulation, UserSpec};
+use pws_corpus::{Corpus, CorpusGen, CorpusSpec, Query, QueryGen, QuerySpec};
+use pws_geo::{LocationOntology, WorldGen, WorldSpec};
+use pws_index::{IndexBuilder, SearchEngine, StoredDoc};
+
+/// Everything that defines an experimental universe.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Master seed; sub-seeds are derived deterministically.
+    pub seed: u64,
+    /// Gazetteer shape.
+    pub world: WorldSpec,
+    /// Corpus shape.
+    pub corpus: CorpusSpec,
+    /// User population shape.
+    pub users: UserSpec,
+    /// Query workload shape.
+    pub queries: QuerySpec,
+}
+
+impl ExperimentSpec {
+    /// The paper-default setup (T1): 144 cities, 8k docs, 60 users,
+    /// 120 query templates over 12 topics.
+    pub fn default_paper() -> Self {
+        ExperimentSpec {
+            seed: 42,
+            world: WorldSpec::default_world(),
+            corpus: CorpusSpec::default_corpus(),
+            users: UserSpec::default_population(),
+            queries: QuerySpec::default_workload(),
+        }
+    }
+
+    /// A small setup for tests and doc examples (fast in debug builds).
+    pub fn small() -> Self {
+        ExperimentSpec {
+            seed: 42,
+            world: WorldSpec::small(),
+            corpus: CorpusSpec::small(),
+            users: UserSpec::small(),
+            queries: QuerySpec::small(),
+        }
+    }
+
+    /// Same spec, different master seed (for repetition studies).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The fully built universe.
+pub struct ExperimentWorld {
+    /// The spec this world was built from.
+    pub spec: ExperimentSpec,
+    /// Location ontology.
+    pub world: LocationOntology,
+    /// Document corpus.
+    pub corpus: Corpus,
+    /// User population.
+    pub population: UserPopulation,
+    /// Query workload templates.
+    pub queries: Vec<Query>,
+    /// Baseline search engine over the corpus.
+    pub engine: SearchEngine,
+}
+
+impl ExperimentWorld {
+    /// Build the universe. Deterministic in `spec`.
+    pub fn build(spec: ExperimentSpec) -> Self {
+        let world = WorldGen::new(spec.seed).generate(&spec.world);
+        let corpus = CorpusGen::new(spec.seed.wrapping_add(1)).generate(&spec.corpus, &world);
+        let population =
+            UserGen::new(spec.seed.wrapping_add(2)).generate(&spec.users, &world);
+        let queries = QueryGen::new(spec.seed.wrapping_add(3)).generate(&spec.queries);
+
+        let mut builder = IndexBuilder::new();
+        for d in &corpus.docs {
+            builder.add(StoredDoc::new(d.id.0, &d.url, &d.title, &d.body));
+        }
+        let engine = builder.build();
+
+        ExperimentWorld { spec, world, corpus, population, queries, engine }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_world_builds_consistently() {
+        let w = ExperimentWorld::build(ExperimentSpec::small());
+        assert_eq!(w.engine.doc_count() as usize, w.corpus.len());
+        assert_eq!(w.population.len(), w.spec.users.num_users);
+        assert_eq!(w.queries.len(), w.spec.queries.num_queries);
+        assert!(w.world.cities().count() > 0);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = ExperimentWorld::build(ExperimentSpec::small());
+        let b = ExperimentWorld::build(ExperimentSpec::small());
+        assert_eq!(a.corpus.docs.len(), b.corpus.docs.len());
+        assert_eq!(a.corpus.docs[0].body, b.corpus.docs[0].body);
+        assert_eq!(a.queries[0].text, b.queries[0].text);
+    }
+
+    #[test]
+    fn with_seed_changes_universe() {
+        let a = ExperimentWorld::build(ExperimentSpec::small());
+        let b = ExperimentWorld::build(ExperimentSpec::small().with_seed(7));
+        assert_ne!(a.corpus.docs[0].body, b.corpus.docs[0].body);
+    }
+
+    #[test]
+    fn baseline_engine_answers_workload_queries() {
+        let w = ExperimentWorld::build(ExperimentSpec::small());
+        let answered = w
+            .queries
+            .iter()
+            .filter(|q| !w.engine.search(&q.text, 10).is_empty())
+            .count();
+        // Every template is built from corpus topic vocabulary, so nearly
+        // all should retrieve something.
+        assert!(answered * 10 >= w.queries.len() * 9, "{answered}/{}", w.queries.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! Geographic coordinates for ontology nodes.
+//!
+//! The paper's follow-up work extends location preferences with physical
+//! (GPS) distance. This module provides that substrate: every ontology
+//! node gets a deterministic synthetic coordinate (children cluster around
+//! their parents, so tree locality implies geographic locality), plus the
+//! haversine metric and nearest-neighbour queries used for
+//! proximity-smoothed location preferences.
+
+use crate::ontology::{Level, LocId, LocationOntology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A WGS84-style coordinate (degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    /// Latitude in degrees, clamped to [-85, 85] (no pole cities).
+    pub lat: f64,
+    /// Longitude in degrees, wrapped to [-180, 180).
+    pub lon: f64,
+}
+
+impl Coord {
+    /// Construct with clamping/wrapping.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-85.0, 85.0);
+        let mut lon = (lon + 180.0) % 360.0;
+        if lon < 0.0 {
+            lon += 360.0;
+        }
+        Coord { lat, lon: lon - 180.0 }
+    }
+}
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Great-circle distance between two coordinates (haversine), in km.
+pub fn haversine_km(a: Coord, b: Coord) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+/// Coordinates for every node of one ontology (indexed by `LocId`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldCoords {
+    coords: Vec<Coord>,
+}
+
+impl WorldCoords {
+    /// Deterministically assign coordinates to `world`: region centres are
+    /// spread over the globe, and each child is jittered around its parent
+    /// with a level-dependent spread (country ±12°, state ±4°, city ±1.2°),
+    /// so ontology locality implies geographic locality.
+    pub fn generate(world: &LocationOntology, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coords = vec![Coord { lat: 0.0, lon: 0.0 }; world.len()];
+        // Walk ids in order: parents always precede children (construction
+        // order guarantees it).
+        for id in world.ids() {
+            let node_level = world.level(id);
+            coords[id.index()] = match world.parent(id) {
+                None => Coord { lat: 0.0, lon: 0.0 }, // root placeholder
+                Some(parent) if world.level(parent) == Level::World => {
+                    // Regions: spread over the globe.
+                    Coord::new(rng.gen_range(-60.0..60.0), rng.gen_range(-180.0..180.0))
+                }
+                Some(parent) => {
+                    let p = coords[parent.index()];
+                    let spread = match node_level {
+                        Level::Country => 12.0,
+                        Level::State => 4.0,
+                        Level::City => 1.2,
+                        _ => 20.0,
+                    };
+                    Coord::new(
+                        p.lat + rng.gen_range(-spread..spread),
+                        p.lon + rng.gen_range(-spread..spread),
+                    )
+                }
+            };
+        }
+        WorldCoords { coords }
+    }
+
+    /// Coordinate of a node.
+    pub fn get(&self, id: LocId) -> Coord {
+        self.coords[id.index()]
+    }
+
+    /// Distance in km between two nodes.
+    pub fn distance_km(&self, a: LocId, b: LocId) -> f64 {
+        haversine_km(self.get(a), self.get(b))
+    }
+
+    /// The `k` cities nearest to `from` (excluding `from` itself),
+    /// ascending by distance, ties by id.
+    pub fn nearest_cities(
+        &self,
+        world: &LocationOntology,
+        from: LocId,
+        k: usize,
+    ) -> Vec<(LocId, f64)> {
+        let origin = self.get(from);
+        let mut all: Vec<(LocId, f64)> = world
+            .cities()
+            .filter(|&c| c != from)
+            .map(|c| (c, haversine_km(origin, self.get(c))))
+            .collect();
+        all.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// Exponential proximity kernel `exp(−d/scale_km)` in (0, 1].
+    pub fn proximity(&self, a: LocId, b: LocId, scale_km: f64) -> f64 {
+        (-self.distance_km(a, b) / scale_km.max(1e-9)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{WorldGen, WorldSpec};
+
+    fn world() -> LocationOntology {
+        WorldGen::new(3).generate(&WorldSpec::small())
+    }
+
+    #[test]
+    fn haversine_known_points() {
+        // Equatorial degree of longitude ≈ 111.19 km.
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(0.0, 1.0);
+        let d = haversine_km(a, b);
+        assert!((d - 111.19).abs() < 0.5, "got {d}");
+        // Identical points.
+        assert_eq!(haversine_km(a, a), 0.0);
+    }
+
+    #[test]
+    fn haversine_symmetry_and_triangle() {
+        let a = Coord::new(10.0, 20.0);
+        let b = Coord::new(-30.0, 100.0);
+        let c = Coord::new(45.0, -60.0);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+        assert!(haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+    }
+
+    #[test]
+    fn coord_clamps_and_wraps() {
+        let c = Coord::new(95.0, 190.0);
+        assert_eq!(c.lat, 85.0);
+        assert!((-180.0..180.0).contains(&c.lon));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let a = WorldCoords::generate(&w, 9);
+        let b = WorldCoords::generate(&w, 9);
+        for id in w.ids() {
+            assert_eq!(a.get(id), b.get(id));
+        }
+        let c = WorldCoords::generate(&w, 10);
+        assert!(w.ids().any(|id| a.get(id) != c.get(id)));
+    }
+
+    #[test]
+    fn tree_locality_implies_geo_locality() {
+        let w = world();
+        let coords = WorldCoords::generate(&w, 9);
+        // Cities in the same state should on average be closer than cities
+        // in different regions.
+        let mut same_state = Vec::new();
+        let mut cross_region = Vec::new();
+        let cities: Vec<LocId> = w.cities().collect();
+        for (i, &a) in cities.iter().enumerate() {
+            for &b in &cities[i + 1..] {
+                let d = coords.distance_km(a, b);
+                if w.parent(a) == w.parent(b) {
+                    same_state.push(d);
+                } else if w.lca(a, b) == LocId::WORLD {
+                    cross_region.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(!same_state.is_empty() && !cross_region.is_empty());
+        assert!(
+            mean(&same_state) < mean(&cross_region) / 2.0,
+            "same-state {} vs cross-region {}",
+            mean(&same_state),
+            mean(&cross_region)
+        );
+    }
+
+    #[test]
+    fn nearest_cities_sorted_and_exclusive() {
+        let w = world();
+        let coords = WorldCoords::generate(&w, 9);
+        let city = w.cities().next().unwrap();
+        let near = coords.nearest_cities(&w, city, 5);
+        assert_eq!(near.len(), 5);
+        assert!(near.iter().all(|(c, _)| *c != city));
+        for pair in near.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn proximity_kernel_bounds_and_decay() {
+        let w = world();
+        let coords = WorldCoords::generate(&w, 9);
+        let cities: Vec<LocId> = w.cities().collect();
+        let (a, b) = (cities[0], cities[1]);
+        let p_near = coords.proximity(a, a, 100.0);
+        let p_far = coords.proximity(a, b, 100.0);
+        assert_eq!(p_near, 1.0);
+        assert!(p_far > 0.0 && p_far <= 1.0);
+        // Larger scale → higher proximity for the same pair.
+        assert!(coords.proximity(a, b, 1000.0) >= coords.proximity(a, b, 10.0));
+    }
+}

@@ -1,0 +1,247 @@
+//! Synthetic world generation.
+//!
+//! Substitutes for the hand-curated place-name ontology the paper used.
+//! Names are generated from syllable templates so they are pronounceable,
+//! distinct-looking, and — crucially — multi-word with controllable
+//! probability, which is what stresses the longest-match recognizer.
+//!
+//! Generation is fully deterministic given the seed.
+
+use crate::ontology::{LocId, LocationOntology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Shape parameters of the generated world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldSpec {
+    /// Number of top-level regions.
+    pub regions: usize,
+    /// Countries per region.
+    pub countries_per_region: usize,
+    /// States per country.
+    pub states_per_country: usize,
+    /// Cities per state.
+    pub cities_per_state: usize,
+    /// Probability that a city name is two words ("port alden").
+    pub multiword_city_prob: f64,
+    /// Probability that a node gets one alias.
+    pub alias_prob: f64,
+}
+
+impl WorldSpec {
+    /// The default experimental world: 3 regions × 4 countries × 3 states ×
+    /// 4 cities = 144 cities, matching T1 in DESIGN.md.
+    ///
+    /// Density matters: with the default 8k-document corpus this gives
+    /// roughly 30 localized documents per city (~2.5 per city×topic), so a
+    /// user's home city actually has content to surface. A sparser world
+    /// starves location personalization of candidates, a denser one makes
+    /// the problem trivially easy.
+    pub fn default_world() -> Self {
+        WorldSpec {
+            regions: 3,
+            countries_per_region: 4,
+            states_per_country: 3,
+            cities_per_state: 4,
+            multiword_city_prob: 0.45,
+            alias_prob: 0.15,
+        }
+    }
+
+    /// A small world for unit tests and doc examples (2×2×2×3 = 24 cities).
+    pub fn small() -> Self {
+        WorldSpec {
+            regions: 2,
+            countries_per_region: 2,
+            states_per_country: 2,
+            cities_per_state: 3,
+            multiword_city_prob: 0.4,
+            alias_prob: 0.2,
+        }
+    }
+
+    /// Total number of cities this spec will produce.
+    pub fn total_cities(&self) -> usize {
+        self.regions * self.countries_per_region * self.states_per_country * self.cities_per_state
+    }
+
+    /// Total nodes including the root.
+    pub fn total_nodes(&self) -> usize {
+        let r = self.regions;
+        let c = r * self.countries_per_region;
+        let s = c * self.states_per_country;
+        let ci = s * self.cities_per_state;
+        1 + r + c + s + ci
+    }
+}
+
+/// Seeded generator of [`LocationOntology`] worlds.
+#[derive(Debug)]
+pub struct WorldGen {
+    rng: StdRng,
+    used_names: HashSet<String>,
+}
+
+/// City-name prefixes that create multi-word names.
+const CITY_PREFIXES: &[&str] = &["port", "new", "mount", "lake", "fort", "east", "west", "north", "south", "saint"];
+
+/// Syllable inventory for generated names. Chosen to avoid producing real
+/// English stopwords or common content words.
+const ONSETS: &[&str] = &["b", "br", "c", "cr", "d", "dr", "f", "g", "gr", "h", "k", "kl", "l", "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "w", "z"];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+const CODAS: &[&str] = &["", "l", "m", "n", "r", "s", "th", "nd", "rk", "x"];
+
+impl WorldGen {
+    /// Create a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        WorldGen { rng: StdRng::seed_from_u64(seed), used_names: HashSet::new() }
+    }
+
+    /// Generate a fresh world according to `spec`.
+    pub fn generate(&mut self, spec: &WorldSpec) -> LocationOntology {
+        let mut onto = LocationOntology::new();
+        for _ in 0..spec.regions {
+            let rname = self.fresh_name(3, 0.0);
+            let region = onto.add(LocId::WORLD, &rname, self.maybe_alias(spec));
+            for _ in 0..spec.countries_per_region {
+                let cname = self.fresh_name(3, 0.0);
+                let country = onto.add(region, &cname, self.maybe_alias(spec));
+                for _ in 0..spec.states_per_country {
+                    let sname = self.fresh_name(2, 0.2);
+                    let state = onto.add(country, &sname, self.maybe_alias(spec));
+                    for _ in 0..spec.cities_per_state {
+                        let ciname = self.fresh_name(2, spec.multiword_city_prob);
+                        onto.add(state, &ciname, self.maybe_alias(spec));
+                    }
+                }
+            }
+        }
+        onto
+    }
+
+    /// A name no previous call of this generator returned.
+    fn fresh_name(&mut self, syllables: usize, multiword_prob: f64) -> String {
+        for _attempt in 0..1000 {
+            let name = self.candidate_name(syllables, multiword_prob);
+            if self.used_names.insert(name.clone()) {
+                return name;
+            }
+        }
+        // Extremely unlikely with this syllable inventory; disambiguate with
+        // a counter rather than loop forever.
+        let n = self.used_names.len();
+        let name = format!("{} {}", self.candidate_name(syllables, 0.0), n);
+        self.used_names.insert(name.clone());
+        name
+    }
+
+    fn candidate_name(&mut self, syllables: usize, multiword_prob: f64) -> String {
+        let base = self.word(syllables);
+        if self.rng.gen_bool(multiword_prob) {
+            let prefix = CITY_PREFIXES[self.rng.gen_range(0..CITY_PREFIXES.len())];
+            format!("{prefix} {base}")
+        } else {
+            base
+        }
+    }
+
+    fn word(&mut self, syllables: usize) -> String {
+        let mut w = String::new();
+        for i in 0..syllables.max(1) {
+            w.push_str(ONSETS[self.rng.gen_range(0..ONSETS.len())]);
+            w.push_str(NUCLEI[self.rng.gen_range(0..NUCLEI.len())]);
+            // Only the final syllable takes a coda, keeping names short.
+            if i + 1 == syllables {
+                w.push_str(CODAS[self.rng.gen_range(0..CODAS.len())]);
+            }
+        }
+        w
+    }
+
+    fn maybe_alias(&mut self, spec: &WorldSpec) -> Vec<String> {
+        if self.rng.gen_bool(spec.alias_prob) {
+            vec![self.fresh_name(2, 0.0)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Convenience: generate the default experimental world from a seed.
+pub fn default_world(seed: u64) -> LocationOntology {
+    WorldGen::new(seed).generate(&WorldSpec::default_world())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::Level;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WorldGen::new(7).generate(&WorldSpec::small());
+        let b = WorldGen::new(7).generate(&WorldSpec::small());
+        assert_eq!(a.len(), b.len());
+        for id in a.ids() {
+            assert_eq!(a.name(id), b.name(id));
+            assert_eq!(a.level(id), b.level(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorldGen::new(1).generate(&WorldSpec::small());
+        let b = WorldGen::new(2).generate(&WorldSpec::small());
+        let names_a: Vec<_> = a.ids().map(|i| a.name(i).to_string()).collect();
+        let names_b: Vec<_> = b.ids().map(|i| b.name(i).to_string()).collect();
+        assert_ne!(names_a, names_b);
+    }
+
+    #[test]
+    fn node_counts_match_spec() {
+        let spec = WorldSpec::small();
+        let w = WorldGen::new(3).generate(&spec);
+        assert_eq!(w.len(), spec.total_nodes());
+        assert_eq!(w.cities().count(), spec.total_cities());
+    }
+
+    #[test]
+    fn default_world_shape() {
+        let spec = WorldSpec::default_world();
+        assert_eq!(spec.total_cities(), 144);
+        let w = default_world(42);
+        assert_eq!(w.len(), spec.total_nodes());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let w = WorldGen::new(9).generate(&WorldSpec::small());
+        let mut seen = std::collections::HashSet::new();
+        for id in w.ids() {
+            assert!(seen.insert(w.name(id).to_string()), "dup name {}", w.name(id));
+        }
+    }
+
+    #[test]
+    fn some_city_names_are_multiword() {
+        let w = default_world(11);
+        let multi = w.cities().filter(|&c| w.name(c).contains(' ')).count();
+        let total = w.cities().count();
+        // spec prob is 0.45; allow a loose band.
+        assert!(multi > total / 5, "only {multi}/{total} multiword");
+        assert!(multi < total, "all names multiword is suspicious");
+    }
+
+    #[test]
+    fn levels_are_consistent() {
+        let w = WorldGen::new(5).generate(&WorldSpec::small());
+        for id in w.ids() {
+            if let Some(p) = w.parent(id) {
+                assert_eq!(w.level(p).depth() + 1, w.level(id).depth());
+            } else {
+                assert_eq!(w.level(id), Level::World);
+            }
+        }
+    }
+}

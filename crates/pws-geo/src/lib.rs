@@ -1,0 +1,41 @@
+//! # pws-geo — hierarchical location ontology
+//!
+//! The paper's location preferences are defined over a predefined *location
+//! ontology*: a tree of place names (region → country → state → city) against
+//! which result snippets are matched to extract *location concepts*.
+//!
+//! The real paper used a hand-curated ontology of actual place names. We
+//! have no such data offline, so this crate provides:
+//!
+//! * [`ontology::LocationOntology`] — the tree structure, with parents,
+//!   children, ancestor walks, lowest common ancestors, and a tree distance
+//!   used for profile smoothing;
+//! * [`gen::WorldGen`] — a seeded synthetic world generator that produces a
+//!   deterministic gazetteer of pronounceable multi-word place names (the
+//!   *shape* of the data — tree depth, multi-word names, aliasing, name
+//!   ambiguity — is what the matching and profiling code exercises, so
+//!   synthetic names preserve the relevant behaviour);
+//! * [`matcher::LocationMatcher`] — longest-match multi-word recognition of
+//!   place names in token streams, the core of location-concept extraction.
+//!
+//! ```
+//! use pws_geo::gen::{WorldGen, WorldSpec};
+//! use pws_geo::matcher::LocationMatcher;
+//!
+//! let world = WorldGen::new(42).generate(&WorldSpec::small());
+//! let matcher = LocationMatcher::build(&world);
+//! let city = world.cities().next().unwrap();
+//! let text = format!("best seafood in {}", world.name(city));
+//! let hits = matcher.match_text(&text);
+//! assert!(hits.iter().any(|h| h.loc == city));
+//! ```
+
+pub mod coords;
+pub mod gen;
+pub mod matcher;
+pub mod ontology;
+
+pub use coords::{haversine_km, Coord, WorldCoords};
+pub use gen::{WorldGen, WorldSpec};
+pub use matcher::{LocationMatch, LocationMatcher};
+pub use ontology::{Level, LocId, LocationOntology};

@@ -1,0 +1,234 @@
+//! Longest-match recognition of place names in text.
+//!
+//! Location-concept extraction scans each result snippet for ontology names.
+//! Multi-word names ("port alden") must win over their single-word suffixes
+//! when both exist, so the matcher is a token-level trie traversed greedily:
+//! at each position we take the *longest* name starting there, then resume
+//! after it.
+
+use crate::ontology::{LocId, LocationOntology};
+use pws_text::Analyzer;
+use std::collections::HashMap;
+
+/// One recognized place name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocationMatch {
+    /// The matched ontology node.
+    pub loc: LocId,
+    /// Token index where the match starts.
+    pub start: usize,
+    /// Number of tokens the match spans.
+    pub len: usize,
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<String, TrieNode>,
+    /// Node whose (canonical or alias) name ends here.
+    terminal: Option<LocId>,
+}
+
+/// Token-trie matcher over an ontology's names and aliases.
+///
+/// Matching is case-insensitive because both the trie and the input go
+/// through the same verbatim analyzer.
+#[derive(Debug)]
+pub struct LocationMatcher {
+    root: TrieNode,
+    analyzer: Analyzer,
+}
+
+impl LocationMatcher {
+    /// Build a matcher from every name and alias in `onto` (the root
+    /// "world" node is excluded — it is not a real place name).
+    pub fn build(onto: &LocationOntology) -> Self {
+        let analyzer = Analyzer::verbatim();
+        let mut root = TrieNode::default();
+        for id in onto.ids() {
+            if id == LocId::WORLD {
+                continue;
+            }
+            let node = onto.node(id);
+            Self::insert(&mut root, &analyzer, &node.name, id);
+            for alias in &node.aliases {
+                Self::insert(&mut root, &analyzer, alias, id);
+            }
+        }
+        LocationMatcher { root, analyzer }
+    }
+
+    fn insert(root: &mut TrieNode, analyzer: &Analyzer, name: &str, id: LocId) {
+        let toks = analyzer.analyze(name);
+        if toks.is_empty() {
+            return;
+        }
+        let mut cur = root;
+        for t in toks {
+            cur = cur.children.entry(t).or_default();
+        }
+        // If two places share a surface form, the first inserted wins; the
+        // generator guarantees uniqueness, and hand-built ontologies get
+        // deterministic first-wins semantics.
+        cur.terminal.get_or_insert(id);
+    }
+
+    /// Match over an already-tokenized (verbatim-analyzed) token stream.
+    pub fn match_tokens(&self, tokens: &[String]) -> Vec<LocationMatch> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut cur = &self.root;
+            let mut best: Option<(LocId, usize)> = None;
+            let mut j = i;
+            while j < tokens.len() {
+                match cur.children.get(&tokens[j]) {
+                    Some(next) => {
+                        cur = next;
+                        j += 1;
+                        if let Some(id) = cur.terminal {
+                            best = Some((id, j - i));
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if let Some((loc, len)) = best {
+                out.push(LocationMatch { loc, start: i, len });
+                i += len;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Tokenize `text` and match.
+    pub fn match_text(&self, text: &str) -> Vec<LocationMatch> {
+        let toks = self.analyzer.analyze(text);
+        self.match_tokens(&toks)
+    }
+
+    /// Just the matched ids, deduplicated, order of first appearance.
+    pub fn locations_in(&self, text: &str) -> Vec<LocId> {
+        let mut seen = std::collections::HashSet::new();
+        self.match_text(text)
+            .into_iter()
+            .map(|m| m.loc)
+            .filter(|l| seen.insert(*l))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::LocationOntology;
+
+    fn fixture() -> (LocationOntology, LocId, LocId, LocId, LocId) {
+        let mut o = LocationOntology::new();
+        let r = o.add(LocId::WORLD, "westland", vec![]);
+        let c = o.add(r, "ardonia", vec!["ardonia republic".into()]);
+        let s = o.add(c, "north vale", vec![]);
+        let city = o.add(s, "port alden", vec!["alden harbor".into()]);
+        (o, r, c, s, city)
+    }
+
+    #[test]
+    fn single_word_match() {
+        let (o, r, ..) = fixture();
+        let m = LocationMatcher::build(&o);
+        let hits = m.match_text("travel guide to Westland today");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].loc, r);
+    }
+
+    #[test]
+    fn multiword_match_spans_tokens() {
+        let (o, _, _, _, city) = fixture();
+        let m = LocationMatcher::build(&o);
+        let hits = m.match_text("hotels in Port Alden tonight");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].loc, city);
+        assert_eq!(hits[0].len, 2);
+    }
+
+    #[test]
+    fn longest_match_wins_over_prefix() {
+        let mut o = LocationOntology::new();
+        let r = o.add(LocId::WORLD, "vale", vec![]);
+        let c = o.add(r, "vale norte", vec![]);
+        let m = LocationMatcher::build(&o);
+        // "vale norte" should match as the 2-token country, not the region.
+        let hits = m.match_text("visiting vale norte soon");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].loc, c);
+        // Bare "vale" still matches the region.
+        let hits = m.match_text("the vale is lovely");
+        assert_eq!(hits[0].loc, r);
+    }
+
+    #[test]
+    fn aliases_match_same_node() {
+        let (o, _, c, _, city) = fixture();
+        let m = LocationMatcher::build(&o);
+        assert_eq!(m.locations_in("the ardonia republic announced"), vec![c]);
+        assert_eq!(m.locations_in("ferry to alden harbor"), vec![city]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let (o, _, _, _, city) = fixture();
+        let m = LocationMatcher::build(&o);
+        assert_eq!(m.locations_in("PORT ALDEN"), vec![city]);
+    }
+
+    #[test]
+    fn multiple_and_deduped_matches() {
+        let (o, r, c, ..) = fixture();
+        let m = LocationMatcher::build(&o);
+        let locs = m.locations_in("westland news: ardonia and westland trade");
+        assert_eq!(locs, vec![r, c]);
+    }
+
+    #[test]
+    fn no_match_in_plain_text() {
+        let (o, ..) = fixture();
+        let m = LocationMatcher::build(&o);
+        assert!(m.match_text("nothing geographic here at all").is_empty());
+        assert!(m.match_text("").is_empty());
+    }
+
+    #[test]
+    fn partial_multiword_does_not_match() {
+        let (o, _, _, s, _) = fixture();
+        let m = LocationMatcher::build(&o);
+        // "north" alone is only a prefix of "north vale" — no match.
+        assert!(m.match_text("heading north tomorrow").is_empty());
+        assert_eq!(m.locations_in("the north vale council"), vec![s]);
+    }
+
+    #[test]
+    fn matches_do_not_overlap() {
+        let (o, ..) = fixture();
+        let m = LocationMatcher::build(&o);
+        let hits = m.match_text("port alden port alden");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].start, 0);
+        assert_eq!(hits[1].start, 2);
+    }
+
+    #[test]
+    fn generated_world_all_cities_match_their_own_name() {
+        let w = crate::gen::WorldGen::new(5).generate(&crate::gen::WorldSpec::small());
+        let m = LocationMatcher::build(&w);
+        for city in w.cities() {
+            let text = format!("best food in {} downtown", w.name(city));
+            let locs = m.locations_in(&text);
+            assert!(
+                locs.contains(&city),
+                "city {} not matched in its own text",
+                w.name(city)
+            );
+        }
+    }
+}

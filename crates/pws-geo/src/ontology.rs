@@ -1,0 +1,358 @@
+//! The location ontology tree.
+//!
+//! A rooted tree with fixed levels. Node 0 is always the synthetic root
+//! ("world"). Every other node has exactly one parent one level up.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an ontology node. Dense: `0..ontology.len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocId(pub u32);
+
+impl LocId {
+    /// The implicit root of every ontology.
+    pub const WORLD: LocId = LocId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Depth level of an ontology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// The synthetic root.
+    World,
+    /// Continent-scale region.
+    Region,
+    /// Country.
+    Country,
+    /// State / province.
+    State,
+    /// City — the leaves, and the level users' location preferences live at.
+    City,
+}
+
+impl Level {
+    /// Numeric depth (World = 0 … City = 4).
+    pub fn depth(self) -> u32 {
+        match self {
+            Level::World => 0,
+            Level::Region => 1,
+            Level::Country => 2,
+            Level::State => 3,
+            Level::City => 4,
+        }
+    }
+
+    /// Parse back from a depth value.
+    pub fn from_depth(d: u32) -> Option<Level> {
+        Some(match d {
+            0 => Level::World,
+            1 => Level::Region,
+            2 => Level::Country,
+            3 => Level::State,
+            4 => Level::City,
+            _ => return None,
+        })
+    }
+
+    /// The level one step towards the root, if any.
+    pub fn parent(self) -> Option<Level> {
+        Level::from_depth(self.depth().wrapping_sub(1))
+    }
+}
+
+/// One node of the ontology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocNode {
+    /// Canonical name ("port alden"). Lowercased; may be multi-word.
+    pub name: String,
+    /// Alternative surface forms that should also match in text.
+    pub aliases: Vec<String>,
+    /// Tree level.
+    pub level: Level,
+    /// Parent id; `None` only for the root.
+    pub parent: Option<LocId>,
+    /// Children, in insertion order.
+    pub children: Vec<LocId>,
+}
+
+/// A rooted location tree with level structure.
+///
+/// Constructed either by [`crate::gen::WorldGen`] (synthetic) or manually via
+/// [`LocationOntology::new`] + [`LocationOntology::add`] (tests, custom
+/// gazetteers).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocationOntology {
+    nodes: Vec<LocNode>,
+}
+
+impl Default for LocationOntology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocationOntology {
+    /// Create an ontology containing only the root "world" node.
+    pub fn new() -> Self {
+        LocationOntology {
+            nodes: vec![LocNode {
+                name: "world".to_string(),
+                aliases: Vec::new(),
+                level: Level::World,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Add a node under `parent`. The node's level must be exactly one
+    /// deeper than the parent's.
+    ///
+    /// # Panics
+    /// Panics if `parent` is out of range or the level arithmetic is wrong —
+    /// these are construction bugs, not runtime conditions.
+    pub fn add(&mut self, parent: LocId, name: &str, aliases: Vec<String>) -> LocId {
+        let parent_level = self.nodes[parent.index()].level;
+        let level = Level::from_depth(parent_level.depth() + 1)
+            .expect("cannot add a child below City level");
+        let id = LocId(u32::try_from(self.nodes.len()).expect("ontology too large"));
+        self.nodes.push(LocNode {
+            name: name.to_lowercase(),
+            aliases: aliases.into_iter().map(|a| a.to_lowercase()).collect(),
+            level,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Total number of nodes, root included.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: the root exists by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: LocId) -> &LocNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Canonical name of `id`.
+    pub fn name(&self, id: LocId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Level of `id`.
+    pub fn level(&self, id: LocId) -> Level {
+        self.nodes[id.index()].level
+    }
+
+    /// Parent of `id` (`None` for the root).
+    pub fn parent(&self, id: LocId) -> Option<LocId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of `id` in insertion order.
+    pub fn children(&self, id: LocId) -> &[LocId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Iterate all node ids (including the root).
+    pub fn ids(&self) -> impl Iterator<Item = LocId> + '_ {
+        (0..self.nodes.len() as u32).map(LocId)
+    }
+
+    /// Iterate all nodes at a given level.
+    pub fn at_level(&self, level: Level) -> impl Iterator<Item = LocId> + '_ {
+        self.ids().filter(move |id| self.level(*id) == level)
+    }
+
+    /// Iterate all cities (the leaves location preferences live at).
+    pub fn cities(&self) -> impl Iterator<Item = LocId> + '_ {
+        self.at_level(Level::City)
+    }
+
+    /// Path from `id` up to (and including) the root, starting at `id`.
+    pub fn ancestors(&self, id: LocId) -> Vec<LocId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Is `anc` an ancestor of `desc` (or equal to it)?
+    pub fn is_ancestor_or_self(&self, anc: LocId, desc: LocId) -> bool {
+        let mut cur = Some(desc);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Lowest common ancestor of two nodes. Always exists (root).
+    pub fn lca(&self, a: LocId, b: LocId) -> LocId {
+        let pa = self.ancestors(a);
+        let pb = self.ancestors(b);
+        // Walk from the root down while the paths agree.
+        let mut lca = LocId::WORLD;
+        for (x, y) in pa.iter().rev().zip(pb.iter().rev()) {
+            if x == y {
+                lca = *x;
+            } else {
+                break;
+            }
+        }
+        lca
+    }
+
+    /// Tree distance (number of edges) between two nodes.
+    ///
+    /// Used by the location profile to smooth preference mass over nearby
+    /// places: a click on a city also weakly endorses its siblings.
+    pub fn distance(&self, a: LocId, b: LocId) -> u32 {
+        let l = self.lca(a, b);
+        let da = self.level(a).depth() - self.level(l).depth();
+        let db = self.level(b).depth() - self.level(l).depth();
+        da + db
+    }
+
+    /// A similarity in (0, 1] that decays with tree distance:
+    /// `1 / (1 + distance)`.
+    pub fn similarity(&self, a: LocId, b: LocId) -> f64 {
+        1.0 / (1.0 + f64::from(self.distance(a, b)))
+    }
+
+    /// All descendant leaves (cities) under `id`, `id` included if it is a
+    /// city itself.
+    pub fn cities_under(&self, id: LocId) -> Vec<LocId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if self.level(n) == Level::City {
+                out.push(n);
+            }
+            stack.extend(self.children(n).iter().copied());
+        }
+        out
+    }
+
+    /// Full human-readable path "world / region / country / state / city".
+    pub fn path_string(&self, id: LocId) -> String {
+        let mut parts: Vec<&str> =
+            self.ancestors(id).into_iter().map(|a| self.name(a)).collect();
+        parts.reverse();
+        parts.join(" / ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (LocationOntology, LocId, LocId, LocId, LocId, LocId) {
+        let mut o = LocationOntology::new();
+        let r = o.add(LocId::WORLD, "Westland", vec![]);
+        let c = o.add(r, "Ardonia", vec!["ardonia republic".into()]);
+        let s = o.add(c, "North Vale", vec![]);
+        let city1 = o.add(s, "Port Alden", vec![]);
+        let city2 = o.add(s, "Lakemoor", vec![]);
+        (o, r, c, s, city1, city2)
+    }
+
+    #[test]
+    fn construction_sets_levels_and_parents() {
+        let (o, r, c, s, city1, _) = tiny();
+        assert_eq!(o.level(r), Level::Region);
+        assert_eq!(o.level(c), Level::Country);
+        assert_eq!(o.level(s), Level::State);
+        assert_eq!(o.level(city1), Level::City);
+        assert_eq!(o.parent(city1), Some(s));
+        assert_eq!(o.parent(LocId::WORLD), None);
+    }
+
+    #[test]
+    fn names_are_lowercased() {
+        let (o, r, ..) = tiny();
+        assert_eq!(o.name(r), "westland");
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let (o, r, c, s, city1, _) = tiny();
+        assert_eq!(o.ancestors(city1), vec![city1, s, c, r, LocId::WORLD]);
+    }
+
+    #[test]
+    fn lca_of_siblings_is_parent() {
+        let (o, _, _, s, city1, city2) = tiny();
+        assert_eq!(o.lca(city1, city2), s);
+        assert_eq!(o.lca(city1, city1), city1);
+    }
+
+    #[test]
+    fn distance_and_similarity() {
+        let (o, r, _, _, city1, city2) = tiny();
+        assert_eq!(o.distance(city1, city1), 0);
+        assert_eq!(o.distance(city1, city2), 2);
+        assert_eq!(o.distance(city1, r), 3);
+        assert!((o.similarity(city1, city1) - 1.0).abs() < 1e-12);
+        assert!((o.similarity(city1, city2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ancestor_or_self_checks() {
+        let (o, r, c, _, city1, city2) = tiny();
+        assert!(o.is_ancestor_or_self(r, city1));
+        assert!(o.is_ancestor_or_self(c, city1));
+        assert!(o.is_ancestor_or_self(city1, city1));
+        assert!(!o.is_ancestor_or_self(city1, city2));
+        assert!(o.is_ancestor_or_self(LocId::WORLD, city2));
+    }
+
+    #[test]
+    fn cities_under_rolls_up() {
+        let (o, r, _, _, city1, city2) = tiny();
+        let mut cities = o.cities_under(r);
+        cities.sort();
+        assert_eq!(cities, vec![city1, city2]);
+        assert_eq!(o.cities_under(city1), vec![city1]);
+    }
+
+    #[test]
+    fn path_string_is_root_to_leaf() {
+        let (o, _, _, _, city1, _) = tiny();
+        assert_eq!(o.path_string(city1), "world / westland / ardonia / north vale / port alden");
+    }
+
+    #[test]
+    fn level_depth_round_trips() {
+        for l in [Level::World, Level::Region, Level::Country, Level::State, Level::City] {
+            assert_eq!(Level::from_depth(l.depth()), Some(l));
+        }
+        assert_eq!(Level::from_depth(5), None);
+        assert_eq!(Level::City.parent(), Some(Level::State));
+        assert_eq!(Level::World.parent(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn adding_below_city_panics() {
+        let (mut o, _, _, _, city1, _) = tiny();
+        o.add(city1, "too deep", vec![]);
+    }
+}

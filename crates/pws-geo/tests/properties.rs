@@ -1,0 +1,129 @@
+//! Property tests over randomly generated worlds: ontology and matcher
+//! invariants that must hold for any seed and shape.
+
+use proptest::prelude::*;
+use pws_geo::{haversine_km, Coord, Level, LocId, LocationMatcher, WorldCoords, WorldGen, WorldSpec};
+
+fn spec_strategy() -> impl Strategy<Value = WorldSpec> {
+    (1usize..3, 1usize..3, 1usize..3, 1usize..4, 0.0f64..0.9, 0.0f64..0.5).prop_map(
+        |(r, c, s, ci, mw, al)| WorldSpec {
+            regions: r,
+            countries_per_region: c,
+            states_per_country: s,
+            cities_per_state: ci,
+            multiword_city_prob: mw,
+            alias_prob: al,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants of any generated world.
+    #[test]
+    fn generated_world_is_well_formed(seed in 0u64..1000, spec in spec_strategy()) {
+        let w = WorldGen::new(seed).generate(&spec);
+        prop_assert_eq!(w.len(), spec.total_nodes());
+        prop_assert_eq!(w.cities().count(), spec.total_cities());
+        for id in w.ids() {
+            // Level consistency with parent.
+            match w.parent(id) {
+                None => prop_assert_eq!(w.level(id), Level::World),
+                Some(p) => prop_assert_eq!(w.level(p).depth() + 1, w.level(id).depth()),
+            }
+            // Ancestors end at the root.
+            let anc = w.ancestors(id);
+            prop_assert_eq!(*anc.last().unwrap(), LocId::WORLD);
+            prop_assert_eq!(anc.len() as u32, w.level(id).depth() + 1);
+            // Children point back to the parent.
+            for &ch in w.children(id) {
+                prop_assert_eq!(w.parent(ch), Some(id));
+            }
+        }
+    }
+
+    /// lca and distance laws.
+    #[test]
+    fn lca_distance_laws(seed in 0u64..500) {
+        let w = WorldGen::new(seed).generate(&WorldSpec::small());
+        let ids: Vec<LocId> = w.ids().collect();
+        for (i, &a) in ids.iter().enumerate().step_by(5) {
+            for &b in ids.iter().skip(i).step_by(7) {
+                let l = w.lca(a, b);
+                prop_assert!(w.is_ancestor_or_self(l, a));
+                prop_assert!(w.is_ancestor_or_self(l, b));
+                // Distance symmetry and identity.
+                prop_assert_eq!(w.distance(a, b), w.distance(b, a));
+                prop_assert_eq!(w.distance(a, a), 0);
+                // Similarity bounds.
+                let s = w.similarity(a, b);
+                prop_assert!(s > 0.0 && s <= 1.0);
+            }
+        }
+    }
+
+    /// Every canonical name and alias of every node matches back to it.
+    #[test]
+    fn matcher_finds_every_name(seed in 0u64..200) {
+        let w = WorldGen::new(seed).generate(&WorldSpec::small());
+        let m = LocationMatcher::build(&w);
+        for id in w.ids() {
+            if id == LocId::WORLD {
+                continue;
+            }
+            let node = w.node(id);
+            for name in std::iter::once(&node.name).chain(node.aliases.iter()) {
+                let found = m.locations_in(&format!("travel to {name} today"));
+                prop_assert!(
+                    found.contains(&id),
+                    "{name} did not match node {id:?} (matched {found:?})"
+                );
+            }
+        }
+    }
+
+    /// Matches never overlap and spans stay in bounds.
+    #[test]
+    fn matcher_spans_are_disjoint(seed in 0u64..200, filler in "[a-z ]{0,40}") {
+        let w = WorldGen::new(seed).generate(&WorldSpec::small());
+        let m = LocationMatcher::build(&w);
+        let names: Vec<String> =
+            w.cities().take(4).map(|c| w.name(c).to_string()).collect();
+        let text = format!("{} {} {}", names.join(" and "), filler, names.first().unwrap());
+        let matches = m.match_text(&text);
+        for pair in matches.windows(2) {
+            prop_assert!(pair[0].start + pair[0].len <= pair[1].start, "overlap");
+        }
+    }
+
+    /// Haversine is a metric (symmetry, identity, bounded by half the
+    /// circumference).
+    #[test]
+    fn haversine_metric_laws(
+        lat1 in -85.0f64..85.0, lon1 in -180.0f64..180.0,
+        lat2 in -85.0f64..85.0, lon2 in -180.0f64..180.0,
+    ) {
+        let a = Coord::new(lat1, lon1);
+        let b = Coord::new(lat2, lon2);
+        let d = haversine_km(a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= 20_038.0, "more than half the circumference: {d}");
+        prop_assert!((haversine_km(b, a) - d).abs() < 1e-9);
+        prop_assert!(haversine_km(a, a) < 1e-9);
+    }
+
+    /// Coordinates generation covers every node and respects determinism.
+    #[test]
+    fn coords_cover_world(seed in 0u64..200) {
+        let w = WorldGen::new(seed).generate(&WorldSpec::small());
+        let c1 = WorldCoords::generate(&w, seed);
+        let c2 = WorldCoords::generate(&w, seed);
+        for id in w.ids() {
+            let c = c1.get(id);
+            prop_assert!((-85.0..=85.0).contains(&c.lat));
+            prop_assert!((-180.0..180.0).contains(&c.lon));
+            prop_assert_eq!(c, c2.get(id));
+        }
+    }
+}

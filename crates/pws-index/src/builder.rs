@@ -1,0 +1,147 @@
+//! Index construction.
+//!
+//! Documents must be added in ascending id order (posting lists are
+//! append-only delta chains). The builder tokenizes with the workspace
+//! [`pws_text::Analyzer`], records positions for snippet extraction, and
+//! produces an immutable [`SearchEngine`].
+
+use crate::postings::PostingList;
+use crate::search::{SearchEngine, StoredDoc};
+use pws_text::{Analyzer, Interner, Sym};
+use std::collections::HashMap;
+
+/// Builder for [`SearchEngine`].
+#[derive(Debug)]
+pub struct IndexBuilder {
+    analyzer: Analyzer,
+    interner: Interner,
+    postings: Vec<PostingList>,
+    docs: Vec<StoredDoc>,
+    doc_lens: Vec<u32>,
+    total_len: u64,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexBuilder {
+    /// Builder with the default analyzer (stopword removal + stemming).
+    pub fn new() -> Self {
+        Self::with_analyzer(Analyzer::default())
+    }
+
+    /// Builder with a custom analyzer.
+    pub fn with_analyzer(analyzer: Analyzer) -> Self {
+        IndexBuilder {
+            analyzer,
+            interner: Interner::new(),
+            postings: Vec::new(),
+            docs: Vec::new(),
+            doc_lens: Vec::new(),
+            total_len: 0,
+        }
+    }
+
+    /// Number of documents added so far.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True before the first `add`.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Add one document. `doc.id` must equal the current document count
+    /// (dense ascending ids).
+    ///
+    /// # Panics
+    /// Panics on out-of-order ids — an indexing-pipeline bug.
+    pub fn add(&mut self, doc: StoredDoc) {
+        assert_eq!(
+            doc.id as usize,
+            self.docs.len(),
+            "documents must be added with dense ascending ids"
+        );
+        let tokens = self.analyzer.analyze(&doc.indexable_text());
+        let doc_len = tokens.len() as u32;
+
+        // Collect positions per term first; postings require one push per
+        // (term, doc) pair.
+        let mut term_positions: HashMap<Sym, Vec<u32>> = HashMap::new();
+        for (pos, tok) in tokens.iter().enumerate() {
+            let sym = self.interner.intern(tok);
+            term_positions.entry(sym).or_default().push(pos as u32);
+        }
+        // Grow the postings table to cover any new symbols.
+        if self.interner.len() > self.postings.len() {
+            self.postings.resize_with(self.interner.len(), PostingList::new);
+        }
+        // Deterministic order: sort by symbol id.
+        let mut entries: Vec<(Sym, Vec<u32>)> = term_positions.into_iter().collect();
+        entries.sort_unstable_by_key(|(s, _)| *s);
+        for (sym, positions) in entries {
+            self.postings[sym.index()].push(doc.id, &positions);
+        }
+
+        self.doc_lens.push(doc_len);
+        self.total_len += u64::from(doc_len);
+        self.docs.push(doc);
+    }
+
+    /// Finish building. Consumes the builder.
+    pub fn build(self) -> SearchEngine {
+        SearchEngine::from_parts(
+            self.analyzer,
+            self.interner,
+            self.postings,
+            self.docs,
+            self.doc_lens,
+            self.total_len,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_empty_engine() {
+        let e = IndexBuilder::new().build();
+        assert_eq!(e.doc_count(), 0);
+        assert!(e.search("anything", 10).is_empty());
+    }
+
+    #[test]
+    fn doc_lengths_tracked() {
+        let mut b = IndexBuilder::with_analyzer(Analyzer::verbatim());
+        b.add(StoredDoc::new(0, "u0", "t", "one two three"));
+        b.add(StoredDoc::new(1, "u1", "t", "four five"));
+        let e = b.build();
+        // verbatim analyzer: title ("t") + body tokens all count.
+        assert_eq!(e.doc_count(), 2);
+        assert!(e.avg_doc_len() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_ids_panic() {
+        let mut b = IndexBuilder::new();
+        b.add(StoredDoc::new(1, "u", "t", "body"));
+    }
+
+    #[test]
+    fn repeated_terms_accumulate_tf() {
+        let mut b = IndexBuilder::with_analyzer(Analyzer::verbatim());
+        b.add(StoredDoc::new(0, "u", "x", "fish fish fish chips"));
+        let e = b.build();
+        let hits = e.search("fish", 10);
+        assert_eq!(hits.len(), 1);
+        // tf info is internal; verify via df accessor instead.
+        assert_eq!(e.doc_frequency("fish"), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Variable-length integer codec for posting lists.
+//!
+//! Standard LEB128-style varint: 7 payload bits per byte, high bit set on
+//! continuation. Combined with delta-encoding of ascending doc ids and
+//! positions this keeps the in-memory index several times smaller than raw
+//! `Vec<u32>` postings — which matters once the synthetic corpus is scaled
+//! up for the efficiency table (T4).
+
+use bytes::{Buf, BufMut};
+
+/// Append `v` to `out` as a varint. At most 5 bytes for a `u32`.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Read one varint from the front of `buf`, advancing it.
+///
+/// Returns `None` on truncated or over-long (>5 byte) input.
+#[inline]
+pub fn read_varint(buf: &mut &[u8]) -> Option<u32> {
+    let mut v: u32 = 0;
+    let mut shift = 0;
+    for _ in 0..5 {
+        if !buf.has_remaining() {
+            return None;
+        }
+        let byte = buf.get_u8();
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Delta-encode an ascending sequence into varints.
+///
+/// # Panics
+/// Debug-asserts that the sequence is non-decreasing.
+pub fn encode_deltas(values: &[u32], out: &mut Vec<u8>) {
+    let mut prev = 0u32;
+    for &v in values {
+        debug_assert!(v >= prev, "sequence must be ascending: {v} after {prev}");
+        write_varint(out, v - prev);
+        prev = v;
+    }
+}
+
+/// Decode `count` delta-encoded varints back into absolute values.
+pub fn decode_deltas(buf: &mut &[u8], count: usize) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0u32;
+    for _ in 0..count {
+        let d = read_varint(buf)?;
+        prev = prev.checked_add(d)?;
+        out.push(prev);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_byte_values() {
+        for v in [0u32, 1, 127] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            let mut s = buf.as_slice();
+            assert_eq!(read_varint(&mut s), Some(v));
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn multi_byte_boundaries() {
+        for v in [128u32, 16_383, 16_384, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_varint(&mut s), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u32::MAX);
+        let mut s = &buf[..buf.len() - 1];
+        assert_eq!(read_varint(&mut s), None);
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_varint(&mut empty), None);
+    }
+
+    #[test]
+    fn overlong_input_is_none() {
+        let bytes = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut s = bytes.as_slice();
+        assert_eq!(read_varint(&mut s), None);
+    }
+
+    #[test]
+    fn delta_round_trip_small() {
+        let vals = vec![3u32, 3, 7, 100, 100, 4000];
+        let mut buf = Vec::new();
+        encode_deltas(&vals, &mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(decode_deltas(&mut s, vals.len()), Some(vals));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn decode_with_wrong_count_fails_or_leaves_rest() {
+        let vals = vec![1u32, 2, 3];
+        let mut buf = Vec::new();
+        encode_deltas(&vals, &mut buf);
+        let mut s = buf.as_slice();
+        // Asking for more values than exist hits truncation.
+        assert_eq!(decode_deltas(&mut s, 4), None);
+    }
+
+    proptest! {
+        #[test]
+        fn varint_round_trips(v: u32) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut s = buf.as_slice();
+            prop_assert_eq!(read_varint(&mut s), Some(v));
+            prop_assert!(s.is_empty());
+        }
+
+        #[test]
+        fn deltas_round_trip(mut vals in proptest::collection::vec(0u32..1_000_000, 0..200)) {
+            vals.sort_unstable();
+            let mut buf = Vec::new();
+            encode_deltas(&vals, &mut buf);
+            let mut s = buf.as_slice();
+            prop_assert_eq!(decode_deltas(&mut s, vals.len()), Some(vals));
+        }
+
+        #[test]
+        fn encoding_is_compact(mut vals in proptest::collection::vec(0u32..10_000, 1..100)) {
+            vals.sort_unstable();
+            let mut buf = Vec::new();
+            encode_deltas(&vals, &mut buf);
+            // Dense ascending u32 sequences under 10k: deltas fit in ≤2 bytes.
+            prop_assert!(buf.len() <= vals.len() * 2);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # pws-index — in-memory search-engine substrate
+//!
+//! The paper's personalization layer sits *on top of* a conventional search
+//! engine: it takes the engine's top-K results (with snippets) and re-ranks
+//! them. Offline we have no commercial backend, so this crate is that
+//! backend: a compact but complete in-memory search engine —
+//!
+//! * [`builder::IndexBuilder`] — tokenizes documents (via [`pws_text`]) and
+//!   builds an inverted index;
+//! * [`postings`] + [`codec`] — delta- and varint-encoded posting lists with
+//!   term frequencies and positions (positions feed snippet extraction);
+//! * [`score`] — Okapi BM25;
+//! * [`search::SearchEngine`] — top-K query execution over the index, with
+//!   [`snippet`] extraction, producing exactly the `(url, title, snippet)`
+//!   result lists the personalization layer consumes.
+//!
+//! ```
+//! use pws_index::{IndexBuilder, StoredDoc};
+//!
+//! let mut b = IndexBuilder::new();
+//! b.add(StoredDoc::new(0, "http://a.test/1", "Crab shack", "fresh seafood and lobster daily"));
+//! b.add(StoredDoc::new(1, "http://b.test/2", "Phone store", "unlocked android smartphone deals"));
+//! let engine = b.build();
+//! let hits = engine.search("seafood lobster", 10);
+//! assert_eq!(hits[0].doc, 0);
+//! ```
+
+pub mod builder;
+pub mod codec;
+pub mod persist;
+pub mod postings;
+pub mod query;
+pub mod score;
+pub mod search;
+pub mod snippet;
+
+pub use builder::IndexBuilder;
+pub use postings::{Posting, PostingList};
+pub use persist::PersistError;
+pub use query::{parse_query, ParseError, QueryExpr};
+pub use score::Bm25Params;
+pub use search::{SearchEngine, SearchHit, StoredDoc};
+pub use snippet::extract_snippet;

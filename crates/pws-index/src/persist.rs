@@ -1,0 +1,261 @@
+//! Index persistence: a compact, versioned binary format.
+//!
+//! A production engine must survive restarts without re-indexing; this
+//! module serializes the full [`SearchEngine`] — analyzer configuration,
+//! term dictionary, encoded postings, document store, and length
+//! statistics — to a byte buffer (and therefore to a file).
+//!
+//! Layout (all integers varint unless noted):
+//!
+//! ```text
+//! magic "PWSIDX1\0" (8 raw bytes)
+//! analyzer: remove_stopwords u8 · stem u8 · min_len · max_len
+//! doc_count · total_len (two u32 halves)
+//! interner: n · n × (len · utf8 bytes)
+//! postings: n × PostingList::write_to
+//! docs: n × (id · url · title · body — each len-prefixed utf8)
+//! doc_lens: n × varint
+//! ```
+
+use crate::codec::{read_varint, write_varint};
+use crate::postings::PostingList;
+use crate::search::{SearchEngine, StoredDoc};
+use pws_text::{Analyzer, Interner};
+
+/// Error type for deserialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError(pub String);
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "index deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+const MAGIC: &[u8; 8] = b"PWSIDX1\0";
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &mut &[u8]) -> Result<String, PersistError> {
+    let len = read_varint(buf).ok_or_else(|| PersistError("truncated length".into()))? as usize;
+    if buf.len() < len {
+        return Err(PersistError("truncated string".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| PersistError("invalid utf8".into()))?
+        .to_string();
+    *buf = &buf[len..];
+    Ok(s)
+}
+
+impl SearchEngine {
+    /// Serialize the engine to a byte buffer.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+
+        let a = self.analyzer_config();
+        out.push(u8::from(a.remove_stopwords));
+        out.push(u8::from(a.stem));
+        write_varint(&mut out, a.min_token_len as u32);
+        write_varint(&mut out, a.max_token_len as u32);
+
+        let (interner, postings, docs, doc_lens, total_len) = self.parts();
+        write_varint(&mut out, docs.len() as u32);
+        write_varint(&mut out, (total_len >> 32) as u32);
+        write_varint(&mut out, (total_len & 0xFFFF_FFFF) as u32);
+
+        write_varint(&mut out, interner.len() as u32);
+        for (_, s) in interner.iter() {
+            write_str(&mut out, s);
+        }
+
+        write_varint(&mut out, postings.len() as u32);
+        for p in postings {
+            p.write_to(&mut out);
+        }
+
+        for d in docs {
+            write_varint(&mut out, d.id);
+            write_str(&mut out, &d.url);
+            write_str(&mut out, &d.title);
+            write_str(&mut out, &d.body);
+        }
+        for &l in doc_lens {
+            write_varint(&mut out, l);
+        }
+        out
+    }
+
+    /// Reconstruct an engine from bytes produced by
+    /// [`SearchEngine::serialize`].
+    pub fn deserialize(bytes: &[u8]) -> Result<SearchEngine, PersistError> {
+        let mut buf = bytes;
+        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+            return Err(PersistError("bad magic".into()));
+        }
+        buf = &buf[MAGIC.len()..];
+
+        let take_u8 = |buf: &mut &[u8]| -> Result<u8, PersistError> {
+            if buf.is_empty() {
+                return Err(PersistError("truncated header".into()));
+            }
+            let b = buf[0];
+            *buf = &buf[1..];
+            Ok(b)
+        };
+        let remove_stopwords = take_u8(&mut buf)? != 0;
+        let stem = take_u8(&mut buf)? != 0;
+        let min_len =
+            read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))? as usize;
+        let max_len =
+            read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))? as usize;
+        let analyzer = Analyzer {
+            remove_stopwords,
+            stem,
+            min_token_len: min_len,
+            max_token_len: max_len,
+        };
+
+        let doc_count =
+            read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))? as usize;
+        let hi = read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))?;
+        let lo = read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))?;
+        let total_len = (u64::from(hi) << 32) | u64::from(lo);
+
+        let n_terms =
+            read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))? as usize;
+        let mut interner = Interner::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let s = read_str(&mut buf)?;
+            interner.intern(&s);
+        }
+        if interner.len() != n_terms {
+            return Err(PersistError("duplicate terms in dictionary".into()));
+        }
+
+        let n_lists =
+            read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))? as usize;
+        if n_lists != n_terms {
+            return Err(PersistError("postings/dictionary mismatch".into()));
+        }
+        let mut postings = Vec::with_capacity(n_lists);
+        for _ in 0..n_lists {
+            postings.push(
+                PostingList::read_from(&mut buf)
+                    .ok_or_else(|| PersistError("bad posting list".into()))?,
+            );
+        }
+
+        let mut docs = Vec::with_capacity(doc_count);
+        for i in 0..doc_count {
+            let id = read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))?;
+            if id as usize != i {
+                return Err(PersistError("non-dense doc ids".into()));
+            }
+            let url = read_str(&mut buf)?;
+            let title = read_str(&mut buf)?;
+            let body = read_str(&mut buf)?;
+            docs.push(StoredDoc { id, url, title, body });
+        }
+        let mut doc_lens = Vec::with_capacity(doc_count);
+        for _ in 0..doc_count {
+            doc_lens
+                .push(read_varint(&mut buf).ok_or_else(|| PersistError("truncated".into()))?);
+        }
+        if !buf.is_empty() {
+            return Err(PersistError("trailing bytes".into()));
+        }
+
+        Ok(SearchEngine::from_parts(analyzer, interner, postings, docs, doc_lens, total_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+
+    fn engine() -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        b.add(StoredDoc::new(0, "http://a.test/0", "Crab shack",
+            "fresh seafood lobster daily near the harbor"));
+        b.add(StoredDoc::new(1, "http://b.test/1", "Phones",
+            "unlocked android smartphone with battery"));
+        b.add(StoredDoc::new(2, "http://c.test/2", "Guide",
+            "the seafood guide covers lobster rolls and sushi"));
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_search_results() {
+        let e = engine();
+        let bytes = e.serialize();
+        let e2 = SearchEngine::deserialize(&bytes).expect("deserialize");
+        for q in ["seafood lobster", "android", "sushi guide", "missing"] {
+            let a = e.search(q, 10);
+            let b = e2.search(q, 10);
+            assert_eq!(a.len(), b.len(), "query {q}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-12);
+                assert_eq!(x.snippet, y.snippet);
+                assert_eq!(x.url, y.url);
+            }
+        }
+        assert_eq!(e.doc_count(), e2.doc_count());
+        assert_eq!(e.vocab_size(), e2.vocab_size());
+        assert!((e.avg_doc_len() - e2.avg_doc_len()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_engine_round_trips() {
+        let e = IndexBuilder::new().build();
+        let e2 = SearchEngine::deserialize(&e.serialize()).expect("deserialize");
+        assert_eq!(e2.doc_count(), 0);
+        assert!(e2.search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(SearchEngine::deserialize(b"NOTANIDX").is_err());
+        assert!(SearchEngine::deserialize(b"").is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = engine().serialize();
+        // Chop the buffer at a sweep of positions; every prefix must fail
+        // cleanly (no panic, no Ok).
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                SearchEngine::deserialize(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = engine().serialize();
+        bytes.extend_from_slice(b"junk");
+        assert!(SearchEngine::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_interior_never_panics() {
+        let bytes = engine().serialize();
+        for i in (8..bytes.len()).step_by(11) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xFF;
+            // Any result is fine as long as it does not panic; most flips
+            // must error out.
+            let _ = SearchEngine::deserialize(&corrupt);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Okapi BM25 scoring.
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation. Typical range 1.2–2.0.
+    pub k1: f64,
+    /// Length normalization strength in [0, 1].
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Robertson–Sparck Jones idf with the +1 floor that keeps it positive:
+/// `ln(1 + (N - df + 0.5) / (df + 0.5))`.
+#[inline]
+pub fn idf(doc_count: u32, df: u32) -> f64 {
+    let n = f64::from(doc_count);
+    let df = f64::from(df);
+    (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+}
+
+/// BM25 contribution of one term in one document.
+///
+/// `tf` — term frequency in the doc; `doc_len` — the doc's token count;
+/// `avg_doc_len` — collection average.
+#[inline]
+pub fn bm25_term(params: Bm25Params, idf: f64, tf: u32, doc_len: u32, avg_doc_len: f64) -> f64 {
+    let tf = f64::from(tf);
+    let norm = if avg_doc_len > 0.0 {
+        1.0 - params.b + params.b * f64::from(doc_len) / avg_doc_len
+    } else {
+        1.0
+    };
+    idf * (tf * (params.k1 + 1.0)) / (tf + params.k1 * norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idf_decreases_with_df() {
+        let n = 1000;
+        assert!(idf(n, 1) > idf(n, 10));
+        assert!(idf(n, 10) > idf(n, 500));
+    }
+
+    #[test]
+    fn idf_always_positive() {
+        // Even ubiquitous terms get positive idf with the +1 floor.
+        assert!(idf(10, 10) > 0.0);
+        assert!(idf(1, 1) > 0.0);
+    }
+
+    #[test]
+    fn score_increases_with_tf_but_saturates() {
+        let p = Bm25Params::default();
+        let i = idf(1000, 10);
+        let s1 = bm25_term(p, i, 1, 100, 100.0);
+        let s2 = bm25_term(p, i, 2, 100, 100.0);
+        let s10 = bm25_term(p, i, 10, 100, 100.0);
+        let s20 = bm25_term(p, i, 20, 100, 100.0);
+        assert!(s2 > s1);
+        assert!(s10 > s2);
+        // Saturation: the 10→20 gain is smaller than the 1→2 gain.
+        assert!(s20 - s10 < s2 - s1);
+    }
+
+    #[test]
+    fn longer_docs_score_lower_at_same_tf() {
+        let p = Bm25Params::default();
+        let i = idf(1000, 10);
+        let short = bm25_term(p, i, 3, 50, 100.0);
+        let long = bm25_term(p, i, 3, 400, 100.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn b_zero_disables_length_normalization() {
+        let p = Bm25Params { k1: 1.2, b: 0.0 };
+        let i = idf(1000, 10);
+        let a = bm25_term(p, i, 3, 50, 100.0);
+        let b = bm25_term(p, i, 3, 5000, 100.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_avg_len_is_safe() {
+        let p = Bm25Params::default();
+        let s = bm25_term(p, 1.0, 1, 0, 0.0);
+        assert!(s.is_finite() && s > 0.0);
+    }
+}

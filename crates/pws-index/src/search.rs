@@ -1,0 +1,475 @@
+//! Query execution.
+//!
+//! Term-at-a-time BM25 accumulation with a bounded top-K heap. The result
+//! carries everything the personalization layer needs downstream: the doc
+//! id, the BM25 score, and a snippet built from the document's stored text.
+
+use crate::postings::PostingList;
+use crate::score::{bm25_term, idf, Bm25Params};
+use crate::snippet::extract_snippet;
+use pws_text::{Analyzer, Interner};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A document as stored by the engine (what a web index would keep: URL,
+/// title, and enough text to render snippets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredDoc {
+    /// Dense id assigned by the caller; must match insertion order.
+    pub id: u32,
+    /// URL shown on the result page.
+    pub url: String,
+    /// Title shown on the result page.
+    pub title: String,
+    /// Body text; snippets are windows of this.
+    pub body: String,
+}
+
+impl StoredDoc {
+    /// Convenience constructor.
+    pub fn new(id: u32, url: &str, title: &str, body: &str) -> Self {
+        StoredDoc { id, url: url.into(), title: title.into(), body: body.into() }
+    }
+
+    /// The text that gets indexed: title + body (title terms therefore count
+    /// towards BM25, as in real engines).
+    pub fn indexable_text(&self) -> String {
+        format!("{} {}", self.title, self.body)
+    }
+}
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Document id.
+    pub doc: u32,
+    /// BM25 score (higher is better).
+    pub score: f64,
+    /// Rank in the returned list, 1-based (rank 1 = best).
+    pub rank: usize,
+    /// Result URL.
+    pub url: String,
+    /// Result title.
+    pub title: String,
+    /// Query-biased snippet.
+    pub snippet: String,
+}
+
+/// Immutable inverted index + document store.
+#[derive(Debug)]
+pub struct SearchEngine {
+    analyzer: Analyzer,
+    interner: Interner,
+    postings: Vec<PostingList>,
+    docs: Vec<StoredDoc>,
+    doc_lens: Vec<u32>,
+    total_len: u64,
+    params: Bm25Params,
+}
+
+impl SearchEngine {
+    pub(crate) fn from_parts(
+        analyzer: Analyzer,
+        interner: Interner,
+        postings: Vec<PostingList>,
+        docs: Vec<StoredDoc>,
+        doc_lens: Vec<u32>,
+        total_len: u64,
+    ) -> Self {
+        SearchEngine {
+            analyzer,
+            interner,
+            postings,
+            docs,
+            doc_lens,
+            total_len,
+            params: Bm25Params::default(),
+        }
+    }
+
+    /// Override the BM25 parameters.
+    pub fn set_params(&mut self, params: Bm25Params) {
+        self.params = params;
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> u32 {
+        self.docs.len() as u32
+    }
+
+    /// Average indexed document length in tokens.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Document frequency of an (analyzed) term. The input is analyzed with
+    /// the engine's analyzer first, so `doc_frequency("Running")` and
+    /// `doc_frequency("run")` agree.
+    pub fn doc_frequency(&self, term: &str) -> u32 {
+        let toks = self.analyzer.analyze(term);
+        let Some(tok) = toks.first() else { return 0 };
+        match self.interner.get(tok) {
+            Some(sym) => self.postings[sym.index()].doc_count(),
+            None => 0,
+        }
+    }
+
+    /// Borrow a stored document.
+    pub fn doc(&self, id: u32) -> &StoredDoc {
+        &self.docs[id as usize]
+    }
+
+    /// Number of distinct terms in the index.
+    pub fn vocab_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Total encoded postings bytes (for the efficiency table).
+    pub fn postings_bytes(&self) -> usize {
+        self.postings.iter().map(|p| p.encoded_len()).sum()
+    }
+
+    /// The analyzer configuration (for persistence).
+    pub(crate) fn analyzer_config(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Borrow the engine's internals for persistence:
+    /// `(interner, postings, docs, doc_lens, total_len)`.
+    pub(crate) fn parts(
+        &self,
+    ) -> (&Interner, &[PostingList], &[StoredDoc], &[u32], u64) {
+        (&self.interner, &self.postings, &self.docs, &self.doc_lens, self.total_len)
+    }
+
+    /// Run the engine's analyzer over arbitrary text (exposed for the
+    /// structured-query parser so terms and phrases match index terms).
+    pub fn analyze_text(&self, text: &str) -> Vec<String> {
+        self.analyzer.analyze(text)
+    }
+
+    /// Docs matching one analyzed term, with their BM25 contribution.
+    pub(crate) fn term_docs(&self, term: &str) -> std::collections::HashMap<u32, f64> {
+        let mut out = std::collections::HashMap::new();
+        let Some(sym) = self.interner.get(term) else { return out };
+        let list = &self.postings[sym.index()];
+        if list.doc_count() == 0 {
+            return out;
+        }
+        let term_idf = idf(self.doc_count(), list.doc_count());
+        for p in list.iter() {
+            let len = self.doc_lens[p.doc as usize];
+            out.insert(p.doc, bm25_term(self.params, term_idf, p.tf, len, self.avg_doc_len()));
+        }
+        out
+    }
+
+    /// Docs containing the analyzed terms *adjacently in order*, scored as
+    /// the sum of the member terms' BM25 contributions.
+    pub(crate) fn phrase_docs(&self, terms: &[String]) -> std::collections::HashMap<u32, f64> {
+        let mut out = std::collections::HashMap::new();
+        if terms.is_empty() {
+            return out;
+        }
+        // Resolve all symbols up front; any unknown term kills the phrase.
+        let mut lists = Vec::with_capacity(terms.len());
+        for t in terms {
+            match self.interner.get(t) {
+                Some(sym) if self.postings[sym.index()].doc_count() > 0 => {
+                    lists.push(&self.postings[sym.index()])
+                }
+                _ => return out,
+            }
+        }
+        // Iterate the rarest list's docs and verify the phrase by positions.
+        let (anchor_i, anchor) = lists
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.doc_count())
+            .expect("nonempty");
+        let idfs: Vec<f64> =
+            lists.iter().map(|l| idf(self.doc_count(), l.doc_count())).collect();
+        'docs: for p in anchor.iter() {
+            let doc = p.doc;
+            // Collect this doc's positions per phrase slot.
+            let mut slot_positions: Vec<Vec<u32>> = vec![Vec::new(); lists.len()];
+            slot_positions[anchor_i] = p.positions.clone();
+            for (i, l) in lists.iter().enumerate() {
+                if i == anchor_i {
+                    continue;
+                }
+                match l.iter().find(|q| q.doc == doc) {
+                    Some(q) => slot_positions[i] = q.positions,
+                    None => continue 'docs,
+                }
+            }
+            // Phrase check: some position p0 of slot 0 with p0+i in slot i.
+            let found = slot_positions[0].iter().any(|&p0| {
+                slot_positions
+                    .iter()
+                    .enumerate()
+                    .all(|(i, ps)| ps.binary_search(&(p0 + i as u32)).is_ok())
+            });
+            if found {
+                let len = self.doc_lens[doc as usize];
+                let score: f64 = lists
+                    .iter()
+                    .zip(&idfs)
+                    .map(|(l, &term_idf)| {
+                        let tf = l.iter().find(|q| q.doc == doc).map(|q| q.tf).unwrap_or(1);
+                        bm25_term(self.params, term_idf, tf, len, self.avg_doc_len())
+                    })
+                    .sum();
+                out.insert(doc, score);
+            }
+        }
+        out
+    }
+
+    /// Materialize hits (with snippets) from scored doc candidates.
+    pub(crate) fn hits_from_scored(
+        &self,
+        cands: &[(u32, f64)],
+        q_tokens: &[String],
+    ) -> Vec<SearchHit> {
+        cands
+            .iter()
+            .enumerate()
+            .map(|(i, &(doc, score))| {
+                let d = &self.docs[doc as usize];
+                SearchHit {
+                    doc,
+                    score,
+                    rank: i + 1,
+                    url: d.url.clone(),
+                    title: d.title.clone(),
+                    snippet: extract_snippet(&d.body, q_tokens, 24),
+                }
+            })
+            .collect()
+    }
+
+    /// BM25 scores of `query` for a specific set of documents (0.0 for a
+    /// doc matching no query term). Used by the personalization layer to
+    /// re-score externally sourced candidates (e.g. from an augmented
+    /// query) against the *original* query, so pools stay comparable.
+    pub fn score_docs(&self, query: &str, docs: &[u32]) -> Vec<f64> {
+        let q_tokens = self.analyzer.analyze(query);
+        let wanted: HashMap<u32, usize> =
+            docs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let mut scores = vec![0.0; docs.len()];
+        if q_tokens.is_empty() || self.docs.is_empty() {
+            return scores;
+        }
+        let n = self.doc_count();
+        for tok in &q_tokens {
+            let Some(sym) = self.interner.get(tok) else { continue };
+            let list = &self.postings[sym.index()];
+            if list.doc_count() == 0 {
+                continue;
+            }
+            let term_idf = idf(n, list.doc_count());
+            for p in list.iter() {
+                if let Some(&i) = wanted.get(&p.doc) {
+                    let len = self.doc_lens[p.doc as usize];
+                    scores[i] += bm25_term(self.params, term_idf, p.tf, len, self.avg_doc_len());
+                }
+            }
+        }
+        scores
+    }
+
+    /// Execute `query`, returning the top `k` hits ranked by BM25
+    /// descending, ties broken by ascending doc id (deterministic).
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.docs.is_empty() {
+            return Vec::new();
+        }
+        let q_tokens = self.analyzer.analyze(query);
+        if q_tokens.is_empty() {
+            return Vec::new();
+        }
+
+        // Term-at-a-time accumulation. Duplicate query terms contribute
+        // once per occurrence (standard bag-of-words query semantics).
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        let n = self.doc_count();
+        for tok in &q_tokens {
+            let Some(sym) = self.interner.get(tok) else { continue };
+            let list = &self.postings[sym.index()];
+            if list.doc_count() == 0 {
+                continue;
+            }
+            let term_idf = idf(n, list.doc_count());
+            for p in list.iter() {
+                let len = self.doc_lens[p.doc as usize];
+                let s = bm25_term(self.params, term_idf, p.tf, len, self.avg_doc_len());
+                *acc.entry(p.doc).or_insert(0.0) += s;
+            }
+        }
+        if acc.is_empty() {
+            return Vec::new();
+        }
+
+        // Top-k selection: collect and partially sort. For the corpus sizes
+        // here a full sort of the candidate set is both simple and fast; the
+        // candidate set is bounded by the union of posting lists.
+        let mut cands: Vec<(u32, f64)> = acc.into_iter().collect();
+        cands.sort_unstable_by(|a, b| match b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal) {
+            Ordering::Equal => a.0.cmp(&b.0),
+            o => o,
+        });
+        cands.truncate(k);
+
+        cands
+            .into_iter()
+            .enumerate()
+            .map(|(i, (doc, score))| {
+                let d = &self.docs[doc as usize];
+                let snippet = extract_snippet(&d.body, &q_tokens, 24);
+                SearchHit {
+                    doc,
+                    score,
+                    rank: i + 1,
+                    url: d.url.clone(),
+                    title: d.title.clone(),
+                    snippet,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+
+    fn engine() -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        b.add(StoredDoc::new(0, "http://a.test/0", "Crab shack menu",
+            "fresh seafood lobster and crab daily specials near the harbor"));
+        b.add(StoredDoc::new(1, "http://b.test/1", "Phone deals",
+            "unlocked android smartphone with great battery and camera"));
+        b.add(StoredDoc::new(2, "http://c.test/2", "Seafood city guide",
+            "the seafood guide covers lobster rolls oyster bars and sushi"));
+        b.add(StoredDoc::new(3, "http://d.test/3", "Hotel by the sea",
+            "oceanview suite booking with seafood restaurant downstairs"));
+        b.build()
+    }
+
+    #[test]
+    fn relevant_docs_rank_first() {
+        let e = engine();
+        let hits = e.search("seafood lobster", 10);
+        assert!(!hits.is_empty());
+        // Docs 0 and 2 mention both terms; doc 1 mentions neither.
+        let top2: Vec<u32> = hits.iter().take(2).map(|h| h.doc).collect();
+        assert!(top2.contains(&0) && top2.contains(&2), "top2 = {top2:?}");
+        assert!(hits.iter().all(|h| h.doc != 1));
+    }
+
+    #[test]
+    fn ranks_are_one_based_and_scores_descend() {
+        let e = engine();
+        let hits = e.search("seafood", 10);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.rank, i + 1);
+        }
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let e = engine();
+        assert_eq!(e.search("seafood", 1).len(), 1);
+        assert!(e.search("seafood", 0).is_empty());
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty() {
+        let e = engine();
+        assert!(e.search("zzzqqq", 10).is_empty());
+        assert!(e.search("", 10).is_empty());
+        assert!(e.search("the of and", 10).is_empty(), "stopword-only query");
+    }
+
+    #[test]
+    fn stemming_unifies_query_and_doc_forms() {
+        let e = engine();
+        // "bookings" stems to the same term as "booking" in doc 3.
+        let hits = e.search("bookings", 10);
+        assert!(hits.iter().any(|h| h.doc == 3));
+    }
+
+    #[test]
+    fn title_terms_are_indexed() {
+        let e = engine();
+        let hits = e.search("shack", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 0);
+    }
+
+    #[test]
+    fn snippet_contains_query_term() {
+        let e = engine();
+        let hits = e.search("lobster", 10);
+        assert!(hits[0].snippet.to_lowercase().contains("lobster"));
+    }
+
+    #[test]
+    fn tie_break_is_doc_id_ascending() {
+        let mut b = IndexBuilder::new();
+        // Identical docs → identical scores.
+        b.add(StoredDoc::new(0, "u0", "same", "identical content here"));
+        b.add(StoredDoc::new(1, "u1", "same", "identical content here"));
+        let e = b.build();
+        let hits = e.search("identical", 10);
+        assert_eq!(hits[0].doc, 0);
+        assert_eq!(hits[1].doc, 1);
+    }
+
+    #[test]
+    fn df_accessor() {
+        let e = engine();
+        assert_eq!(e.doc_frequency("seafood"), 3);
+        assert_eq!(e.doc_frequency("android"), 1);
+        assert_eq!(e.doc_frequency("missingterm"), 0);
+    }
+
+    #[test]
+    fn score_docs_matches_search_scores() {
+        let e = engine();
+        let hits = e.search("seafood lobster", 10);
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        let scores = e.score_docs("seafood lobster", &docs);
+        for (h, s) in hits.iter().zip(&scores) {
+            assert!((h.score - s).abs() < 1e-9, "doc {}: {} vs {}", h.doc, h.score, s);
+        }
+    }
+
+    #[test]
+    fn score_docs_zero_for_non_matching() {
+        let e = engine();
+        // Doc 1 mentions neither term.
+        let scores = e.score_docs("seafood lobster", &[1]);
+        assert_eq!(scores, vec![0.0]);
+        assert_eq!(e.score_docs("", &[0, 1]), vec![0.0, 0.0]);
+        assert!(e.score_docs("seafood", &[]).is_empty());
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let e = engine();
+        assert_eq!(e.doc_count(), 4);
+        assert!(e.avg_doc_len() > 5.0);
+        assert!(e.vocab_size() > 10);
+        assert!(e.postings_bytes() > 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Query-biased snippet extraction.
+//!
+//! The personalization layer mines concepts from *snippets*, exactly as the
+//! paper does, so snippet quality directly shapes what concepts exist.
+//! We use the classic best-window heuristic: slide a fixed-size window over
+//! the body tokens and pick the window covering the most *distinct* query
+//! terms (ties: more total query-term occurrences, then earliest).
+
+use pws_text::{porter_stem, tokenize};
+
+/// Extract a snippet of (about) `window` tokens from `body`, biased towards
+/// the analyzed query tokens `q_tokens` (already stemmed/lowercased).
+///
+/// Falls back to the leading `window` tokens when no query term occurs.
+pub fn extract_snippet(body: &str, q_tokens: &[String], window: usize) -> String {
+    let raw_tokens = tokenize(body);
+    if raw_tokens.is_empty() {
+        return String::new();
+    }
+    let window = window.max(1).min(raw_tokens.len());
+
+    // Match on stemmed forms so the snippet window aligns with BM25's view
+    // of the document.
+    let stemmed: Vec<String> = raw_tokens.iter().map(|t| porter_stem(t)).collect();
+    let is_query_term: Vec<Option<usize>> = stemmed
+        .iter()
+        .map(|s| q_tokens.iter().position(|q| q == s))
+        .collect();
+
+    let mut best_start = 0usize;
+    let mut best_distinct = 0usize;
+    let mut best_total = 0usize;
+    for start in 0..=(raw_tokens.len() - window) {
+        let mut seen = vec![false; q_tokens.len()];
+        let mut total = 0usize;
+        for qi in is_query_term[start..start + window].iter().flatten() {
+            seen[*qi] = true;
+            total += 1;
+        }
+        let distinct = seen.iter().filter(|&&s| s).count();
+        if distinct > best_distinct || (distinct == best_distinct && total > best_total) {
+            best_distinct = distinct;
+            best_total = total;
+            best_start = start;
+        }
+    }
+
+    raw_tokens[best_start..best_start + window].join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(terms: &[&str]) -> Vec<String> {
+        terms.iter().map(|t| porter_stem(t)).collect()
+    }
+
+    #[test]
+    fn empty_body_gives_empty_snippet() {
+        assert_eq!(extract_snippet("", &q(&["x"]), 10), "");
+    }
+
+    #[test]
+    fn no_match_falls_back_to_leading_window() {
+        let s = extract_snippet("alpha beta gamma delta", &q(&["zzz"]), 2);
+        assert_eq!(s, "alpha beta");
+    }
+
+    #[test]
+    fn window_centers_on_match_region() {
+        let body = "filler filler filler filler filler lobster rolls daily filler filler";
+        let s = extract_snippet(body, &q(&["lobster"]), 3);
+        assert!(s.contains("lobster"), "snippet = {s}");
+    }
+
+    #[test]
+    fn prefers_window_with_more_distinct_terms() {
+        let body = "seafood seafood seafood x x x x x x x seafood lobster x";
+        let s = extract_snippet(body, &q(&["seafood", "lobster"]), 3);
+        assert!(s.contains("lobster") && s.contains("seafood"), "snippet = {s}");
+    }
+
+    #[test]
+    fn window_larger_than_body_returns_whole_body() {
+        let s = extract_snippet("only three tokens", &q(&["three"]), 50);
+        assert_eq!(s, "only three tokens");
+    }
+
+    #[test]
+    fn stemmed_matching_finds_inflected_forms() {
+        let body = "x x x x x x booking a room tonight x x";
+        let s = extract_snippet(body, &q(&["bookings"]), 3);
+        assert!(s.contains("booking"), "snippet = {s}");
+    }
+
+    #[test]
+    fn snippet_is_lowercased_tokens() {
+        let s = extract_snippet("The QUICK Fox", &q(&["fox"]), 3);
+        assert_eq!(s, "the quick fox");
+    }
+}

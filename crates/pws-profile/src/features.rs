@@ -1,0 +1,338 @@
+//! Per-result feature vectors for the personalized RankSVM.
+//!
+//! The paper's ranker is a linear function over preference features; ours
+//! uses the schema below. The content-only / location-only method variants
+//! of the evaluation (T3, F5, F7) are obtained by masking the respective
+//! feature, so every variant shares one code path.
+
+use crate::content_profile::ContentProfile;
+use crate::history::UserHistory;
+use crate::location_profile::LocationProfile;
+use pws_concepts::QueryConceptOntology;
+use pws_text::Analyzer;
+
+/// Dimensionality of the feature vector.
+pub const FEATURE_DIM: usize = 7;
+
+/// Human-readable feature names, index-aligned.
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "base_score_norm",
+    "content_pref",
+    "location_pref",
+    "rank_prior",
+    "title_match",
+    "url_revisit",
+    "domain_affinity",
+];
+
+/// The per-result raw inputs the extractor consumes (a flattened view of a
+/// search hit; kept free of `pws-index` types so any result source works).
+#[derive(Debug, Clone)]
+pub struct ResultFeatureInput {
+    /// Document id (unused by features, carried for the caller).
+    pub doc: u32,
+    /// 1-based rank in the baseline list.
+    pub rank: usize,
+    /// Baseline retrieval score (BM25).
+    pub base_score: f64,
+    /// Result URL.
+    pub url: String,
+    /// Result title.
+    pub title: String,
+}
+
+/// Optional geographic context: proximity-smoothed location scoring
+/// (coordinates plus the exponential kernel scale in km).
+#[derive(Debug, Clone)]
+pub struct GeoContext<'a> {
+    /// Coordinates of every ontology node.
+    pub coords: &'a pws_geo::WorldCoords,
+    /// Kernel scale in km (larger = broader smoothing).
+    pub scale_km: f64,
+}
+
+/// Feature extraction with ablation masks.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    /// Include the content-preference feature (index 1).
+    pub use_content: bool,
+    /// Include the location-preference feature (index 2).
+    pub use_location: bool,
+    analyzer: Analyzer,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor { use_content: true, use_location: true, analyzer: Analyzer::default() }
+    }
+}
+
+impl FeatureExtractor {
+    /// Extractor with both personalization dimensions enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Content-only variant (location feature zeroed).
+    pub fn content_only() -> Self {
+        FeatureExtractor { use_location: false, ..Self::default() }
+    }
+
+    /// Location-only variant (content feature zeroed).
+    pub fn location_only() -> Self {
+        FeatureExtractor { use_content: false, ..Self::default() }
+    }
+
+    /// Extractor with explicit dimension masks.
+    pub fn with_masks(use_content: bool, use_location: bool) -> Self {
+        FeatureExtractor { use_content, use_location, ..Self::default() }
+    }
+
+    /// Extract feature vectors for one result page.
+    ///
+    /// `inputs[i]` must correspond to the snippet behind
+    /// `onto.content_by_snippet[i]` / `onto.locations_by_snippet[i]`.
+    pub fn extract_page(
+        &self,
+        query_text: &str,
+        inputs: &[ResultFeatureInput],
+        onto: &QueryConceptOntology,
+        content: &ContentProfile,
+        location: &LocationProfile,
+        history: &UserHistory,
+    ) -> Vec<Vec<f64>> {
+        self.extract_page_geo(query_text, inputs, onto, content, location, history, None)
+    }
+
+    /// As [`Self::extract_page`], with optional proximity-smoothed location
+    /// scoring (the GPS extension): when `geo` is given, the location
+    /// feature uses [`LocationProfile::score_locations_geo`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn extract_page_geo(
+        &self,
+        query_text: &str,
+        inputs: &[ResultFeatureInput],
+        onto: &QueryConceptOntology,
+        content: &ContentProfile,
+        location: &LocationProfile,
+        history: &UserHistory,
+        geo: Option<&GeoContext<'_>>,
+    ) -> Vec<Vec<f64>> {
+        let max_score = inputs
+            .iter()
+            .map(|i| i.base_score)
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let q_terms = self.analyzer.analyze(query_text);
+
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let mut f = vec![0.0; FEATURE_DIM];
+                f[0] = input.base_score / max_score;
+
+                if self.use_content {
+                    if let Some(concepts) = onto.content_by_snippet.get(i) {
+                        f[1] = content.score_concepts(
+                            concepts.iter().map(|&ci| onto.content[ci].term.as_str()),
+                        );
+                    }
+                }
+                if self.use_location {
+                    if let Some(locs) = onto.locations_by_snippet.get(i) {
+                        let loc_ids = locs.iter().map(|&li| onto.locations[li].loc);
+                        f[2] = match geo {
+                            Some(g) => {
+                                location.score_locations_geo(loc_ids, g.coords, g.scale_km)
+                            }
+                            None => location.score_locations(loc_ids),
+                        };
+                    }
+                }
+                f[3] = 1.0 / input.rank as f64;
+                f[4] = title_match(&self.analyzer, &q_terms, &input.title);
+                f[5] = history.url_score(&input.url);
+                f[6] = history.domain_score(&input.url);
+                f
+            })
+            .collect()
+    }
+}
+
+/// Fraction of query terms present in the (analyzed) title.
+fn title_match(analyzer: &Analyzer, q_terms: &[String], title: &str) -> f64 {
+    if q_terms.is_empty() {
+        return 0.0;
+    }
+    let t_tokens = analyzer.analyze(title);
+    let hits = q_terms.iter().filter(|q| t_tokens.contains(q)).count();
+    hits as f64 / q_terms.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_concepts::{ConceptConfig, LocationConceptConfig};
+    use pws_geo::{LocId, LocationMatcher, LocationOntology};
+
+    fn world() -> LocationOntology {
+        let mut o = LocationOntology::new();
+        let r = o.add(LocId::WORLD, "westland", vec![]);
+        let c = o.add(r, "ardonia", vec![]);
+        let s = o.add(c, "vale", vec![]);
+        o.add(s, "alden", vec![]);
+        o
+    }
+
+    fn setup(snippets: &[&str]) -> (QueryConceptOntology, Vec<ResultFeatureInput>) {
+        let w = world();
+        let m = LocationMatcher::build(&w);
+        let snips: Vec<String> = snippets.iter().map(|s| s.to_string()).collect();
+        let onto = QueryConceptOntology::extract(
+            "restaurant",
+            &snips,
+            &m,
+            &w,
+            &ConceptConfig { min_support: 0.0, min_snippet_freq: 1, bigrams: false, max_concepts: 50 },
+            &LocationConceptConfig { min_support: 0.0, ..Default::default() },
+        );
+        let inputs = snippets
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ResultFeatureInput {
+                doc: i as u32,
+                rank: i + 1,
+                base_score: 10.0 - i as f64,
+                url: format!("http://d{i}.test/p"),
+                title: if i == 0 { "restaurant guide".into() } else { "other page".into() },
+            })
+            .collect();
+        (onto, inputs)
+    }
+
+    #[test]
+    fn dimensions_and_names_agree() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn base_score_normalized_to_unit_max() {
+        let (onto, inputs) = setup(&["seafood alden", "sushi bar"]);
+        let fx = FeatureExtractor::new();
+        let feats = fx.extract_page(
+            "restaurant",
+            &inputs,
+            &onto,
+            &ContentProfile::new(),
+            &LocationProfile::new(),
+            &UserHistory::new(),
+        );
+        assert_eq!(feats.len(), 2);
+        assert!((feats[0][0] - 1.0).abs() < 1e-12);
+        assert!(feats[1][0] < 1.0 && feats[1][0] > 0.0);
+    }
+
+    #[test]
+    fn rank_prior_and_title_match() {
+        let (onto, inputs) = setup(&["seafood alden", "sushi bar"]);
+        let fx = FeatureExtractor::new();
+        let feats = fx.extract_page(
+            "restaurant",
+            &inputs,
+            &onto,
+            &ContentProfile::new(),
+            &LocationProfile::new(),
+            &UserHistory::new(),
+        );
+        assert!((feats[0][3] - 1.0).abs() < 1e-12);
+        assert!((feats[1][3] - 0.5).abs() < 1e-12);
+        assert!((feats[0][4] - 1.0).abs() < 1e-12, "title contains query term");
+        assert_eq!(feats[1][4], 0.0);
+    }
+
+    #[test]
+    fn cold_profiles_give_zero_preference_features() {
+        let (onto, inputs) = setup(&["seafood alden", "sushi bar"]);
+        let fx = FeatureExtractor::new();
+        let feats = fx.extract_page(
+            "restaurant",
+            &inputs,
+            &onto,
+            &ContentProfile::new(),
+            &LocationProfile::new(),
+            &UserHistory::new(),
+        );
+        for f in &feats {
+            assert_eq!(f[1], 0.0);
+            assert_eq!(f[2], 0.0);
+            assert_eq!(f[5], 0.0);
+            assert_eq!(f[6], 0.0);
+        }
+    }
+
+    #[test]
+    fn ablation_masks_zero_their_features() {
+        let (onto, inputs) = setup(&["seafood alden", "seafood lakeside"]);
+        // Build a warm content profile by hand via observe.
+        use pws_click::{Click, Impression, ShownResult, UserId};
+        use pws_corpus::query::QueryId;
+        let imp = Impression {
+            user: UserId(0),
+            query: QueryId(0),
+            query_text: "restaurant".into(),
+            results: inputs
+                .iter()
+                .enumerate()
+                .map(|(i, inp)| ShownResult {
+                    doc: inp.doc,
+                    rank: i + 1,
+                    url: inp.url.clone(),
+                    title: inp.title.clone(),
+                    snippet: if i == 0 { "seafood alden".into() } else { "seafood lakeside".into() },
+                })
+                .collect(),
+            clicks: vec![Click { doc: 0, rank: 1, dwell: 500 }],
+        };
+        let mut content = ContentProfile::new();
+        content.observe(&onto, &imp, &crate::content_profile::ContentProfileConfig::default());
+        let mut location = LocationProfile::new();
+        location.observe(
+            &onto,
+            &imp,
+            &world(),
+            &crate::location_profile::LocationProfileConfig::default(),
+        );
+        let history = UserHistory::new();
+
+        let full = FeatureExtractor::new()
+            .extract_page("restaurant", &inputs, &onto, &content, &location, &history);
+        assert!(full[0][1] != 0.0, "content feature should be warm");
+        assert!(full[0][2] != 0.0, "location feature should be warm");
+
+        let c_only = FeatureExtractor::content_only()
+            .extract_page("restaurant", &inputs, &onto, &content, &location, &history);
+        assert_eq!(c_only[0][2], 0.0);
+        assert_eq!(c_only[0][1], full[0][1]);
+
+        let l_only = FeatureExtractor::location_only()
+            .extract_page("restaurant", &inputs, &onto, &content, &location, &history);
+        assert_eq!(l_only[0][1], 0.0);
+        assert_eq!(l_only[0][2], full[0][2]);
+    }
+
+    #[test]
+    fn empty_page_gives_empty_features() {
+        let (onto, _) = setup(&[]);
+        let fx = FeatureExtractor::new();
+        let feats = fx.extract_page(
+            "restaurant",
+            &[],
+            &onto,
+            &ContentProfile::new(),
+            &LocationProfile::new(),
+            &UserHistory::new(),
+        );
+        assert!(feats.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # pws-profile — ontology-based user profiles from clickthrough
+//!
+//! The paper's central data structure: per-user preference profiles over
+//! the two concept spaces, mined from clicks.
+//!
+//! * [`content_profile::ContentProfile`] — weights over content concepts.
+//!   A click on a result adds (dwell-scaled) positive mass to the concepts
+//!   visible in its snippet and spreads a fraction to related concepts via
+//!   the concept graph; a *skip* (unclicked result above the deepest click,
+//!   Joachims' skip-above) subtracts mass.
+//! * [`location_profile::LocationProfile`] — weights over the location
+//!   ontology. Clicked mass propagates up the ontology with decay, so a
+//!   user who clicks "port alden" results also mildly prefers "north vale".
+//! * [`history::UserHistory`] — clicked URL/domain counts, feeding the
+//!   revisit features.
+//! * [`features::FeatureExtractor`] — assembles the per-result feature
+//!   vectors (baseline score, content score, location score, rank prior,
+//!   title match, revisit signals) the RankSVM ranks with.
+//! * [`pairs`] — preference-pair mining (click ≻ skip-above) that turns an
+//!   impression into RankSVM training pairs.
+
+pub mod content_profile;
+pub mod features;
+pub mod history;
+pub mod location_profile;
+pub mod pairs;
+pub mod spynb;
+
+pub use content_profile::{ContentProfile, ContentProfileConfig};
+pub use features::{FeatureExtractor, GeoContext, ResultFeatureInput, FEATURE_DIM, FEATURE_NAMES};
+pub use history::UserHistory;
+pub use location_profile::{LocationProfile, LocationProfileConfig};
+pub use pairs::{mine_pairs, PairMiningConfig};
+pub use spynb::{mine_spynb_pairs, SpyNbConfig};

@@ -1,0 +1,186 @@
+//! Preference-pair mining from clickthrough (Joachims, 2002).
+//!
+//! The clicks in an impression are *relative* judgments: a clicked result
+//! was preferred over the results the user demonstrably saw and passed
+//! over. Two strategies, both enabled by default:
+//!
+//! * **click ≻ skip-above** — the clicked doc beats every unclicked doc
+//!   ranked above it (those were certainly examined);
+//! * **click ≻ next-unclicked** — the clicked doc beats the first unclicked
+//!   doc directly below it (likely examined too).
+
+use pws_click::Impression;
+use pws_ranksvm::PreferencePair;
+
+/// Mining strategy switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMiningConfig {
+    /// Mine click ≻ skip-above pairs.
+    pub skip_above: bool,
+    /// Mine click ≻ first-unclicked-below pairs.
+    pub next_unclicked: bool,
+    /// Cap on pairs per impression (0 = unlimited).
+    pub max_pairs: usize,
+    /// Minimum dwell grade for a click to seed pairs (SAT filtering —
+    /// bounce clicks express curiosity, not preference).
+    pub min_dwell_grade: u32,
+}
+
+impl Default for PairMiningConfig {
+    fn default() -> Self {
+        PairMiningConfig { skip_above: true, next_unclicked: true, max_pairs: 0, min_dwell_grade: 1 }
+    }
+}
+
+/// Mine preference pairs from one impression.
+///
+/// `features[i]` is the feature vector of `imp.results[i]` (same order).
+pub fn mine_pairs(
+    imp: &Impression,
+    features: &[Vec<f64>],
+    cfg: &PairMiningConfig,
+) -> Vec<PreferencePair> {
+    debug_assert_eq!(imp.results.len(), features.len());
+    let mut pairs = Vec::new();
+    let clicked_ranks: Vec<usize> = imp.clicks.iter().map(|c| c.rank).collect();
+    let is_clicked = |rank: usize| clicked_ranks.contains(&rank);
+
+    for click in &imp.clicks {
+        if click.dwell_grade() < cfg.min_dwell_grade {
+            continue;
+        }
+        let ci = click.rank - 1;
+        let Some(cf) = features.get(ci) else { continue };
+
+        if cfg.skip_above {
+            for r in imp.results.iter().filter(|r| r.rank < click.rank && !is_clicked(r.rank)) {
+                let si = r.rank - 1;
+                if let Some(sf) = features.get(si) {
+                    pairs.push(PreferencePair::new(cf.clone(), sf.clone()));
+                }
+            }
+        }
+        if cfg.next_unclicked {
+            if let Some(r) = imp
+                .results
+                .iter()
+                .filter(|r| r.rank > click.rank && !is_clicked(r.rank))
+                .min_by_key(|r| r.rank)
+            {
+                let si = r.rank - 1;
+                if let Some(sf) = features.get(si) {
+                    pairs.push(PreferencePair::new(cf.clone(), sf.clone()));
+                }
+            }
+        }
+    }
+
+    if cfg.max_pairs > 0 && pairs.len() > cfg.max_pairs {
+        pairs.truncate(cfg.max_pairs);
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_click::{Click, ShownResult, UserId};
+    use pws_corpus::query::QueryId;
+
+    fn imp(n: usize, clicks: &[usize]) -> (Impression, Vec<Vec<f64>>) {
+        let results = (0..n)
+            .map(|i| ShownResult {
+                doc: i as u32,
+                rank: i + 1,
+                url: format!("u{i}"),
+                title: "t".into(),
+                snippet: "s".into(),
+            })
+            .collect();
+        let clicks = clicks
+            .iter()
+            .map(|&r| Click { doc: (r - 1) as u32, rank: r, dwell: 100 })
+            .collect();
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        (
+            Impression {
+                user: UserId(0),
+                query: QueryId(0),
+                query_text: "q".into(),
+                results,
+                clicks,
+            },
+            features,
+        )
+    }
+
+    fn cfg(skip_above: bool, next_unclicked: bool) -> PairMiningConfig {
+        PairMiningConfig { skip_above, next_unclicked, max_pairs: 0, min_dwell_grade: 0 }
+    }
+
+    #[test]
+    fn no_clicks_no_pairs() {
+        let (i, f) = imp(5, &[]);
+        assert!(mine_pairs(&i, &f, &PairMiningConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn skip_above_pairs() {
+        // Click rank 3; ranks 1 and 2 skipped.
+        let (i, f) = imp(5, &[3]);
+        let pairs = mine_pairs(&i, &f, &cfg(true, false));
+        assert_eq!(pairs.len(), 2);
+        for p in &pairs {
+            assert_eq!(p.better, vec![2.0]); // rank-3 doc's features
+            assert!(p.worse == vec![0.0] || p.worse == vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn next_unclicked_pair() {
+        let (i, f) = imp(5, &[2]);
+        let pairs = mine_pairs(&i, &f, &cfg(false, true));
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].better, vec![1.0]);
+        assert_eq!(pairs[0].worse, vec![2.0]); // rank 3 is the next unclicked
+    }
+
+    #[test]
+    fn clicked_docs_never_appear_as_worse() {
+        let (i, f) = imp(5, &[1, 3]);
+        let pairs = mine_pairs(&i, &f, &PairMiningConfig::default());
+        for p in &pairs {
+            // Doc features are [rank-1]; clicked ranks 1 and 3 → features 0.0 and 2.0.
+            assert!(p.worse != vec![0.0] && p.worse != vec![2.0], "clicked doc as worse: {p:?}");
+        }
+    }
+
+    #[test]
+    fn rank_one_click_has_no_skip_above() {
+        let (i, f) = imp(5, &[1]);
+        let pairs = mine_pairs(&i, &f, &cfg(true, false));
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn last_rank_click_has_no_next_unclicked() {
+        let (i, f) = imp(3, &[3]);
+        let pairs = mine_pairs(&i, &f, &cfg(false, true));
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn max_pairs_caps() {
+        let (i, f) = imp(10, &[10]);
+        let c = PairMiningConfig { skip_above: true, next_unclicked: false, max_pairs: 3, min_dwell_grade: 0 };
+        assert_eq!(mine_pairs(&i, &f, &c).len(), 3);
+    }
+
+    #[test]
+    fn both_strategies_compose() {
+        let (i, f) = imp(5, &[3]);
+        let pairs = mine_pairs(&i, &f, &PairMiningConfig::default());
+        // 2 skip-above + 1 next-unclicked.
+        assert_eq!(pairs.len(), 3);
+    }
+}

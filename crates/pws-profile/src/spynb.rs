@@ -1,0 +1,323 @@
+//! Spy Naive Bayes (SpyNB) preference mining.
+//!
+//! Joachims' skip-above pairs only treat documents ranked *above* a click
+//! as negatives. The HKUST personalization line instead mines negatives
+//! with **SpyNB**: clicked results are positives `P`, unclicked results are
+//! *unlabeled* `U` (not necessarily disliked — maybe just unseen). A
+//! fraction of `P` ("spies") is planted into `U`, a naive-Bayes classifier
+//! is trained on `P \ spies` vs `U ∪ spies`, and the posterior threshold
+//! that would recover the spies identifies the *reliable negatives* `N` —
+//! unlabeled documents the classifier scores as less positive than almost
+//! every spy. Preference pairs `p ≻ n, p ∈ P, n ∈ N` then train the
+//! ranker.
+//!
+//! Documents are represented by their snippet term sets (the same analyzed
+//! view the profiles use), so SpyNB needs no extra infrastructure.
+
+use pws_click::Impression;
+use pws_ranksvm::PreferencePair;
+use pws_text::Analyzer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// SpyNB parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpyNbConfig {
+    /// Fraction of positives planted as spies (the classic setting: 0.2).
+    pub spy_fraction: f64,
+    /// Quantile of spy posteriors used as the negative threshold: an
+    /// unlabeled doc is a reliable negative when its positive-posterior is
+    /// below this quantile of the spies' posteriors (0.1 = stricter than
+    /// 90 % of spies).
+    pub spy_quantile: f64,
+    /// Laplace smoothing for the NB term estimates.
+    pub smoothing: f64,
+    /// RNG seed for spy selection.
+    pub seed: u64,
+}
+
+impl Default for SpyNbConfig {
+    fn default() -> Self {
+        SpyNbConfig { spy_fraction: 0.2, spy_quantile: 0.15, smoothing: 1.0, seed: 31 }
+    }
+}
+
+/// A bag-of-terms document for the NB classifier.
+type TermSet = HashSet<String>;
+
+/// Binary naive-Bayes over term presence.
+#[derive(Debug)]
+struct NaiveBayes {
+    /// log P(term | positive), with Laplace smoothing.
+    pos_log: HashMap<String, f64>,
+    /// log P(term | negative/unlabeled).
+    neg_log: HashMap<String, f64>,
+    /// Class log-priors.
+    prior_pos: f64,
+    prior_neg: f64,
+    /// Fallback log-probability for unseen terms, per class.
+    pos_unseen: f64,
+    neg_unseen: f64,
+}
+
+impl NaiveBayes {
+    fn train(pos: &[&TermSet], neg: &[&TermSet], smoothing: f64) -> Self {
+        let vocab: HashSet<&String> =
+            pos.iter().chain(neg).flat_map(|d| d.iter()).collect();
+        let v = vocab.len().max(1) as f64;
+
+        let count = |docs: &[&TermSet]| -> HashMap<String, f64> {
+            let mut c: HashMap<String, f64> = HashMap::new();
+            for d in docs {
+                for t in d.iter() {
+                    *c.entry(t.clone()).or_insert(0.0) += 1.0;
+                }
+            }
+            c
+        };
+        let pc = count(pos);
+        let nc = count(neg);
+        let pn = pos.len().max(1) as f64;
+        let nn = neg.len().max(1) as f64;
+
+        let to_log = |c: HashMap<String, f64>, n: f64| -> HashMap<String, f64> {
+            c.into_iter().map(|(t, k)| (t, ((k + smoothing) / (n + smoothing * v)).ln())).collect()
+        };
+        let total = (pos.len() + neg.len()).max(1) as f64;
+        NaiveBayes {
+            pos_log: to_log(pc, pn),
+            neg_log: to_log(nc, nn),
+            prior_pos: ((pos.len().max(1)) as f64 / total).ln(),
+            prior_neg: ((neg.len().max(1)) as f64 / total).ln(),
+            pos_unseen: (smoothing / (pn + smoothing * v)).ln(),
+            neg_unseen: (smoothing / (nn + smoothing * v)).ln(),
+        }
+    }
+
+    /// Posterior P(positive | doc) via the log-odds.
+    fn posterior(&self, doc: &TermSet) -> f64 {
+        let mut lp = self.prior_pos;
+        let mut ln = self.prior_neg;
+        for t in doc {
+            lp += self.pos_log.get(t).copied().unwrap_or(self.pos_unseen);
+            ln += self.neg_log.get(t).copied().unwrap_or(self.neg_unseen);
+        }
+        // Logistic of the log-odds, numerically safe.
+        let odds = lp - ln;
+        1.0 / (1.0 + (-odds).exp())
+    }
+}
+
+/// Mine SpyNB preference pairs from one impression.
+///
+/// `features[i]` is the ranker feature vector of `imp.results[i]`; the
+/// returned pairs are over those vectors, ready for the RankSVM.
+pub fn mine_spynb_pairs(
+    imp: &Impression,
+    features: &[Vec<f64>],
+    cfg: &SpyNbConfig,
+) -> Vec<PreferencePair> {
+    debug_assert_eq!(imp.results.len(), features.len());
+    let analyzer = Analyzer::default();
+
+    // Partition into positives (clicked) and unlabeled (shown, unclicked).
+    let clicked: HashSet<u32> = imp.clicks.iter().map(|c| c.doc).collect();
+    let mut pos_idx = Vec::new();
+    let mut unl_idx = Vec::new();
+    for (i, r) in imp.results.iter().enumerate() {
+        if clicked.contains(&r.doc) {
+            pos_idx.push(i);
+        } else {
+            unl_idx.push(i);
+        }
+    }
+    // Degenerate impressions carry no preference information.
+    if pos_idx.is_empty() || unl_idx.is_empty() {
+        return Vec::new();
+    }
+
+    let docs: Vec<TermSet> = imp
+        .results
+        .iter()
+        .map(|r| analyzer.analyze(&format!("{} {}", r.title, r.snippet)).into_iter().collect())
+        .collect();
+
+    // Plant spies.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ u64::from(imp.user.0) << 16 ^ u64::from(imp.query.0));
+    let mut shuffled = pos_idx.clone();
+    shuffled.shuffle(&mut rng);
+    let n_spies = ((pos_idx.len() as f64 * cfg.spy_fraction).ceil() as usize)
+        .clamp(1, pos_idx.len().saturating_sub(1).max(1));
+    let spies: HashSet<usize> = shuffled.into_iter().take(n_spies).collect();
+    let train_pos: Vec<&TermSet> =
+        pos_idx.iter().filter(|i| !spies.contains(i)).map(|&i| &docs[i]).collect();
+    let train_neg: Vec<&TermSet> = unl_idx
+        .iter()
+        .map(|&i| &docs[i])
+        .chain(spies.iter().map(|&i| &docs[i]))
+        .collect();
+    // With a single positive, the spy set ate the whole training set; fall
+    // back to using the spy itself as positive too (still informative).
+    let train_pos: Vec<&TermSet> = if train_pos.is_empty() {
+        spies.iter().map(|&i| &docs[i]).collect()
+    } else {
+        train_pos
+    };
+
+    let nb = NaiveBayes::train(&train_pos, &train_neg, cfg.smoothing);
+
+    // Threshold at the spy-posterior quantile.
+    let mut spy_posteriors: Vec<f64> = spies.iter().map(|&i| nb.posterior(&docs[i])).collect();
+    spy_posteriors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q_idx = ((spy_posteriors.len() as f64 - 1.0) * cfg.spy_quantile).round() as usize;
+    let threshold = spy_posteriors[q_idx.min(spy_posteriors.len() - 1)];
+
+    // Reliable negatives: unlabeled docs scored below the threshold.
+    let negatives: Vec<usize> = unl_idx
+        .iter()
+        .copied()
+        .filter(|&i| nb.posterior(&docs[i]) < threshold)
+        .collect();
+
+    let mut pairs = Vec::new();
+    for &p in &pos_idx {
+        for &n in &negatives {
+            pairs.push(PreferencePair::new(features[p].clone(), features[n].clone()));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_click::{Click, ShownResult, UserId};
+    use pws_corpus::query::QueryId;
+
+    fn imp(snippets: &[&str], clicked: &[usize]) -> (Impression, Vec<Vec<f64>>) {
+        let results: Vec<ShownResult> = snippets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShownResult {
+                doc: i as u32,
+                rank: i + 1,
+                url: format!("u{i}"),
+                title: String::new(),
+                snippet: s.to_string(),
+            })
+            .collect();
+        let clicks = clicked
+            .iter()
+            .map(|&i| Click { doc: i as u32, rank: i + 1, dwell: 500 })
+            .collect();
+        let features: Vec<Vec<f64>> = (0..snippets.len()).map(|i| vec![i as f64]).collect();
+        (
+            Impression {
+                user: UserId(0),
+                query: QueryId(0),
+                query_text: "q".into(),
+                results,
+                clicks,
+            },
+            features,
+        )
+    }
+
+    #[test]
+    fn no_clicks_no_pairs() {
+        let (i, f) = imp(&["a b", "c d"], &[]);
+        assert!(mine_spynb_pairs(&i, &f, &SpyNbConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn all_clicked_no_pairs() {
+        let (i, f) = imp(&["a b", "c d"], &[0, 1]);
+        assert!(mine_spynb_pairs(&i, &f, &SpyNbConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn dissimilar_unclicked_become_negatives() {
+        // Positives all about seafood; one unlabeled doc about phones is
+        // clearly negative, another near-duplicate seafood doc should be
+        // spared (it resembles the spies).
+        let (i, f) = imp(
+            &[
+                "seafood lobster dinner specials",
+                "seafood lobster platter fresh",
+                "seafood lobster rolls harbor",
+                "android smartphone battery charger",
+                "seafood lobster dinner fresh harbor",
+            ],
+            &[0, 1, 2],
+        );
+        let pairs = mine_spynb_pairs(&i, &f, &SpyNbConfig::default());
+        // Pairs must only demote the phone doc (index 3), never the
+        // seafood look-alike (index 4).
+        assert!(!pairs.is_empty(), "expected pairs against the phone doc");
+        for p in &pairs {
+            assert_eq!(p.worse, vec![3.0], "unexpected negative: {:?}", p.worse);
+            assert!(p.better[0] <= 2.0);
+        }
+    }
+
+    #[test]
+    fn pairs_are_pos_cross_negatives() {
+        let (i, f) = imp(
+            &[
+                "seafood lobster dinner",
+                "seafood lobster fresh",
+                "seafood lobster rolls",
+                "android smartphone battery",
+                "diesel sedan horsepower",
+            ],
+            &[0, 1, 2],
+        );
+        let pairs = mine_spynb_pairs(&i, &f, &SpyNbConfig::default());
+        // Every pair's better side is a clicked doc.
+        for p in &pairs {
+            assert!(p.better[0] <= 2.0);
+            assert!(p.worse[0] >= 3.0);
+        }
+        // At most |P| × |N| pairs.
+        assert!(pairs.len() <= 3 * 2);
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let (i, f) = imp(
+            &["seafood lobster", "seafood fresh", "android phone", "diesel sedan"],
+            &[0, 1],
+        );
+        let a = mine_spynb_pairs(&i, &f, &SpyNbConfig::default());
+        let b = mine_spynb_pairs(&i, &f, &SpyNbConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_click_still_works() {
+        let (i, f) = imp(
+            &["seafood lobster dinner", "android smartphone battery", "diesel sedan engine"],
+            &[0],
+        );
+        // One positive: the spy fallback path must not panic and may or
+        // may not produce pairs.
+        let pairs = mine_spynb_pairs(&i, &f, &SpyNbConfig::default());
+        for p in &pairs {
+            assert_eq!(p.better, vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn posterior_is_probability() {
+        let pos_doc: TermSet = ["seafood", "lobster"].iter().map(|s| s.to_string()).collect();
+        let neg_doc: TermSet = ["android", "battery"].iter().map(|s| s.to_string()).collect();
+        let nb = NaiveBayes::train(&[&pos_doc], &[&neg_doc], 1.0);
+        for d in [&pos_doc, &neg_doc] {
+            let p = nb.posterior(d);
+            assert!((0.0..=1.0).contains(&p), "posterior {p}");
+        }
+        assert!(nb.posterior(&pos_doc) > nb.posterior(&neg_doc));
+    }
+}

@@ -1,0 +1,32 @@
+//! # pws-ranksvm — linear pairwise ranking SVM
+//!
+//! The paper trains a Ranking SVM (Joachims' RSVM) on preference pairs
+//! mined from clickthrough data, separately for the content and location
+//! feature spaces. This crate is that learner, implemented from scratch:
+//!
+//! * a linear scoring model `f(x) = w · x` ([`model::LinearRankModel`]);
+//! * pairwise hinge-loss training with L2 regularization by seeded SGD
+//!   ([`train::PairwiseTrainer`]) — the same objective RSVM optimizes,
+//!   `Σ max(0, 1 − w·(x⁺ − x⁻)) + (λ/2)‖w‖²`, with SGD replacing the
+//!   original dual decomposition (same model class, different optimizer);
+//! * evaluation utilities (pairwise accuracy).
+//!
+//! ```
+//! use pws_ranksvm::{PairwiseTrainer, PreferencePair, TrainConfig};
+//!
+//! // Prefer vectors with a larger first component.
+//! let pairs: Vec<PreferencePair> = (0..50)
+//!     .map(|i| {
+//!         let a = 1.0 + (i % 5) as f64;
+//!         PreferencePair::new(vec![a, 0.0], vec![a - 1.0, 1.0])
+//!     })
+//!     .collect();
+//! let model = PairwiseTrainer::new(TrainConfig::default()).train(2, &pairs);
+//! assert!(model.score(&[2.0, 0.0]) > model.score(&[1.0, 1.0]));
+//! ```
+
+pub mod model;
+pub mod train;
+
+pub use model::LinearRankModel;
+pub use train::{pairwise_accuracy, PairwiseTrainer, PreferencePair, TrainConfig};

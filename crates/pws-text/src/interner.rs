@@ -1,0 +1,138 @@
+//! A compact string interner.
+//!
+//! Vocabulary sizes in the synthetic corpus run to the tens of thousands;
+//! interning terms once and passing `u32` symbols through the index and the
+//! concept pipeline avoids repeated hashing of strings on the hot path.
+
+use std::collections::HashMap;
+
+/// Interned string id. `Sym(u32)` — small enough to pack into postings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw index of this symbol in the interner's arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional string ↔ symbol mapping.
+///
+/// Symbols are dense (0..len) and stable for the interner's lifetime.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Sym>,
+    arena: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Interner { map: HashMap::with_capacity(cap), arena: Vec::with_capacity(cap) }
+    }
+
+    /// Intern `s`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.arena.len()).expect("interner overflow: >4B symbols"));
+        self.arena.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Look up an existing symbol without interning.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.arena[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Iterate `(Sym, &str)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.arena.iter().enumerate().map(|(i, s)| (Sym(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("seafood");
+        let b = it.intern("seafood");
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered() {
+        let mut it = Interner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        let c = it.intern("c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut it = Interner::new();
+        let words = ["x", "yy", "zzz", "x"];
+        let syms: Vec<Sym> = words.iter().map(|w| it.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            assert_eq!(it.resolve(*s), *w);
+        }
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut it = Interner::new();
+        assert!(it.get("missing").is_none());
+        it.intern("present");
+        assert!(it.get("present").is_some());
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_symbol_order() {
+        let mut it = Interner::new();
+        it.intern("first");
+        it.intern("second");
+        let all: Vec<(Sym, &str)> = it.iter().collect();
+        assert_eq!(all, vec![(Sym(0), "first"), (Sym(1), "second")]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn resolve_unknown_panics() {
+        let it = Interner::new();
+        let _ = it.resolve(Sym(0));
+    }
+}

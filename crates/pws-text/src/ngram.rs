@@ -1,0 +1,119 @@
+//! N-gram and co-occurrence utilities.
+//!
+//! Content-concept extraction treats both unigrams and multi-word phrases as
+//! concept candidates; these helpers enumerate them from token streams and
+//! count windowed co-occurrence (used by the concept-relationship graph).
+
+use std::collections::HashMap;
+
+/// All contiguous `n`-grams of `tokens`, joined with a single space.
+///
+/// Returns an empty vector when `n == 0` or `tokens.len() < n`.
+///
+/// ```
+/// use pws_text::ngrams;
+/// let t = vec!["mount".into(), "washington".into(), "pittsburgh".into()];
+/// assert_eq!(ngrams(&t, 2), vec!["mount washington", "washington pittsburgh"]);
+/// ```
+pub fn ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.join(" ")).collect()
+}
+
+/// Convenience for `ngrams(tokens, 2)`.
+pub fn bigrams(tokens: &[String]) -> Vec<String> {
+    ngrams(tokens, 2)
+}
+
+/// Count co-occurrences of token pairs within a sliding window of size
+/// `window` (window = maximum distance between the two positions,
+/// inclusive). Pairs are stored with the lexicographically smaller token
+/// first so `(a, b)` and `(b, a)` accumulate together. Self-pairs from
+/// repeated tokens at different positions *are* counted.
+///
+/// This feeds the pointwise-similarity computation in the concept graph.
+pub fn window_cooccurrence(
+    tokens: &[String],
+    window: usize,
+) -> HashMap<(String, String), u32> {
+    let mut counts: HashMap<(String, String), u32> = HashMap::new();
+    if window == 0 {
+        return counts;
+    }
+    for i in 0..tokens.len() {
+        let hi = (i + window).min(tokens.len().saturating_sub(1));
+        for j in (i + 1)..=hi {
+            let (a, b) = if tokens[i] <= tokens[j] {
+                (tokens[i].clone(), tokens[j].clone())
+            } else {
+                (tokens[j].clone(), tokens[i].clone())
+            };
+            *counts.entry((a, b)).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_are_identity() {
+        let t = toks("a b c");
+        assert_eq!(ngrams(&t, 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ngram_edge_cases() {
+        let t = toks("a b");
+        assert!(ngrams(&t, 0).is_empty());
+        assert!(ngrams(&t, 3).is_empty());
+        assert_eq!(ngrams(&t, 2), vec!["a b"]);
+    }
+
+    #[test]
+    fn trigram_join() {
+        let t = toks("w x y z");
+        assert_eq!(ngrams(&t, 3), vec!["w x y", "x y z"]);
+    }
+
+    #[test]
+    fn cooccurrence_symmetric_and_windowed() {
+        let t = toks("a b c a");
+        let c = window_cooccurrence(&t, 1);
+        // Adjacent pairs only: (a,b), (b,c), (a,c)... wait window 1 means
+        // distance exactly 1: (a,b), (b,c), (c,a)->(a,c).
+        assert_eq!(c[&("a".into(), "b".into())], 1);
+        assert_eq!(c[&("b".into(), "c".into())], 1);
+        assert_eq!(c[&("a".into(), "c".into())], 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn cooccurrence_wide_window_counts_all_pairs() {
+        let t = toks("a b c");
+        let c = window_cooccurrence(&t, 10);
+        assert_eq!(c.len(), 3);
+        assert!(c.values().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn cooccurrence_zero_window_is_empty() {
+        assert!(window_cooccurrence(&toks("a b"), 0).is_empty());
+    }
+
+    #[test]
+    fn repeated_token_pairs_accumulate() {
+        let t = toks("x y x");
+        let c = window_cooccurrence(&t, 2);
+        assert_eq!(c[&("x".into(), "y".into())], 2);
+        assert_eq!(c[&("x".into(), "x".into())], 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Unicode-aware tokenization.
+//!
+//! Tokens are maximal runs of alphanumeric characters (plus intra-word
+//! apostrophes, so `don't` stays one token), lowercased. Everything else is
+//! a separator. This matches what web search engines do for snippet text
+//! well enough for concept mining, and — more importantly — it is the *same*
+//! rule everywhere in the workspace, so query terms, index terms, and
+//! snippet terms always align.
+
+/// Split `text` into normalized (lowercased) tokens.
+///
+/// ```
+/// use pws_text::tokenize;
+/// assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+/// assert_eq!(tokenize("don't stop"), vec!["don't", "stop"]);
+/// assert_eq!(tokenize("state-of-the-art"), vec!["state", "of", "the", "art"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if c == '\'' && !cur.is_empty() && chars.peek().is_some_and(|n| n.is_alphanumeric())
+        {
+            // Intra-word apostrophe: keep it so "don't" survives as one token.
+            cur.push('\'');
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenize but additionally report, for each token, whether it is a
+/// stopword. Used by the snippet highlighter and the concept extractor,
+/// which need stopwords *in place* to form multi-word candidate phrases
+/// ("statue of liberty") without merging across them incorrectly.
+pub fn tokenize_keep_stops(text: &str) -> Vec<(String, bool)> {
+    tokenize(text)
+        .into_iter()
+        .map(|t| {
+            let stop = crate::stopwords::is_stopword(&t);
+            (t, stop)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_splitting() {
+        assert_eq!(tokenize("a b  c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        assert_eq!(tokenize("Köln CAFÉ"), vec!["köln", "café"]);
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        assert_eq!(tokenize("nokia n73 2009"), vec!["nokia", "n73", "2009"]);
+    }
+
+    #[test]
+    fn punctuation_is_separator() {
+        assert_eq!(tokenize("x.y,z;(w)"), vec!["x", "y", "z", "w"]);
+    }
+
+    #[test]
+    fn apostrophe_handling() {
+        assert_eq!(tokenize("it's o'hare's"), vec!["it's", "o'hare's"]);
+        // Trailing apostrophe is dropped (it has no following alphanumeric).
+        assert_eq!(tokenize("dogs'"), vec!["dogs"]);
+        // Leading apostrophe is dropped too.
+        assert_eq!(tokenize("'quoted'"), vec!["quoted"]);
+    }
+
+    #[test]
+    fn keep_stops_flags_stopwords() {
+        let v = tokenize_keep_stops("statue of liberty");
+        assert_eq!(v.len(), 3);
+        assert!(!v[0].1);
+        assert!(v[1].1); // "of"
+        assert!(!v[2].1);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" \t\r\n").is_empty());
+        assert!(tokenize("!!!").is_empty());
+    }
+}

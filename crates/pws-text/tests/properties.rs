@@ -1,0 +1,90 @@
+//! Property tests for the text substrate: invariants that must hold for
+//! *any* input, not just the unit-test fixtures.
+
+use proptest::prelude::*;
+use pws_text::{bigrams, is_stopword, ngrams, porter_stem, tokenize, Analyzer, Interner};
+
+proptest! {
+    /// The tokenizer never produces empty tokens, never produces tokens
+    /// containing separators, and always lowercases.
+    #[test]
+    fn tokenizer_output_is_clean(input in ".{0,200}") {
+        for tok in tokenize(&input) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(!tok.contains(char::is_whitespace));
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    /// Tokenization is idempotent under re-joining: tokenizing the joined
+    /// tokens yields the same tokens (tokens contain no separators).
+    #[test]
+    fn tokenize_rejoin_fixpoint(input in "[a-zA-Z0-9 .,;!?']{0,120}") {
+        let once = tokenize(&input);
+        let twice = tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The stemmer never panics, never returns an empty string for
+    /// non-empty lowercase ASCII words, and never *grows* a pure ASCII
+    /// word by more than the 'e' restorations allow.
+    #[test]
+    fn stemmer_is_total_and_bounded(word in "[a-z]{1,30}") {
+        let stem = porter_stem(&word);
+        prop_assert!(!stem.is_empty());
+        prop_assert!(stem.len() <= word.len() + 1);
+    }
+
+    /// The analyzer's output passes its own filters.
+    #[test]
+    fn analyzer_respects_its_filters(input in ".{0,200}") {
+        let a = Analyzer::default();
+        for tok in a.analyze(&input) {
+            prop_assert!(tok.len() >= a.min_token_len);
+            prop_assert!(tok.len() <= a.max_token_len + 1, "stem may add 'e'");
+            // Stopwords are defined on surface forms; stemmed output may
+            // coincide with a stopword ("doing" → "do"), so we only check
+            // that *unstemmmed* verbatim analysis drops them.
+        }
+        let v = Analyzer { remove_stopwords: true, stem: false, min_token_len: 1, max_token_len: 60 };
+        for tok in v.analyze(&input) {
+            prop_assert!(!is_stopword(&tok), "{tok} is a stopword");
+        }
+    }
+
+    /// n-gram counts: |ngrams(t, n)| = max(0, len - n + 1) for n ≥ 1.
+    #[test]
+    fn ngram_counts(tokens in proptest::collection::vec("[a-z]{1,8}", 0..20), n in 1usize..5) {
+        let grams = ngrams(&tokens, n);
+        let expected = if tokens.len() >= n { tokens.len() - n + 1 } else { 0 };
+        prop_assert_eq!(grams.len(), expected);
+        for g in &grams {
+            prop_assert_eq!(g.split(' ').count(), n);
+        }
+    }
+
+    /// Every bigram's parts are adjacent tokens of the input.
+    #[test]
+    fn bigram_parts_are_adjacent(tokens in proptest::collection::vec("[a-z]{1,8}", 2..15)) {
+        for (i, bg) in bigrams(&tokens).iter().enumerate() {
+            let mut parts = bg.split(' ');
+            prop_assert_eq!(parts.next().unwrap(), tokens[i].as_str());
+            prop_assert_eq!(parts.next().unwrap(), tokens[i + 1].as_str());
+        }
+    }
+
+    /// Interner: intern/resolve is a bijection over the session.
+    #[test]
+    fn interner_bijection(words in proptest::collection::vec("[a-z]{1,10}", 0..50)) {
+        let mut it = Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| it.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(it.resolve(*s), w.as_str());
+            prop_assert_eq!(it.get(w), Some(*s));
+        }
+        // Distinct strings get distinct symbols.
+        let distinct: std::collections::HashSet<&String> = words.iter().collect();
+        let distinct_syms: std::collections::HashSet<_> = syms.iter().collect();
+        prop_assert_eq!(distinct.len(), distinct_syms.len());
+    }
+}

@@ -1,0 +1,90 @@
+//! The GPS extension: location profiles smoothed by physical distance.
+//!
+//! A user whose clicks concentrate on one city also gets a (decaying)
+//! preference for geographically nearby cities — useful when the home
+//! city has no matching result but a neighbouring one does.
+//!
+//! ```text
+//! cargo run --release --example geo_preferences
+//! ```
+
+use pws::eval::{ExperimentSpec, ExperimentWorld};
+use pws::geo::WorldCoords;
+
+fn main() {
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    let coords = WorldCoords::generate(&world.world, world.spec.seed);
+
+    // Pick a city and look at its geographic neighbourhood.
+    let home = world.population.users[0].home_city;
+    println!(
+        "home city: {} at ({:.1}°, {:.1}°)",
+        world.world.name(home),
+        coords.get(home).lat,
+        coords.get(home).lon
+    );
+    println!("\nnearest cities (tree locality ⇒ geographic locality):");
+    for (city, km) in coords.nearest_cities(&world.world, home, 6) {
+        let same_state = world.world.parent(city) == world.world.parent(home);
+        println!(
+            "  {:<22} {:>8.0} km   {}",
+            world.world.name(city),
+            km,
+            if same_state { "same state".to_string() } else { world.world.path_string(city) }
+        );
+    }
+
+    // Build a location profile by hand and compare exact vs geo scoring.
+    use pws::click::{Click, Impression, ShownResult, UserId};
+    use pws::concepts::{ConceptConfig, LocationConceptConfig, QueryConceptOntology};
+    use pws::corpus::query::QueryId;
+    use pws::geo::LocationMatcher;
+    use pws::profile::{LocationProfile, LocationProfileConfig};
+
+    let matcher = LocationMatcher::build(&world.world);
+    let home_name = world.world.name(home).to_string();
+    let snippets = vec![format!("best seafood in {home_name}"), "other text".to_string()];
+    let onto = QueryConceptOntology::extract(
+        "seafood",
+        &snippets,
+        &matcher,
+        &world.world,
+        &ConceptConfig { min_support: 0.0, min_snippet_freq: 1, ..Default::default() },
+        &LocationConceptConfig { min_support: 0.0, ..Default::default() },
+    );
+    let imp = Impression {
+        user: UserId(0),
+        query: QueryId(0),
+        query_text: "seafood".into(),
+        results: snippets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShownResult {
+                doc: i as u32,
+                rank: i + 1,
+                url: format!("u{i}"),
+                title: "t".into(),
+                snippet: s.clone(),
+            })
+            .collect(),
+        clicks: vec![Click { doc: 0, rank: 1, dwell: 600 }],
+    };
+    let mut profile = LocationProfile::new();
+    profile.observe(&onto, &imp, &world.world, &LocationProfileConfig::default());
+
+    println!("\nafter one satisfied click on a {home_name} result:");
+    println!("{:<22} {:>12} {:>14}", "city", "exact score", "geo (500 km)");
+    let mut shown = 0;
+    for city in world.world.cities() {
+        let exact = profile.score_locations([city].into_iter());
+        let geo = profile.score_locations_geo([city].into_iter(), &coords, 500.0);
+        if exact.abs() > 1e-9 || geo > 0.01 {
+            println!("{:<22} {:>12.3} {:>14.3}", world.world.name(city), exact, geo);
+            shown += 1;
+            if shown >= 8 {
+                break;
+            }
+        }
+    }
+    println!("\nexact scoring endorses only the clicked city; geo scoring\nspreads the preference to physical neighbours.");
+}

@@ -1,0 +1,78 @@
+//! Watch a user profile converge to the user's latent preferences as
+//! clicks accumulate — the simulator knows the ground truth, so we can
+//! print both side by side.
+//!
+//! ```text
+//! cargo run --release --example profile_evolution
+//! ```
+
+use pws::click::{SessionSimulator, SimConfig, UserId};
+use pws::core::{EngineConfig, PersonalizedSearchEngine};
+use pws::corpus::query::QueryId;
+use pws::eval::{ExperimentSpec, ExperimentWorld};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    let mut engine =
+        PersonalizedSearchEngine::new(&world.engine, &world.world, EngineConfig::default());
+    let mut sim = SessionSimulator::new(
+        &world.engine,
+        &world.corpus,
+        &world.world,
+        &world.population,
+        &world.queries,
+        SimConfig { top_k: 10, seed: 21 },
+    );
+    let mut sched = StdRng::seed_from_u64(13);
+
+    let user = UserId(2);
+    let truth = world.population.user(user);
+    println!(
+        "latent truth for user {}: home city {:?} (affinity {:.2}), noise {:.2}",
+        user.0,
+        world.world.name(truth.home_city),
+        truth.loc_affinity,
+        truth.noise
+    );
+
+    println!(
+        "\n{:<6} {:<14} {:<22} {:<30}",
+        "t", "observations", "preferred city", "top content concepts"
+    );
+    for t in 1..=60 {
+        let qid = QueryId(sched.gen_range(0..world.queries.len()) as u32);
+        let q = &world.queries[qid.index()];
+        let intent = sim.sample_intent_city(user);
+        let text = sim.render_query(q, intent);
+        let turn = engine.search(user, &text);
+        let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
+        engine.observe(&turn, &outcome.impression);
+
+        if t % 10 == 0 {
+            let state = engine.user_state(user).expect("state exists");
+            let city = state
+                .location
+                .preferred_city(&world.world)
+                .map(|c| world.world.name(c).to_string())
+                .unwrap_or_else(|| "—".into());
+            let concepts: Vec<String> =
+                state.content.top_concepts(3).into_iter().map(|(c, _)| c).collect();
+            let correct = state.location.preferred_city(&world.world) == Some(truth.home_city);
+            println!(
+                "{:<6} {:<14} {:<22} {:<30}",
+                t,
+                state.observations,
+                format!("{}{}", city, if correct { " ✓" } else { "" }),
+                concepts.join(", ")
+            );
+        }
+    }
+
+    let state = engine.user_state(user).expect("state exists");
+    println!("\nfinal RankSVM weights:");
+    for (name, w) in pws::profile::FEATURE_NAMES.iter().zip(&state.model.weights) {
+        println!("  {name:<18} {w:+.3}");
+    }
+}

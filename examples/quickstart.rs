@@ -1,0 +1,88 @@
+//! Quickstart: build a world, search, click, and watch re-ranking happen.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pws::click::{Click, Impression, ShownResult, UserId};
+use pws::core::{EngineConfig, PersonalizedSearchEngine};
+use pws::corpus::query::QueryId;
+use pws::eval::{ExperimentSpec, ExperimentWorld};
+
+fn main() {
+    // A small deterministic universe: gazetteer + corpus + baseline index.
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    println!(
+        "universe: {} docs, {} cities, vocabulary {}",
+        world.corpus.len(),
+        world.world.cities().count(),
+        world.engine.vocab_size()
+    );
+
+    let mut engine =
+        PersonalizedSearchEngine::new(&world.engine, &world.world, EngineConfig::default());
+    let user = UserId(0);
+    let query = "restaurant";
+
+    // First page: the engine knows nothing about this user yet.
+    let turn = engine.search(user, query);
+    println!("\nfirst page for {query:?} (cold user):");
+    for h in &turn.hits {
+        println!("  {}. {} — {}", h.rank, h.title, h.url);
+    }
+
+    // The user clicks every result mentioning their city of interest —
+    // here simply: the city named in the top result of some other city doc.
+    // We simulate three identical sessions of clicks on the same doc.
+    let Some(clicked) = turn.hits.first().cloned() else {
+        println!("no results — nothing to learn from");
+        return;
+    };
+    for _ in 0..3 {
+        let turn = engine.search(user, query);
+        let imp = Impression {
+            user,
+            query: QueryId(0),
+            query_text: query.into(),
+            results: turn
+                .hits
+                .iter()
+                .map(|h| ShownResult {
+                    doc: h.doc,
+                    rank: h.rank,
+                    url: h.url.clone(),
+                    title: h.title.clone(),
+                    snippet: h.snippet.clone(),
+                })
+                .collect(),
+            clicks: turn
+                .hits
+                .iter()
+                .filter(|h| h.doc == clicked.doc)
+                .map(|h| Click { doc: h.doc, rank: h.rank, dwell: 600 })
+                .collect(),
+        };
+        engine.observe(&turn, &imp);
+    }
+
+    // The engine has now mined concepts from the clicked snippet and built
+    // a profile; the clicked document's concepts rise.
+    let state = engine.user_state(user).expect("user state exists");
+    println!("\nlearned content concepts (top 5):");
+    for (term, w) in state.content.top_concepts(5) {
+        println!("  {term:<20} {w:+.3}");
+    }
+    println!("\nlearned locations (top 3):");
+    for (loc, w) in state.location.top_locations(3) {
+        println!("  {:<20} {w:+.3}", world.world.path_string(loc));
+    }
+
+    let turn = engine.search(user, query);
+    println!("\npage after 3 sessions of clicks on {:?}:", clicked.title);
+    for h in &turn.hits {
+        let marker = if h.doc == clicked.doc { "  ← clicked before" } else { "" };
+        println!("  {}. {} — {}{}", h.rank, h.title, h.url, marker);
+    }
+    assert_eq!(turn.hits[0].doc, clicked.doc, "clicked doc should now lead");
+    println!("\nthe clicked document now ranks first. β used: {:.2}", turn.beta);
+}

@@ -1,0 +1,85 @@
+//! The paper's motivating scenario: two users type the *same* query
+//! ("restaurant"), live in different cities, and should get different
+//! pages — without ever typing a city name.
+//!
+//! ```text
+//! cargo run --release --example restaurant_search
+//! ```
+
+use pws::click::{SessionSimulator, SimConfig};
+use pws::core::{EngineConfig, PersonalizedSearchEngine};
+use pws::corpus::query::{QueryClass, QueryId};
+use pws::eval::{ExperimentSpec, ExperimentWorld};
+
+fn main() {
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    let mut engine =
+        PersonalizedSearchEngine::new(&world.engine, &world.world, EngineConfig::default());
+    let mut sim = SessionSimulator::new(
+        &world.engine,
+        &world.corpus,
+        &world.world,
+        &world.population,
+        &world.queries,
+        SimConfig { top_k: 10, seed: 7 },
+    );
+
+    // Pick a location-sensitive template and two users in different cities.
+    let query = world
+        .queries
+        .iter()
+        .find(|q| q.class == QueryClass::LocationSensitive)
+        .expect("workload has location-sensitive queries");
+    let (alice, bob) = {
+        let a = &world.population.users[0];
+        let b = world
+            .population
+            .iter()
+            .find(|u| u.home_city != a.home_city)
+            .expect("two users in different cities");
+        (a.id, b.id)
+    };
+    println!("query template: {:?}", query.text);
+    println!(
+        "alice lives in {:?}, bob in {:?}",
+        world.world.name(world.population.user(alice).home_city),
+        world.world.name(world.population.user(bob).home_city),
+    );
+
+    // Both users search and click naturally for 25 sessions.
+    for round in 0..25 {
+        for user in [alice, bob] {
+            // Rotate through the whole workload so profiles see variety.
+            let qid = QueryId(((round * 7 + user.0 as usize) % world.queries.len()) as u32);
+            let q = &world.queries[qid.index()];
+            let intent = sim.sample_intent_city(user);
+            let text = sim.render_query(q, intent);
+            let turn = engine.search(user, &text);
+            let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
+            engine.observe(&turn, &outcome.impression);
+        }
+    }
+
+    // Same query, two users, two pages.
+    println!("\n── pages for the same query {:?} ──", query.text);
+    for (name, user) in [("alice", alice), ("bob", bob)] {
+        let turn = engine.search(user, &query.text);
+        let home = world.population.user(user).home_city;
+        let home_name = world.world.name(home).to_string();
+        println!("\n{name} (home: {home_name}), β = {:.2}:", turn.beta);
+        for h in turn.hits.iter().take(5) {
+            let doc = world.corpus.doc(pws::corpus::DocId(h.doc));
+            let place = doc
+                .city
+                .map(|c| world.world.name(c).to_string())
+                .unwrap_or_else(|| "—".to_string());
+            let marker = if doc.city == Some(home) { " ← home city" } else { "" };
+            println!("  {}. [{}] {}{}", h.rank, place, h.title, marker);
+        }
+        let learned = engine
+            .user_state(user)
+            .and_then(|s| s.location.preferred_city(&world.world))
+            .map(|c| world.world.name(c).to_string());
+        println!("  learned preferred city: {learned:?}");
+    }
+}
