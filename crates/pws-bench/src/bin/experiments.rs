@@ -4,10 +4,14 @@
 //! cargo run -p pws-bench --release --bin experiments -- all
 //! cargo run -p pws-bench --release --bin experiments -- t3 f5
 //! cargo run -p pws-bench --release --bin experiments -- --quick all
+//! cargo run -p pws-bench --release --bin experiments -- --threads 4 all
 //! ```
 //!
 //! Rendered tables go to stdout; JSON for each experiment is written to
-//! `results/<id>.json`.
+//! `results/<id>.json`. `--threads N` shards per-user replay over N worker
+//! threads; the JSON output is byte-identical for every thread count (see
+//! EXPERIMENTS.md). A stage-latency profile from the engine's built-in
+//! metrics (`pws-obs`) is written to `results/metrics.json` on exit.
 
 use pws_eval::experiments as exp;
 use pws_eval::experiments::Protocol;
@@ -29,8 +33,33 @@ fn save<T: Serialize>(id: &str, value: &T) {
     }
 }
 
+/// Parse `--threads N` / `--threads=N`, returning the thread count and the
+/// args with the flag (and its value) removed.
+fn parse_threads(args: Vec<String>) -> (usize, Vec<String>) {
+    let mut threads = 1usize;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => eprintln!("warn: --threads needs a number; using 1"),
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            match v.parse() {
+                Ok(n) => threads = n,
+                Err(_) => eprintln!("warn: bad --threads value {v:?}; using 1"),
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    (threads.max(1), rest)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (threads, args) = parse_threads(std::env::args().skip(1).collect());
+    pws_eval::set_eval_threads(threads);
     let quick = args.iter().any(|a| a == "--quick");
     let ids: Vec<String> = args
         .iter()
@@ -176,5 +205,13 @@ fn main() {
         });
     }
 
-    eprintln!("total {:.1?}", t0.elapsed());
+    // Stage-latency profile accumulated by the engine's instrumentation
+    // over everything that just ran.
+    let snapshot = pws_obs::snapshot();
+    let _ = fs::create_dir_all("results");
+    if let Err(e) = fs::write("results/metrics.json", snapshot.to_json(true)) {
+        eprintln!("warn: could not write results/metrics.json: {e}");
+    }
+
+    eprintln!("total {:.1?} ({threads} thread(s))", t0.elapsed());
 }

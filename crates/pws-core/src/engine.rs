@@ -33,7 +33,59 @@ pub struct SearchTurn {
     pub personalized: bool,
 }
 
+/// Cached handles into the global [`pws_obs`] registry, resolved once at
+/// engine construction so the hot path never touches the registry lock.
+struct EngineMetrics {
+    retrieval: std::sync::Arc<pws_obs::StageMetrics>,
+    concepts: std::sync::Arc<pws_obs::StageMetrics>,
+    features: std::sync::Arc<pws_obs::StageMetrics>,
+    beta: std::sync::Arc<pws_obs::StageMetrics>,
+    rerank: std::sync::Arc<pws_obs::StageMetrics>,
+    observe: std::sync::Arc<pws_obs::StageMetrics>,
+}
+
+impl EngineMetrics {
+    fn resolve() -> Self {
+        EngineMetrics {
+            retrieval: pws_obs::stage("engine.retrieval"),
+            concepts: pws_obs::stage("engine.concepts"),
+            features: pws_obs::stage("engine.features"),
+            beta: pws_obs::stage("engine.beta"),
+            rerank: pws_obs::stage("engine.rerank"),
+            observe: pws_obs::stage("engine.observe"),
+        }
+    }
+}
+
 /// The engine: baseline retrieval + per-user personalization state.
+///
+/// Borrows an immutable baseline [`SearchEngine`] and location ontology;
+/// owns all per-user learned state. Every [`search`](Self::search) /
+/// [`observe`](Self::observe) stage records wall-clock latency into the
+/// process-global [`pws_obs`] registry under `engine.*` stage names.
+///
+/// ```
+/// use pws_core::{EngineConfig, PersonalizedSearchEngine};
+/// use pws_click::UserId;
+/// use pws_geo::{LocId, LocationOntology};
+/// use pws_index::{IndexBuilder, StoredDoc};
+///
+/// // A two-document index and a one-city world.
+/// let mut builder = IndexBuilder::new();
+/// builder.add(StoredDoc::new(0, "http://a.test", "Harbor dining",
+///     "seafood restaurant by the harbor"));
+/// builder.add(StoredDoc::new(1, "http://b.test", "Grill house",
+///     "steak restaurant with grilled specials"));
+/// let index = builder.build();
+/// let mut world = LocationOntology::new();
+/// let region = world.add(LocId::WORLD, "westland", vec![]);
+/// world.add(region, "alden", vec![]);
+///
+/// let mut engine = PersonalizedSearchEngine::new(&index, &world, EngineConfig::default());
+/// let turn = engine.search(UserId(0), "restaurant");
+/// assert_eq!(turn.hits.len(), 2);
+/// assert_eq!(turn.hits[0].rank, 1);
+/// ```
 pub struct PersonalizedSearchEngine<'a> {
     base: &'a SearchEngine,
     world: &'a LocationOntology,
@@ -43,6 +95,7 @@ pub struct PersonalizedSearchEngine<'a> {
     query_stats: HashMap<String, QueryStats>,
     trainer: PairwiseTrainer,
     geo: Option<(&'a pws_geo::WorldCoords, f64)>,
+    metrics: EngineMetrics,
 }
 
 impl<'a> PersonalizedSearchEngine<'a> {
@@ -59,6 +112,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
             query_stats: HashMap::new(),
             trainer,
             geo: None,
+            metrics: EngineMetrics::resolve(),
         }
     }
 
@@ -99,6 +153,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
         let state = self.users.entry(user).or_default();
 
         // ── Candidate pool ────────────────────────────────────────────────
+        let retrieval_span = self.metrics.retrieval.span();
         let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
         let mut candidates = normalize_pool(&base_hits);
 
@@ -135,6 +190,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
                 }
             }
         }
+        drop(retrieval_span);
 
         if self.cfg.mode == PersonalizationMode::Baseline || candidates.is_empty() {
             let page: Vec<SearchHit> = candidates
@@ -150,6 +206,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
         }
 
         // ── Features over the pool ────────────────────────────────────────
+        let concepts_span = self.metrics.concepts.span();
         let pool_snippets: Vec<String> =
             candidates.iter().map(|(h, _)| h.snippet.clone()).collect();
         let pool_onto = QueryConceptOntology::extract(
@@ -160,6 +217,8 @@ impl<'a> PersonalizedSearchEngine<'a> {
             &self.cfg.concept_cfg,
             &self.cfg.location_cfg,
         );
+        drop(concepts_span);
+        let features_span = self.metrics.features.span();
         let inputs: Vec<ResultFeatureInput> = candidates
             .iter()
             .enumerate()
@@ -186,6 +245,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
             &state.history,
             geo_ctx.as_ref(),
         );
+        drop(features_span);
 
         // ── Blend ────────────────────────────────────────────────────────
         let beta = self.choose_beta(query_text);
@@ -195,6 +255,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
         }
 
         // ── Score & select the page ──────────────────────────────────────
+        let rerank_span = self.metrics.rerank.span();
         let order = state.model.rank(&features);
         let page: Vec<SearchHit> = order
             .iter()
@@ -206,12 +267,14 @@ impl<'a> PersonalizedSearchEngine<'a> {
                 h
             })
             .collect();
+        drop(rerank_span);
 
         self.finish_turn(user, query_text, page, beta, true)
     }
 
     /// β for this query under the configured strategy and mode.
     fn choose_beta(&self, query_text: &str) -> f64 {
+        let _span = self.metrics.beta.span();
         match self.cfg.mode {
             PersonalizationMode::ContentOnly => 0.0,
             PersonalizationMode::LocationOnly => 1.0,
@@ -238,6 +301,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
         beta: f64,
         personalized: bool,
     ) -> SearchTurn {
+        let concepts_span = self.metrics.concepts.span();
         let page_snippets: Vec<String> = page.iter().map(|h| h.snippet.clone()).collect();
         let ontology = QueryConceptOntology::extract(
             query_text,
@@ -247,6 +311,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
             &self.cfg.concept_cfg,
             &self.cfg.location_cfg,
         );
+        drop(concepts_span);
         let geo = self.geo;
         let state = self.users.entry(user).or_default();
         let inputs: Vec<ResultFeatureInput> = page
@@ -264,6 +329,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
             self.cfg.mode.uses_location(),
         );
         let geo_ctx = geo.map(|(coords, scale_km)| GeoContext { coords, scale_km });
+        let features_span = self.metrics.features.span();
         let features = extractor.extract_page_geo(
             query_text,
             &inputs,
@@ -273,6 +339,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
             &state.history,
             geo_ctx.as_ref(),
         );
+        drop(features_span);
         SearchTurn {
             user,
             query_text: query_text.to_string(),
@@ -289,6 +356,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
     /// `impression.results` must correspond to `turn.hits` (same order) —
     /// the simulator guarantees this by construction.
     pub fn observe(&mut self, turn: &SearchTurn, impression: &Impression) {
+        let _span = self.metrics.observe.span();
         // Query statistics always update (they also drive the adaptive β
         // for baseline-mode logging).
         self.query_stats

@@ -200,7 +200,7 @@ impl CorpusGen {
                 let ancestors = world.ancestors(c);
                 // ancestors = [city, state, country, region, world]
                 if ancestors.len() >= 3 {
-                    let anc = ancestors[rng.gen_range(1..3)];
+                    let anc = ancestors[rng.gen_range(1..3usize)];
                     let pos = rng.gen_range(0..=body_words.len());
                     body_words.insert(pos, world.name(anc).to_string());
                 }

@@ -67,6 +67,24 @@ impl QueryStats {
         self.impressions += 1;
     }
 
+    /// Fold another accumulator into this one (counts and click masses
+    /// add). Lets per-user shards collect stats independently and combine
+    /// afterwards; merging shard A then B equals observing A's impressions
+    /// then B's, because every field is a sum.
+    pub fn merge(&mut self, other: &QueryStats) {
+        for (url, n) in &other.url_clicks {
+            *self.url_clicks.entry(url.clone()).or_insert(0.0) += n;
+        }
+        for (term, n) in &other.concept_clicks {
+            *self.concept_clicks.entry(term.clone()).or_insert(0.0) += n;
+        }
+        for (loc, n) in &other.location_clicks {
+            *self.location_clicks.entry(*loc).or_insert(0.0) += n;
+        }
+        self.impressions += other.impressions;
+        self.clicks += other.clicks;
+    }
+
     /// Click entropy over URLs (bits).
     pub fn click_entropy(&self) -> f64 {
         crate::shannon::entropy(&self.url_clicks.values().copied().collect::<Vec<_>>())
@@ -82,7 +100,7 @@ impl QueryStats {
         crate::shannon::entropy(&self.location_clicks.values().copied().collect::<Vec<_>>())
     }
 
-    /// Normalized ([0,1]) variants.
+    /// Normalized (unit-interval) variants.
     pub fn normalized_content_entropy(&self) -> f64 {
         crate::shannon::normalized_entropy(
             &self.concept_clicks.values().copied().collect::<Vec<_>>(),
@@ -160,6 +178,41 @@ mod tests {
                 .map(|&r| Click { doc: (r - 1) as u32, rank: r, dwell: 100 })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn merge_equals_sequential_observe() {
+        let snips = ["food in alden", "food in lakemoor", "nothing here"];
+        let o = onto(&snips);
+        // One accumulator observing everything…
+        let mut all = QueryStats::new();
+        all.observe(&o, &imp(&snips, &[1, 2]));
+        all.observe(&o, &imp(&snips, &[1]));
+        // …vs two shards merged.
+        let (mut a, mut b) = (QueryStats::new(), QueryStats::new());
+        a.observe(&o, &imp(&snips, &[1, 2]));
+        b.observe(&o, &imp(&snips, &[1]));
+        a.merge(&b);
+        assert_eq!(a.impressions(), all.impressions());
+        assert_eq!(a.clicks(), all.clicks());
+        // Entropies sum over HashMap values, so summation order (and thus
+        // the last ulp) can differ between the merged and the sequential
+        // accumulator; the click masses themselves are exactly equal.
+        assert!((a.click_entropy() - all.click_entropy()).abs() < 1e-12);
+        assert!((a.content_entropy() - all.content_entropy()).abs() < 1e-12);
+        assert!((a.location_entropy() - all.location_entropy()).abs() < 1e-12);
+        assert_eq!(a.distinct_locations(), all.distinct_locations());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let snips = ["food in alden"];
+        let o = onto(&snips);
+        let mut s = QueryStats::new();
+        s.observe(&o, &imp(&snips, &[1]));
+        let before = (s.impressions(), s.clicks(), s.click_entropy());
+        s.merge(&QueryStats::new());
+        assert_eq!(before, (s.impressions(), s.clicks(), s.click_entropy()));
     }
 
     #[test]

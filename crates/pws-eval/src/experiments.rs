@@ -476,7 +476,14 @@ pub fn f4_entropy_analysis(world: &ExperimentWorld, proto: &Protocol) -> F4Repor
         })
         .map(|(qid, s)| (*qid, s.location_entropy()))
         .collect();
-    entropies.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Total order with a QueryId tie-break: `stats` is a HashMap, so
+    // without it queries with equal entropy (ties at 0.0 are common) would
+    // land in terciles in random per-process iteration order.
+    entropies.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.index().cmp(&b.0.index()))
+    });
 
     // Terciles.
     let n = entropies.len();
@@ -530,30 +537,51 @@ pub fn f4_entropy_analysis(world: &ExperimentWorld, proto: &Protocol) -> F4Repor
 }
 
 /// Run a baseline pass and accumulate [`QueryStats`] per query template.
+///
+/// Sharded per user: each user replays `train_per_user` baseline issues
+/// against a private engine/simulator pair, and the per-user stat maps are
+/// merged in user order (every [`QueryStats`] field is a sum, so shard
+/// merge order only fixes the floating-point accumulation order).
 fn collect_query_stats(world: &ExperimentWorld, proto: &Protocol) -> HashMap<QueryId, QueryStats> {
-    let engine_cfg = EngineConfig::for_mode(PersonalizationMode::Baseline);
-    let top_k = engine_cfg.top_k;
-    let mut engine = PersonalizedSearchEngine::new(&world.engine, &world.world, engine_cfg);
-    let mut sim = SessionSimulator::new(
-        &world.engine,
-        &world.corpus,
-        &world.world,
-        &world.population,
-        &world.queries,
-        SimConfig { top_k, seed: proto.seed },
-    );
+    let per_user = crate::harness::replay_users(world.population.len(), |user_idx| {
+        let engine_cfg = EngineConfig::for_mode(PersonalizationMode::Baseline);
+        let top_k = engine_cfg.top_k;
+        let mut engine = PersonalizedSearchEngine::new(&world.engine, &world.world, engine_cfg);
+        let mut sim = SessionSimulator::new(
+            &world.engine,
+            &world.corpus,
+            &world.world,
+            &world.population,
+            &world.queries,
+            SimConfig { top_k, seed: crate::harness::user_seed(proto.seed, user_idx) },
+        );
+        let user = UserId(user_idx as u32);
+        let mut stats: Vec<(QueryId, QueryStats)> = Vec::new();
+        for _ in 0..proto.train_per_user.max(1) {
+            let qid = sim.sample_query(user);
+            let intent = sim.sample_intent_city(user);
+            let q = &world.queries[qid.index()];
+            let text = sim.render_query(q, intent);
+            let turn = engine.search(user, &text);
+            let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
+            match stats.iter_mut().find(|(id, _)| *id == qid) {
+                Some((_, s)) => s.observe(&turn.ontology, &outcome.impression),
+                None => {
+                    let mut s = QueryStats::new();
+                    s.observe(&turn.ontology, &outcome.impression);
+                    stats.push((qid, s));
+                }
+            }
+            engine.observe(&turn, &outcome.impression);
+        }
+        stats
+    });
+
     let mut stats: HashMap<QueryId, QueryStats> = HashMap::new();
-    let issues = world.population.len() * proto.train_per_user.max(1);
-    for i in 0..issues {
-        let user = UserId((i % world.population.len()) as u32);
-        let qid = sim.sample_query(user);
-        let intent = sim.sample_intent_city(user);
-        let q = &world.queries[qid.index()];
-        let text = sim.render_query(q, intent);
-        let turn = engine.search(user, &text);
-        let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
-        stats.entry(qid).or_default().observe(&turn.ontology, &outcome.impression);
-        engine.observe(&turn, &outcome.impression);
+    for user_stats in per_user {
+        for (qid, s) in user_stats {
+            stats.entry(qid).or_default().merge(&s);
+        }
     }
     stats
 }
@@ -636,33 +664,44 @@ pub struct F6Report {
 /// Compute F6 over the first `horizon` interactions of every user.
 pub fn f6_cold_start(world: &ExperimentWorld, proto: &Protocol, horizon: usize) -> F6Report {
     let run_one = |mode: PersonalizationMode| -> Vec<f64> {
-        let engine_cfg = EngineConfig::for_mode(mode);
-        let top_k = engine_cfg.top_k;
-        let mut engine = PersonalizedSearchEngine::new(&world.engine, &world.world, engine_cfg);
-        let mut sim = SessionSimulator::new(
-            &world.engine,
-            &world.corpus,
-            &world.world,
-            &world.population,
-            &world.queries,
-            SimConfig { top_k, seed: proto.seed },
-        );
-        let mut sums = vec![0.0; horizon];
-        for user_idx in 0..world.population.len() {
+        // Per-user sharded replay: each user's cold-start trajectory is
+        // independent, so users run in parallel and their per-step
+        // precision series are summed in user order.
+        let per_user = crate::harness::replay_users(world.population.len(), |user_idx| {
+            let engine_cfg = EngineConfig::for_mode(mode);
+            let top_k = engine_cfg.top_k;
+            let mut engine =
+                PersonalizedSearchEngine::new(&world.engine, &world.world, engine_cfg);
+            let mut sim = SessionSimulator::new(
+                &world.engine,
+                &world.corpus,
+                &world.world,
+                &world.population,
+                &world.queries,
+                SimConfig { top_k, seed: crate::harness::user_seed(proto.seed, user_idx) },
+            );
             let user = UserId(user_idx as u32);
-            for sum in sums.iter_mut() {
+            let mut series = Vec::with_capacity(horizon);
+            for _ in 0..horizon {
                 let qid = sim.sample_query(user);
                 let intent = sim.sample_intent_city(user);
                 let q = &world.queries[qid.index()];
                 let text = sim.render_query(q, intent);
                 let turn = engine.search(user, &text);
                 let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
-                *sum += crate::metrics::precision_at(
+                series.push(crate::metrics::precision_at(
                     &outcome.grades,
                     1,
                     pws_click::relevance::Grade::HighlyRelevant,
-                );
+                ));
                 engine.observe(&turn, &outcome.impression);
+            }
+            series
+        });
+        let mut sums = vec![0.0; horizon];
+        for series in per_user {
+            for (sum, p) in sums.iter_mut().zip(series) {
+                *sum += p;
             }
         }
         sums.into_iter().map(|s| s / world.population.len().max(1) as f64).collect()
@@ -987,21 +1026,23 @@ pub fn f10_session_adaptation(
     let max_steps = SessionSpec::default().steps.1;
 
     let run_one = |mode: PersonalizationMode| -> (Vec<f64>, Vec<usize>) {
-        let engine_cfg = EngineConfig::for_mode(mode);
-        let top_k = engine_cfg.top_k;
-        let mut engine = PersonalizedSearchEngine::new(&world.engine, &world.world, engine_cfg);
-        let mut sim = SessionSimulator::new(
-            &world.engine,
-            &world.corpus,
-            &world.world,
-            &world.population,
-            &world.queries,
-            SimConfig { top_k, seed: proto.seed },
-        );
-        let mut sums = vec![0.0; max_steps];
-        let mut counts = vec![0usize; max_steps];
-        for user_idx in 0..world.population.len() {
+        // Per-user sharded replay; per-step sums merge in user order.
+        let per_user = crate::harness::replay_users(world.population.len(), |user_idx| {
+            let engine_cfg = EngineConfig::for_mode(mode);
+            let top_k = engine_cfg.top_k;
+            let mut engine =
+                PersonalizedSearchEngine::new(&world.engine, &world.world, engine_cfg);
+            let mut sim = SessionSimulator::new(
+                &world.engine,
+                &world.corpus,
+                &world.world,
+                &world.population,
+                &world.queries,
+                SimConfig { top_k, seed: crate::harness::user_seed(proto.seed, user_idx) },
+            );
             let user = UserId(user_idx as u32);
+            let mut sums = vec![0.0; max_steps];
+            let mut counts = vec![0usize; max_steps];
             // Warm-up traffic so profiles exist before sessions start.
             for _ in 0..proto.train_per_user / 2 {
                 let qid = sim.sample_query(user);
@@ -1036,6 +1077,17 @@ pub fn f10_session_adaptation(
                     counts[t] += 1;
                     engine.observe(&turn, &outcome.impression);
                 }
+            }
+            (sums, counts)
+        });
+        let mut sums = vec![0.0; max_steps];
+        let mut counts = vec![0usize; max_steps];
+        for (s, c) in per_user {
+            for (acc, v) in sums.iter_mut().zip(s) {
+                *acc += v;
+            }
+            for (acc, v) in counts.iter_mut().zip(c) {
+                *acc += v;
             }
         }
         (sums, counts)

@@ -6,6 +6,17 @@
 //! against the latent grades. This mirrors the paper's protocol of
 //! collecting clickthrough for a training period and judging the re-ranked
 //! results afterwards.
+//!
+//! # Sharded replay
+//!
+//! Users are replayed independently: each user gets a fresh engine and a
+//! fresh simulator seeded from [`user_seed`]`(cfg.seed, user_idx)`, so no
+//! state (engine profiles, RNG stream) crosses user boundaries. That makes
+//! the per-user replays embarrassingly parallel — [`run_method`] shards
+//! them across [`eval_threads`] scoped threads and merges results in
+//! ascending user order, so the output is **bit-identical for every thread
+//! count** (including 1). See `EXPERIMENTS.md` for the determinism
+//! argument.
 
 use crate::metrics::{IssueMetrics, MetricAccumulator};
 use crate::setup::ExperimentWorld;
@@ -13,6 +24,72 @@ use pws_click::{CascadeModel, ClickModel, DbnModel, PositionBiasModel, SessionSi
 use pws_core::{EngineConfig, PersonalizedSearchEngine};
 use pws_corpus::query::QueryId;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count used by [`replay_users`] (and thus every
+/// experiment). Global rather than a `RunConfig`/`Protocol` field so the
+/// many existing struct literals stay valid; results never depend on it.
+static EVAL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the number of worker threads used to replay users. Values are
+/// clamped to at least 1. Thread count never changes results — only
+/// wall-clock time.
+pub fn set_eval_threads(n: usize) {
+    EVAL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current worker-thread count for user replay.
+pub fn eval_threads() -> usize {
+    EVAL_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Deterministic per-user RNG seed: a SplitMix64 finalizer over the
+/// harness seed and the user index. Each user's simulator draws from its
+/// own stream, so replay order (and thread interleaving) cannot perturb
+/// any user's trajectory.
+pub fn user_seed(seed: u64, user_idx: usize) -> u64 {
+    let mut z = seed ^ (user_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map every user index through `f`, sharded across [`eval_threads`]
+/// scoped threads, returning results in ascending user order.
+///
+/// `f` must be a pure function of the user index (all experiment closures
+/// are: they build a fresh engine + simulator seeded by [`user_seed`]), so
+/// the result is identical for every thread count; only the wall-clock
+/// time changes. Threads take users round-robin (`t, t+T, t+2T, …`) to
+/// balance load, and the main thread re-assembles the slots in index
+/// order so floating-point merges downstream happen in a canonical order.
+pub fn replay_users<T, F>(n_users: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = eval_threads().min(n_users.max(1));
+    if threads <= 1 {
+        return (0..n_users).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n_users).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    (t..n_users).step_by(threads).map(|i| (i, f(i))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("user replay panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every user index replayed")).collect()
+}
 
 /// Which click model the simulated users follow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,8 +201,32 @@ impl MethodResult {
 }
 
 /// Run one method over the experiment world.
+///
+/// Each user is replayed independently (fresh engine, fresh simulator,
+/// per-user seed) and the per-user results are merged in user order, so
+/// the outcome does not depend on [`eval_threads`].
 pub fn run_method(world: &ExperimentWorld, cfg: &RunConfig) -> MethodResult {
     let label = cfg.label.clone().unwrap_or_else(|| cfg.engine.mode.label().to_string());
+    let per_user = replay_users(world.population.len(), |idx| replay_user(world, cfg, idx));
+
+    let mut acc = MetricAccumulator::new();
+    let mut detail = Vec::new();
+    for user_details in per_user {
+        for d in user_details {
+            acc.push(&d.metrics);
+            detail.push(d);
+        }
+    }
+    MethodResult { label, metrics: acc, detail }
+}
+
+/// Replay one user's full train + eval trajectory against a fresh engine.
+///
+/// Engine personalization state is per-user anyway (profiles, history,
+/// per-user models), so giving each user a private engine only localizes
+/// the per-query click statistics feeding adaptive β — which the paper
+/// also derives from the user's own clickthrough.
+fn replay_user(world: &ExperimentWorld, cfg: &RunConfig, user_idx: usize) -> Vec<IssueDetail> {
     let top_k = cfg.engine.top_k;
     let mut engine = PersonalizedSearchEngine::new(&world.engine, &world.world, cfg.engine.clone());
     let mut sim = SessionSimulator::with_model(
@@ -134,37 +235,31 @@ pub fn run_method(world: &ExperimentWorld, cfg: &RunConfig) -> MethodResult {
         &world.world,
         &world.population,
         &world.queries,
-        SimConfig { top_k, seed: cfg.seed },
+        SimConfig { top_k, seed: user_seed(cfg.seed, user_idx) },
         cfg.click_model.build(),
     );
-    let mut acc = MetricAccumulator::new();
-    let mut detail = Vec::new();
+    let user = UserId(user_idx as u32);
 
-    for user_idx in 0..world.population.len() {
-        let user = UserId(user_idx as u32);
-
-        // ── Training phase ────────────────────────────────────────────────
-        for _ in 0..cfg.train_per_user {
-            let qid = sim.sample_query(user);
-            let (turn, outcome) = one_issue(&mut engine, &mut sim, user, qid);
-            engine.observe(&turn, &outcome.impression);
-        }
-
-        // ── Evaluation phase ──────────────────────────────────────────────
-        for _ in 0..cfg.eval_per_user {
-            let qid = sim.sample_query(user);
-            let (turn, outcome) = one_issue(&mut engine, &mut sim, user, qid);
-            let clicked_at_1 = outcome.impression.clicks.iter().any(|c| c.rank == 1);
-            let m = IssueMetrics::from_page(&outcome.grades, clicked_at_1);
-            acc.push(&m);
-            detail.push(IssueDetail { query: qid, metrics: m });
-            if cfg.observe_during_eval {
-                engine.observe(&turn, &outcome.impression);
-            }
-        }
+    // ── Training phase ────────────────────────────────────────────────────
+    for _ in 0..cfg.train_per_user {
+        let qid = sim.sample_query(user);
+        let (turn, outcome) = one_issue(&mut engine, &mut sim, user, qid);
+        engine.observe(&turn, &outcome.impression);
     }
 
-    MethodResult { label, metrics: acc, detail }
+    // ── Evaluation phase ──────────────────────────────────────────────────
+    let mut out = Vec::with_capacity(cfg.eval_per_user);
+    for _ in 0..cfg.eval_per_user {
+        let qid = sim.sample_query(user);
+        let (turn, outcome) = one_issue(&mut engine, &mut sim, user, qid);
+        let clicked_at_1 = outcome.impression.clicks.iter().any(|c| c.rank == 1);
+        let m = IssueMetrics::from_page(&outcome.grades, clicked_at_1);
+        out.push(IssueDetail { query: qid, metrics: m });
+        if cfg.observe_during_eval {
+            engine.observe(&turn, &outcome.impression);
+        }
+    }
+    out
 }
 
 /// Run several method configurations concurrently (one OS thread each).
@@ -173,14 +268,13 @@ pub fn run_method(world: &ExperimentWorld, cfg: &RunConfig) -> MethodResult {
 /// and simulator, so runs are independent and results are identical to
 /// sequential execution (every run is internally seeded).
 pub fn run_methods_parallel(world: &ExperimentWorld, cfgs: &[RunConfig]) -> Vec<MethodResult> {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = cfgs
             .iter()
-            .map(|cfg| scope.spawn(move |_| run_method(world, cfg)))
+            .map(|cfg| scope.spawn(move || run_method(world, cfg)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("run_method panicked")).collect()
     })
-    .expect("thread scope")
 }
 
 /// One issue through the personalized engine + the click simulator.
@@ -257,6 +351,36 @@ mod tests {
             comb.metrics.p_high()[0],
             base.metrics.p_high()[0]
         );
+    }
+
+    #[test]
+    fn sharded_replay_is_thread_count_invariant() {
+        // Byte-identical serialized results with 1 and 4 worker threads —
+        // the core determinism claim of the sharded harness.
+        let w = world();
+        let cfg = RunConfig::quick(EngineConfig::for_mode(PersonalizationMode::Combined));
+        let serial = {
+            set_eval_threads(1);
+            run_method(&w, &cfg)
+        };
+        set_eval_threads(4);
+        let parallel = run_method(&w, &cfg);
+        set_eval_threads(1);
+        let a = serde_json::to_string(&serial).expect("serialize serial");
+        let b = serde_json::to_string(&parallel).expect("serialize parallel");
+        assert_eq!(a, b, "thread count changed the result bytes");
+    }
+
+    #[test]
+    fn user_seed_is_spread_out() {
+        // Adjacent users must not get adjacent (or equal) RNG streams.
+        let s: Vec<u64> = (0..16).map(|i| user_seed(99, i)).collect();
+        for i in 0..s.len() {
+            for j in i + 1..s.len() {
+                assert_ne!(s[i], s[j], "collision between users {i} and {j}");
+            }
+        }
+        assert_ne!(user_seed(99, 0), user_seed(100, 0), "seed must matter");
     }
 
     #[test]

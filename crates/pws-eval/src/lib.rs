@@ -32,6 +32,9 @@ pub mod harness;
 pub mod metrics;
 pub mod setup;
 
-pub use harness::{run_method, run_methods_parallel, ClickModelKind, MethodResult, RunConfig};
+pub use harness::{
+    eval_threads, replay_users, run_method, run_methods_parallel, set_eval_threads, user_seed,
+    ClickModelKind, MethodResult, RunConfig,
+};
 pub use metrics::{ndcg_at, precision_at, IssueMetrics, MetricAccumulator};
 pub use setup::{ExperimentSpec, ExperimentWorld};

@@ -1,0 +1,55 @@
+//! Cross-thread-count determinism of the experiment pipeline.
+//!
+//! The `experiments` binary's `--threads N` flag must never change the
+//! bytes of `results/f*.json` / `results/t*.json`. These tests exercise
+//! the same code path the binary uses (experiment function → serde_json)
+//! at small scale and assert the serialized reports are byte-identical
+//! with 1 and 4 worker threads.
+
+use pws_eval::experiments::{self as exp, Protocol};
+use pws_eval::{set_eval_threads, ExperimentSpec, ExperimentWorld};
+use serde::Serialize;
+
+fn json<T: Serialize>(v: &T) -> String {
+    serde_json::to_string_pretty(v).expect("report serializes")
+}
+
+/// Render a report with 1 thread, then with 4, and compare bytes.
+fn assert_thread_invariant<T: Serialize>(label: &str, mut run: impl FnMut() -> T) {
+    set_eval_threads(1);
+    let serial = json(&run());
+    set_eval_threads(4);
+    let parallel = json(&run());
+    set_eval_threads(1);
+    assert_eq!(serial, parallel, "{label}: thread count changed report bytes");
+}
+
+#[test]
+fn t3_method_comparison_is_thread_invariant() {
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    let proto = Protocol::quick();
+    assert_thread_invariant("t3", || exp::t3_method_comparison(&world, &proto));
+}
+
+#[test]
+fn f4_entropy_analysis_is_thread_invariant() {
+    // F4 is the interesting one: it merges per-user QueryStats shards and
+    // tercile-buckets queries by entropy (ties broken by QueryId).
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    let proto = Protocol::quick();
+    assert_thread_invariant("f4", || exp::f4_entropy_analysis(&world, &proto));
+}
+
+#[test]
+fn f6_cold_start_is_thread_invariant() {
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    let proto = Protocol::quick();
+    assert_thread_invariant("f6", || exp::f6_cold_start(&world, &proto, 4));
+}
+
+#[test]
+fn f10_session_adaptation_is_thread_invariant() {
+    let world = ExperimentWorld::build(ExperimentSpec::small());
+    let proto = Protocol::quick();
+    assert_thread_invariant("f10", || exp::f10_session_adaptation(&world, &proto, 2));
+}

@@ -6,8 +6,6 @@
 //! `Vec<u32>` postings — which matters once the synthetic corpus is scaled
 //! up for the efficiency table (T4).
 
-use bytes::{Buf, BufMut};
-
 /// Append `v` to `out` as a varint. At most 5 bytes for a `u32`.
 #[inline]
 pub fn write_varint(out: &mut Vec<u8>, mut v: u32) {
@@ -15,10 +13,10 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u32) {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            out.put_u8(byte);
+            out.push(byte);
             return;
         }
-        out.put_u8(byte | 0x80);
+        out.push(byte | 0x80);
     }
 }
 
@@ -30,10 +28,8 @@ pub fn read_varint(buf: &mut &[u8]) -> Option<u32> {
     let mut v: u32 = 0;
     let mut shift = 0;
     for _ in 0..5 {
-        if !buf.has_remaining() {
-            return None;
-        }
-        let byte = buf.get_u8();
+        let (&byte, rest) = buf.split_first()?;
+        *buf = rest;
         v |= u32::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Some(v);

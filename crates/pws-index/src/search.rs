@@ -283,9 +283,20 @@ impl SearchEngine {
         scores
     }
 
+    /// Process-wide handle to the `index.search` stage, resolved once.
+    fn metrics_search(&self) -> &pws_obs::StageMetrics {
+        static STAGE: std::sync::OnceLock<std::sync::Arc<pws_obs::StageMetrics>> =
+            std::sync::OnceLock::new();
+        STAGE.get_or_init(|| pws_obs::stage("index.search"))
+    }
+
     /// Execute `query`, returning the top `k` hits ranked by BM25
     /// descending, ties broken by ascending doc id (deterministic).
+    ///
+    /// Each call records its latency under the `index.search` stage in
+    /// the global [`pws_obs`] registry.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let _span = self.metrics_search().span();
         if k == 0 || self.docs.is_empty() {
             return Vec::new();
         }

@@ -1,0 +1,437 @@
+//! Zero-dependency observability for the personalized-search pipeline.
+//!
+//! Every stage of the engine's hot path (candidate retrieval, concept
+//! extraction, feature building, β computation, re-ranking, click
+//! observation) records into a process-global registry of
+//! [`StageMetrics`]: an atomic invocation counter, a running total of
+//! nanoseconds, and a log₂-bucketed latency histogram from which
+//! p50/p95/p99 are estimated. Everything is lock-free on the record
+//! path (a mutex guards only stage *registration*), so instrumented
+//! code can run unchanged across the parallel evaluation harness.
+//!
+//! # Recording
+//!
+//! Stages are interned by name; [`stage`] returns a shared handle that
+//! callers cache. The usual pattern is an RAII [`Span`] that records
+//! its elapsed wall-clock time on drop:
+//!
+//! ```
+//! let stage = pws_obs::stage("docs.example");
+//! {
+//!     let _timer = stage.span();
+//!     // ... the work being measured ...
+//! }
+//! assert_eq!(stage.count(), 1);
+//! assert!(stage.total_nanos() > 0);
+//! ```
+//!
+//! # Snapshots
+//!
+//! [`snapshot`] captures every registered stage into a plain-data
+//! [`MetricsSnapshot`], serializable to JSON without any external
+//! crates:
+//!
+//! ```
+//! pws_obs::stage("docs.demo").record_nanos(1_500);
+//! let snap = pws_obs::snapshot();
+//! let json = snap.to_json(true);
+//! assert!(json.contains("\"docs.demo\""));
+//! assert!(json.contains("\"p99_nanos\""));
+//! ```
+//!
+//! # Accuracy
+//!
+//! Histogram buckets double in width, so percentile estimates are
+//! upper bounds with at most 2× resolution error — adequate for
+//! spotting stage-level regressions, not for microbenchmarks (use
+//! `pws-bench` for those). Counters use relaxed atomics: totals are
+//! exact once threads quiesce, but a snapshot taken mid-flight may
+//! observe a count and total from slightly different instants.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log₂ histogram buckets. Bucket 0 holds exact zeros;
+/// bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`; the last bucket
+/// absorbs everything from `2^62` up to `u64::MAX`.
+pub const BUCKETS: usize = 64;
+
+/// Metrics for one named pipeline stage.
+///
+/// All methods take `&self` and are safe to call from any thread.
+pub struct StageMetrics {
+    name: String,
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// The histogram bucket a value falls into (see [`BUCKETS`]).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper bound of a bucket, used as its representative value when
+/// estimating percentiles.
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        b if b >= BUCKETS - 1 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+impl StageMetrics {
+    fn new(name: &str) -> Self {
+        StageMetrics {
+            name: name.to_string(),
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The stage's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record one observation of `nanos` elapsed time.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump the invocation counter by `n` without timing anything
+    /// (pure event counters).
+    pub fn incr(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Start an RAII timer that records into this stage when dropped.
+    pub fn span(&self) -> Span<'_> {
+        Span { stage: self, start: Instant::now() }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Zero all counters and buckets.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_nanos.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Capture this stage into plain data.
+    pub fn snapshot(&self) -> StageSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let histogram_count: u64 = buckets.iter().sum();
+        let count = self.count();
+        let total_nanos = self.total_nanos();
+        let mean_nanos =
+            if histogram_count == 0 { 0.0 } else { total_nanos as f64 / histogram_count as f64 };
+        StageSnapshot {
+            name: self.name.clone(),
+            count,
+            total_nanos,
+            mean_nanos,
+            p50_nanos: percentile(&buckets, histogram_count, 0.50),
+            p95_nanos: percentile(&buckets, histogram_count, 0.95),
+            p99_nanos: percentile(&buckets, histogram_count, 0.99),
+        }
+    }
+}
+
+/// Estimate the `q`-quantile from log₂ bucket counts: the upper bound
+/// of the bucket containing the `ceil(q·total)`-th observation.
+fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(BUCKETS - 1)
+}
+
+/// RAII timer returned by [`StageMetrics::span`]. Records the elapsed
+/// wall-clock time into its stage when dropped.
+#[must_use = "a Span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    stage: &'a StageMetrics,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stage.record_nanos(nanos);
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Arc<StageMetrics>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<StageMetrics>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Intern `name` in the global registry and return its shared handle.
+///
+/// Handles are cheap to clone and callers on hot paths should resolve
+/// them once (e.g. at engine construction), not per call.
+pub fn stage(name: &str) -> Arc<StageMetrics> {
+    let mut map = registry().lock().expect("metrics registry poisoned");
+    map.entry(name.to_string()).or_insert_with(|| Arc::new(StageMetrics::new(name))).clone()
+}
+
+/// Capture every registered stage, sorted by name.
+pub fn snapshot() -> MetricsSnapshot {
+    let map = registry().lock().expect("metrics registry poisoned");
+    let mut stages: Vec<StageSnapshot> = map.values().map(|s| s.snapshot()).collect();
+    stages.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot { stages }
+}
+
+/// Zero every registered stage (stages stay registered).
+pub fn reset() {
+    let map = registry().lock().expect("metrics registry poisoned");
+    for s in map.values() {
+        s.reset();
+    }
+}
+
+/// Plain-data capture of one stage (see [`StageMetrics::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    /// Registered stage name.
+    pub name: String,
+    /// Observations (span/record calls plus [`StageMetrics::incr`]).
+    pub count: u64,
+    /// Sum of recorded durations.
+    pub total_nanos: u64,
+    /// Mean recorded duration (0 when nothing was timed).
+    pub mean_nanos: f64,
+    /// Estimated median duration (bucket upper bound).
+    pub p50_nanos: u64,
+    /// Estimated 95th-percentile duration.
+    pub p95_nanos: u64,
+    /// Estimated 99th-percentile duration.
+    pub p99_nanos: u64,
+}
+
+/// Plain-data capture of the whole registry, JSON-serializable without
+/// external dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All registered stages, sorted by name.
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serialize to JSON. `pretty` adds two-space indentation.
+    pub fn to_json(&self, pretty: bool) -> String {
+        let (nl, ind, ind2, sp) = if pretty { ("\n", "  ", "    ", " ") } else { ("", "", "", "") };
+        let mut out = String::new();
+        out.push_str(&format!("{{{nl}{ind}\"stages\":{sp}["));
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{nl}{ind2}{{\"name\":{sp}\"{}\",{sp}\"count\":{sp}{},{sp}\
+                 \"total_nanos\":{sp}{},{sp}\"mean_nanos\":{sp}{:.1},{sp}\
+                 \"p50_nanos\":{sp}{},{sp}\"p95_nanos\":{sp}{},{sp}\"p99_nanos\":{sp}{}}}",
+                escape(&s.name),
+                s.count,
+                s.total_nanos,
+                s.mean_nanos,
+                s.p50_nanos,
+                s.p95_nanos,
+                s.p99_nanos,
+            ));
+        }
+        out.push_str(&format!("{nl}{ind}]{nl}}}"));
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        // Zero gets its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        // One is the first nonzero bucket.
+        assert_eq!(bucket_index(1), 1);
+        // Powers of two open a new bucket; their predecessors close one.
+        for k in 1..62u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k as usize + 1, "2^{k}");
+            assert_eq!(bucket_index(v - 1), k as usize, "2^{k} - 1");
+        }
+        // The top bucket absorbs the giants.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 62), BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 63), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every value's bucket upper bound is >= the value (except the
+        // saturating top bucket, where it's u64::MAX by construction).
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, 1_000_000, u64::MAX] {
+            assert!(bucket_upper(bucket_index(v)) >= v, "value {v}");
+        }
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let m = StageMetrics::new("test.percentiles");
+        // 99 fast observations (~1µs) and one slow outlier (~1ms).
+        for _ in 0..99 {
+            m.record_nanos(1_000);
+        }
+        m.record_nanos(1_000_000);
+        let s = m.snapshot();
+        assert_eq!(s.count, 100);
+        // 1000 lands in bucket [512, 1024): upper bound 1023.
+        assert_eq!(s.p50_nanos, 1023);
+        assert_eq!(s.p95_nanos, 1023);
+        // The p99 rank is exactly the 99th observation — still fast; the
+        // outlier is only visible at p100-ish ranks.
+        assert_eq!(s.p99_nanos, 1023);
+        assert_eq!(s.total_nanos, 99 * 1_000 + 1_000_000);
+        // Mean reflects the outlier.
+        assert!((s.mean_nanos - 10_990.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_extreme_values() {
+        let m = StageMetrics::new("test.extremes");
+        m.record_nanos(0);
+        m.record_nanos(u64::MAX);
+        let s = m.snapshot();
+        assert_eq!(s.p50_nanos, 0);
+        assert_eq!(s.p95_nanos, u64::MAX);
+        assert_eq!(s.p99_nanos, u64::MAX);
+        assert_eq!(s.total_nanos, u64::MAX);
+    }
+
+    #[test]
+    fn empty_stage_snapshots_as_zeros() {
+        let s = StageMetrics::new("test.empty").snapshot();
+        assert_eq!(
+            (s.count, s.total_nanos, s.p50_nanos, s.p95_nanos, s.p99_nanos),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean_nanos, 0.0);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let m = StageMetrics::new("test.span");
+        {
+            let _t = m.span();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(m.count(), 1);
+        assert!(m.total_nanos() >= 1_000_000, "slept ≥ 1ms");
+    }
+
+    #[test]
+    fn incr_counts_without_timing() {
+        let m = StageMetrics::new("test.incr");
+        m.incr(3);
+        m.incr(2);
+        let s = m.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_nanos, 0);
+        // Nothing was *timed*, so the histogram (and mean) stay empty.
+        assert_eq!(s.mean_nanos, 0.0);
+    }
+
+    #[test]
+    fn registry_interns_and_resets() {
+        let a = stage("test.registry.shared");
+        let b = stage("test.registry.shared");
+        a.record_nanos(10);
+        b.record_nanos(20);
+        assert_eq!(a.count(), 2, "same underlying stage");
+        a.reset();
+        assert_eq!(b.count(), 0);
+        assert!(snapshot().stages.iter().any(|s| s.name == "test.registry.shared"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = stage("test.concurrent");
+        m.reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        m.record_nanos(100);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.count(), 40_000);
+        assert_eq!(m.total_nanos(), 4_000_000);
+    }
+
+    #[test]
+    fn json_shape_compact_and_pretty() {
+        let m = StageMetrics::new("test.json \"quoted\"");
+        m.record_nanos(5);
+        let snap = MetricsSnapshot { stages: vec![m.snapshot()] };
+        let compact = snap.to_json(false);
+        assert!(compact.starts_with("{\"stages\": [".replace(' ', "").as_str()));
+        assert!(compact.contains("\\\"quoted\\\""));
+        assert!(!compact.contains('\n'));
+        let pretty = snap.to_json(true);
+        assert!(pretty.contains("\n    {\"name\": "));
+        assert!(pretty.ends_with("\n  ]\n}"));
+    }
+}

@@ -118,6 +118,11 @@ impl PairwiseTrainer {
         if pairs.is_empty() {
             return;
         }
+        // Every optimization path funnels through here, so this one span
+        // covers `train`, `train_into`, and online re-training alike.
+        static STAGE: std::sync::OnceLock<std::sync::Arc<pws_obs::StageMetrics>> =
+            std::sync::OnceLock::new();
+        let _span = STAGE.get_or_init(|| pws_obs::stage("ranksvm.train")).span();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         let mut t: u64 = 0;

@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timing loop
+//! instead of criterion's statistical machinery. Each benchmark runs a
+//! short warm-up, then a fixed measurement window, and prints mean
+//! time per iteration (plus throughput when configured).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1000);
+
+/// How batched inputs are sized in [`Bencher::iter_batched`]. The stub
+/// runs one input per measured call regardless, so the variants only
+/// document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("group {name}");
+        BenchmarkGroup { group: name.to_string(), throughput: None }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, None, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup {
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time `f` under this group's settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        run_benchmark(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the stub prints as
+    /// it goes).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if b.iters == 0 {
+        eprintln!("  {name}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            eprintln!("  {name}: {} per iter, {rate:.0} elem/s", fmt_time(per_iter));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter;
+            eprintln!("  {name}: {} per iter, {:.1} MiB/s", fmt_time(per_iter), rate / (1 << 20) as f64);
+        }
+        None => eprintln!("  {name}: {} per iter", fmt_time(per_iter)),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; records the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        // Measurement window.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < MEASURE {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed += measured;
+        self.iters += iters;
+    }
+}
+
+/// Bundle benchmark functions into a runner function, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

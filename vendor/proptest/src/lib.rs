@@ -1,0 +1,733 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (both `pat in strategy` and
+//! `name: Type` argument forms, with an optional `#![proptest_config]`
+//! header), `prop_assert!`/`prop_assert_eq!`, range and
+//! regex-character-class string strategies, `prop_map`, tuples,
+//! `collection::{vec, btree_map, btree_set}`, and `sample::select`.
+//!
+//! Differences from upstream: cases are generated from a fixed seed
+//! (fully deterministic runs, no persisted failure regressions) and
+//! there is **no shrinking** — a failing case reports its assertion
+//! message only. Inputs are drawn via the vendored `rand` stub.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy,
+        Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy,
+        RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String-literal strategies: a regex-lite pattern of character
+    /// classes with repetition counts, e.g. `"[a-z]{1,8}"` or `".{0,200}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+pub mod arbitrary {
+    //! [`any`] — the canonical strategy for a type.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (used by the `name: Type` argument
+    /// form of `proptest!`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! arbitrary_via_u64 {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_via_u64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            // Printable ASCII keeps generated text debuggable.
+            rng.gen_range(0x20u32..0x7F) as u8 as char
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec()`], [`btree_map`], [`btree_set`].
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification: an exact count or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap` with a size drawn from `size`. Duplicate
+    /// keys are retried a bounded number of times, so a small key domain
+    /// may yield fewer entries than requested.
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target * 20 + 20 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// Strategy for `BTreeSet`, with the same duplicate-retry behavior as
+    /// [`btree_map`].
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod sample {
+    //! [`select`] — pick uniformly from a fixed list.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy that yields a uniformly random element of `items`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select requires a non-empty list");
+        Select { items }
+    }
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-lite string generation for `&str` strategies.
+    //!
+    //! Supported grammar: a sequence of atoms, each an arbitrary-char
+    //! dot (`.`), a character class (`[a-z0-9 .,;!?']`, with ranges),
+    //! or a literal character, optionally followed by `{m}` or `{m,n}`.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    struct Atom {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    pub(crate) fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in compile(pattern) {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..n {
+                out.push(atom.alphabet[rng.gen_range(0..atom.alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    fn compile(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '.' => {
+                    i += 1;
+                    (0x20u8..0x7F).map(char::from).collect()
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        // `a-z` range (a `-` just before `]` is literal).
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            assert!(lo <= hi, "bad range in pattern `{pattern}`");
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated `[` in pattern `{pattern}`");
+                    i += 1; // closing ]
+                    set
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                i += 1;
+                let mut digits = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    digits.push(chars[i]);
+                    i += 1;
+                }
+                let min: usize = digits.parse().expect("bad `{m}` in pattern");
+                let max = if i < chars.len() && chars[i] == ',' {
+                    i += 1;
+                    let mut digits = String::new();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        digits.push(chars[i]);
+                        i += 1;
+                    }
+                    digits.parse().expect("bad `{m,n}` in pattern")
+                } else {
+                    min
+                };
+                assert!(
+                    i < chars.len() && chars[i] == '}',
+                    "unterminated `{{` in pattern `{pattern}`"
+                );
+                i += 1;
+                (min, max)
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad repetition in pattern `{pattern}`");
+            atoms.push(Atom { alphabet, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod test_runner {
+    //! Case execution: config, runner, and failure type.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// A failed (or rejected) test case.
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A test-case failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Debug for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "TestCaseError({})", self.0)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Result type of a single property-test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Generates inputs and runs cases. Unlike upstream, the RNG seed is
+    /// fixed, so runs are fully deterministic, and failures are not
+    /// shrunk.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config, rng: StdRng::seed_from_u64(0x5EED_CA5E_D00D) }
+        }
+
+        /// Run `test` against `config.cases` generated inputs, panicking
+        /// on the first failure.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> TestCaseResult,
+        ) {
+            for case in 0..self.config.cases {
+                let input = strategy.generate(&mut self.rng);
+                if let Err(e) = test(input) {
+                    panic!(
+                        "proptest: case {}/{} failed: {}",
+                        case + 1,
+                        self.config.cases,
+                        e.0
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias so `prop::collection::vec(...)` etc. resolve.
+    pub use crate as prop;
+}
+
+/// Assert a condition inside a property, failing the case (not
+/// panicking) so the runner can report the generated input context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}:{}: {}", file!(), line!(), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{} ({:?} vs {:?})", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Assert two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{} (both {:?})", format!($($fmt)+), l);
+    }};
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and any number of test functions
+/// whose arguments are `pat in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($cfg) [] [] ($($args)*) $body);
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All arguments consumed: build the tuple strategy and run.
+    (($cfg:expr) [$($pat:pat)*] [$($strat:expr)*] () $body:block) => {{
+        let config = $cfg;
+        let strategy = ($($strat,)*);
+        let mut runner = $crate::test_runner::TestRunner::new(config);
+        runner.run(&strategy, |($($pat,)*)| {
+            $body
+            ::std::result::Result::Ok(())
+        });
+    }};
+    // `pat in strategy` followed by more arguments.
+    (($cfg:expr) [$($pat:pat)*] [$($strat:expr)*] ($p:pat in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(($cfg) [$($pat)* $p] [$($strat)* $s] ($($rest)*) $body);
+    };
+    // `pat in strategy` as the final argument.
+    (($cfg:expr) [$($pat:pat)*] [$($strat:expr)*] ($p:pat in $s:expr) $body:block) => {
+        $crate::__proptest_case!(($cfg) [$($pat)* $p] [$($strat)* $s] () $body);
+    };
+    // `name: Type` followed by more arguments.
+    (($cfg:expr) [$($pat:pat)*] [$($strat:expr)*] ($v:ident: $t:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(
+            ($cfg) [$($pat)* $v] [$($strat)* $crate::arbitrary::any::<$t>()] ($($rest)*) $body
+        );
+    };
+    // `name: Type` as the final argument.
+    (($cfg:expr) [$($pat:pat)*] [$($strat:expr)*] ($v:ident: $t:ty) $body:block) => {
+        $crate::__proptest_case!(
+            ($cfg) [$($pat)* $v] [$($strat)* $crate::arbitrary::any::<$t>()] () $body
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_patterns_respect_alphabet_and_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z0-9 .,;!?']{0,120}".generate(&mut rng);
+            assert!(t.len() <= 120);
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let m = crate::collection::btree_map(0u32..1000, 0.0f64..1.0, 3..6)
+                .generate(&mut rng);
+            assert!((3..6).contains(&m.len()));
+            let one = crate::collection::vec(0u32..10, 3).generate(&mut rng);
+            assert_eq!(one.len(), 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_handles_both_arg_forms(x in 0u32..10, v: u8, s in "[a-z]{2,4}") {
+            prop_assert!(x < 10);
+            let _ = v;
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {} out of range", s.len());
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(s, String::new());
+        }
+
+        #[test]
+        fn mapped_and_selected_strategies(
+            g in (0u32..3).prop_map(|x| x * 10),
+            w in prop::sample::select(vec!["north", "south"]),
+        ) {
+            prop_assert!(g == 0 || g == 10 || g == 20);
+            prop_assert!(w == "north" || w == "south");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest: case")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,336 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently,
+//!   wider ones as arrays),
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string, as `serde_json` does for C-like enums).
+//!
+//! Generics, data-carrying enum variants, and `#[serde(...)]`
+//! attributes are intentionally unsupported and fail loudly at compile
+//! time. The macros parse the item token stream directly (no `syn`) and
+//! emit the impl as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum with unit variants only.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic type `{name}` is unsupported");
+        }
+    }
+
+    match (kind.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct { name, fields: parse_named_fields(g.stream()) }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::UnitEnum { name: name.clone(), variants: parse_unit_variants(&name, g.stream()) }
+        }
+        (k, other) => panic!("serde derive stub: unsupported item `{k}` body {other:?}"),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            panic!("serde derive: expected field name, got {tok:?}");
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma. Angle brackets
+        // are punctuation (not groups), so track their depth explicitly.
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body (trailing comma tolerated).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut in_segment = false;
+    let mut angle = 0i32;
+    for t in body {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_segment {
+            in_segment = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Variant names of a unit-variant-only enum body.
+fn parse_unit_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(var) = tok else {
+            panic!("serde derive: expected variant name in `{name}`, got {tok:?}");
+        };
+        variants.push(var.to_string());
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde derive stub: enum `{name}` has a data-carrying variant, \
+                 only unit variants are supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant.
+                for t in toks.by_ref() {
+                    if matches!(&t, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            other => panic!("serde derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join("")
+            ));
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Serialize::to_value(&self.0)\n\
+                     }}\n\
+                 }}"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join("")
+            ));
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string()),")
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("")
+            ));
+        }
+    }
+    out.parse().expect("serde derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match v.get(\"{f}\") {{\n\
+                             Some(x) => serde::Deserialize::from_value(x)?,\n\
+                             None => serde::missing_field(\"{f}\")?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Map(_) => Ok({name} {{ {} }}),\n\
+                             other => Err(serde::DeError::new(format!(\n\
+                                 \"expected object for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                inits.join("")
+            ));
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                     }}\n\
+                 }}"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Array(items) if items.len() == {arity} =>\n\
+                                 Ok({name}({})),\n\
+                             other => Err(serde::DeError::new(format!(\n\
+                                 \"expected {arity}-element array for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                items.join("")
+            ));
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(serde::DeError::new(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(serde::DeError::new(format!(\n\
+                                 \"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("")
+            ));
+        }
+    }
+    out.parse().expect("serde derive: generated Deserialize impl must parse")
+}
