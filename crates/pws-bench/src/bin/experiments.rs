@@ -5,13 +5,17 @@
 //! cargo run -p pws-bench --release --bin experiments -- t3 f5
 //! cargo run -p pws-bench --release --bin experiments -- --quick all
 //! cargo run -p pws-bench --release --bin experiments -- --threads 4 all
+//! cargo run -p pws-bench --release --bin experiments -- --backend sharded:8 all
 //! ```
 //!
 //! Rendered tables go to stdout; JSON for each experiment is written to
 //! `results/<id>.json`. `--threads N` shards per-user replay over N worker
-//! threads; the JSON output is byte-identical for every thread count (see
-//! EXPERIMENTS.md). A stage-latency profile from the engine's built-in
-//! metrics (`pws-obs`) is written to `results/metrics.json` on exit.
+//! threads; `--backend serial|sharded[:N]` selects which engine frontend
+//! replays users (the serial middleware or the `pws-serve` concurrent
+//! engine with N user shards). The JSON output is byte-identical for
+//! every thread count *and* backend (see EXPERIMENTS.md). A stage-latency
+//! profile from the engine's built-in metrics (`pws-obs`) is written to
+//! `results/metrics.json` on exit.
 
 use pws_eval::experiments as exp;
 use pws_eval::experiments::Protocol;
@@ -57,9 +61,47 @@ fn parse_threads(args: Vec<String>) -> (usize, Vec<String>) {
     (threads.max(1), rest)
 }
 
+/// Parse `--backend serial|sharded[:N]` (also `--backend=…`), returning
+/// the backend and the args with the flag removed. `sharded` without a
+/// shard count uses the serving layer's default of 8.
+fn parse_backend(args: Vec<String>) -> (pws_eval::EvalBackend, Vec<String>) {
+    fn decode(v: &str) -> Option<pws_eval::EvalBackend> {
+        match v {
+            "serial" => Some(pws_eval::EvalBackend::Serial),
+            "sharded" => Some(pws_eval::EvalBackend::Sharded { shards: 8 }),
+            _ => v
+                .strip_prefix("sharded:")
+                .and_then(|n| n.parse().ok())
+                .map(|shards| pws_eval::EvalBackend::Sharded { shards }),
+        }
+    }
+    let mut backend = pws_eval::EvalBackend::Serial;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--backend" {
+            it.next()
+        } else if let Some(v) = a.strip_prefix("--backend=") {
+            Some(v.to_string())
+        } else {
+            rest.push(a);
+            continue;
+        };
+        match value.as_deref().and_then(decode) {
+            Some(b) => backend = b,
+            None => eprintln!(
+                "warn: --backend wants serial|sharded[:N], got {value:?}; using serial"
+            ),
+        }
+    }
+    (backend, rest)
+}
+
 fn main() {
     let (threads, args) = parse_threads(std::env::args().skip(1).collect());
+    let (backend, args) = parse_backend(args);
     pws_eval::set_eval_threads(threads);
+    pws_eval::set_eval_backend(backend);
     let quick = args.iter().any(|a| a == "--quick");
     let ids: Vec<String> = args
         .iter()
@@ -213,5 +255,5 @@ fn main() {
         eprintln!("warn: could not write results/metrics.json: {e}");
     }
 
-    eprintln!("total {:.1?} ({threads} thread(s))", t0.elapsed());
+    eprintln!("total {:.1?} ({threads} thread(s), {backend:?} backend)", t0.elapsed());
 }

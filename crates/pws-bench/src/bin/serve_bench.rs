@@ -1,0 +1,81 @@
+//! Multi-threaded closed-loop throughput benchmark for `pws-serve`.
+//!
+//! ```text
+//! cargo run -p pws-bench --release --bin serve_bench
+//! cargo run -p pws-bench --release --bin serve_bench -- --workers 8 --shards 16
+//! cargo run -p pws-bench --release --bin serve_bench -- --requests 2000 --sweep
+//! ```
+//!
+//! Prints QPS and p50/p95/p99 request latency (from the `pws-obs`
+//! histograms) and writes the report plus the full stage profile —
+//! including the per-shard `serve.shard{i}.*` stages — to
+//! `results/serve_bench.json` / `results/serve_bench_metrics.json`.
+//! `--sweep` additionally scans worker counts 1, 2, 4, … up to
+//! `--workers` to show throughput scaling.
+
+use pws_bench::throughput::{run_throughput, ThroughputOptions};
+use std::fs;
+
+fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+    let eq = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == &format!("--{name}") {
+            return args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix(&eq) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ThroughputOptions::default();
+    if let Some(w) = parse_flag(&args, "workers") {
+        opts.workers = w.max(1);
+    }
+    if let Some(r) = parse_flag(&args, "requests") {
+        opts.requests_per_worker = r;
+    }
+    if let Some(s) = parse_flag(&args, "shards") {
+        opts.shards = s.max(1);
+    }
+    if let Some(o) = parse_flag(&args, "observe-every") {
+        opts.observe_every = o;
+    }
+    let sweep = args.iter().any(|a| a == "--sweep");
+
+    eprintln!("building bench world…");
+    let world = pws_bench::bench_world();
+
+    let reports = if sweep {
+        let mut w = 1;
+        let mut reports = Vec::new();
+        while w <= opts.workers {
+            let r = run_throughput(&world, &ThroughputOptions { workers: w, ..opts.clone() });
+            println!("{}\n", r.render());
+            reports.push(r);
+            w *= 2;
+        }
+        reports
+    } else {
+        let r = run_throughput(&world, &opts);
+        println!("{}", r.render());
+        vec![r]
+    };
+
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(&reports) {
+        Ok(json) => {
+            if let Err(e) = fs::write("results/serve_bench.json", json) {
+                eprintln!("warn: could not write results/serve_bench.json: {e}");
+            }
+        }
+        Err(e) => eprintln!("warn: could not serialize report: {e}"),
+    }
+    if let Err(e) = fs::write("results/serve_bench_metrics.json", pws_obs::snapshot().to_json(true))
+    {
+        eprintln!("warn: could not write results/serve_bench_metrics.json: {e}");
+    }
+}

@@ -6,9 +6,14 @@
 //! * `cargo bench -p pws-bench` runs the criterion micro-benchmarks behind
 //!   efficiency table T4 (index build/query, concept extraction,
 //!   personalized re-ranking, RankSVM training, click simulation,
-//!   gazetteer matching).
+//!   gazetteer matching);
+//! * `cargo run -p pws-bench --release --bin serve_bench` runs the
+//!   closed-loop multi-threaded throughput benchmark of the `pws-serve`
+//!   concurrent engine ([`throughput::run_throughput`]).
 //!
 //! Shared fixtures for the benches live here.
+
+pub mod throughput;
 
 use pws_eval::{ExperimentSpec, ExperimentWorld};
 

@@ -1,0 +1,257 @@
+//! Closed-loop throughput benchmark of the `pws-serve` concurrent engine.
+//!
+//! `W` worker threads share one [`ServingEngine`] and each drives a
+//! closed loop: issue a personalized search for the next (user, query)
+//! pair of its deterministic schedule, and every `observe_every`-th turn
+//! also click the top result and feed the impression back through the
+//! write path. Every request is timed into the `serve.request` stage of
+//! the global [`pws_obs`] registry, so the reported p50/p95/p99 come
+//! from the same log₂ histograms the engine uses for its own stage
+//! profile — and the per-shard `serve.shard{i}.*` stages fill in
+//! alongside, giving a shard-level view of the same run.
+
+use pws_click::{Click, Impression, ShownResult, UserId};
+use pws_core::{EngineConfig, SearchTurn};
+use pws_corpus::query::QueryId;
+use pws_eval::ExperimentWorld;
+use pws_serve::{ServeConfig, ServingEngine};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Workload shape for one throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputOptions {
+    /// Closed-loop worker threads.
+    pub workers: usize,
+    /// Requests each worker issues (searches; observes ride on top).
+    pub requests_per_worker: usize,
+    /// User shards in the serving engine.
+    pub shards: usize,
+    /// Every n-th search also exercises the write path (click + observe);
+    /// 0 disables observes entirely (pure read workload).
+    pub observe_every: usize,
+    /// Simulated user population size the workload cycles through.
+    pub users: usize,
+}
+
+impl Default for ThroughputOptions {
+    fn default() -> Self {
+        ThroughputOptions {
+            workers: 4,
+            requests_per_worker: 250,
+            shards: 8,
+            observe_every: 4,
+            users: 64,
+        }
+    }
+}
+
+/// Result of one throughput run. All latency fields are nanoseconds read
+/// from the `serve.request` histogram (log₂ buckets — percentiles are
+/// bucket upper bounds, see `pws-obs`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    /// Worker threads that drove the engine.
+    pub workers: usize,
+    /// User shards in the engine.
+    pub shards: usize,
+    /// Search requests completed.
+    pub searches: u64,
+    /// Observe (write-path) requests completed.
+    pub observes: u64,
+    /// Wall-clock of the whole closed loop, seconds.
+    pub elapsed_secs: f64,
+    /// Requests (searches + observes) per second.
+    pub qps: f64,
+    /// Mean request latency, nanoseconds.
+    pub mean_nanos: f64,
+    /// Median request latency (histogram bucket upper bound).
+    pub p50_nanos: u64,
+    /// 95th-percentile request latency.
+    pub p95_nanos: u64,
+    /// 99th-percentile request latency.
+    pub p99_nanos: u64,
+}
+
+impl ThroughputReport {
+    /// Human-readable one-run table.
+    pub fn render(&self) -> String {
+        format!(
+            "serve throughput: {} workers x {} shards\n\
+             requests  {:>8} searches + {:>6} observes in {:.2}s\n\
+             qps       {:>10.0}\n\
+             latency   mean {:.1}us  p50 {:.1}us  p95 {:.1}us  p99 {:.1}us",
+            self.workers,
+            self.shards,
+            self.searches,
+            self.observes,
+            self.elapsed_secs,
+            self.qps,
+            self.mean_nanos / 1e3,
+            self.p50_nanos as f64 / 1e3,
+            self.p95_nanos as f64 / 1e3,
+            self.p99_nanos as f64 / 1e3,
+        )
+    }
+}
+
+/// SplitMix64 finalizer for the per-worker schedules.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Build the feedback impression for a turn: a click on the top result.
+fn top_click_impression(turn: &SearchTurn, qid: QueryId) -> Impression {
+    Impression {
+        user: turn.user,
+        query: qid,
+        query_text: turn.query_text.clone(),
+        results: turn
+            .hits
+            .iter()
+            .map(|h| ShownResult {
+                doc: h.doc,
+                rank: h.rank,
+                url: h.url.clone(),
+                title: h.title.clone(),
+                snippet: h.snippet.clone(),
+            })
+            .collect(),
+        clicks: turn
+            .hits
+            .first()
+            .map(|h| Click { doc: h.doc, rank: h.rank, dwell: 600 })
+            .into_iter()
+            .collect(),
+    }
+}
+
+/// Run the closed-loop benchmark against a shared [`ServingEngine`] built
+/// over `world`'s index and ontology.
+///
+/// Deterministic workload, nondeterministic interleaving: each worker's
+/// (user, query) schedule is a pure function of its worker index, but
+/// threads race on the engine — which is the point; the engine's own
+/// equivalence tests cover correctness, this measures contention.
+pub fn run_throughput(world: &ExperimentWorld, opts: &ThroughputOptions) -> ThroughputReport {
+    let engine = ServingEngine::new(
+        &world.engine,
+        &world.world,
+        EngineConfig::default(),
+        ServeConfig { shards: opts.shards, ..ServeConfig::default() },
+    );
+    let request_stage = pws_obs::stage("serve.request");
+    request_stage.reset();
+    let searches = AtomicU64::new(0);
+    let observes = AtomicU64::new(0);
+    let users = opts.users.max(1) as u64;
+    let n_queries = world.queries.len() as u64;
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..opts.workers.max(1) {
+            let engine = &engine;
+            let request_stage = &request_stage;
+            let searches = &searches;
+            let observes = &observes;
+            let queries = &world.queries;
+            scope.spawn(move || {
+                for i in 0..opts.requests_per_worker {
+                    let tag = mix((w as u64) << 32 | i as u64);
+                    let user = UserId((tag % users) as u32);
+                    let qidx = (tag >> 16) % n_queries;
+                    let text = &queries[qidx as usize].text;
+                    let turn = {
+                        let _t = request_stage.span();
+                        engine.search(user, text)
+                    };
+                    searches.fetch_add(1, Ordering::Relaxed);
+                    if opts.observe_every > 0
+                        && i % opts.observe_every == 0
+                        && !turn.hits.is_empty()
+                    {
+                        let imp = top_click_impression(&turn, QueryId(qidx as u32));
+                        let _t = request_stage.span();
+                        engine.observe(&turn, &imp);
+                        observes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = request_stage.snapshot();
+    let searches = searches.load(Ordering::Relaxed);
+    let observes = observes.load(Ordering::Relaxed);
+    ThroughputReport {
+        workers: opts.workers.max(1),
+        shards: opts.shards,
+        searches,
+        observes,
+        elapsed_secs: elapsed,
+        qps: if elapsed > 0.0 { (searches + observes) as f64 / elapsed } else { 0.0 },
+        mean_nanos: snap.mean_nanos,
+        p50_nanos: snap.p50_nanos,
+        p95_nanos: snap.p95_nanos,
+        p99_nanos: snap.p99_nanos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_reports_qps_and_percentiles() {
+        let world = pws_eval::ExperimentWorld::build(pws_eval::ExperimentSpec::small());
+        let opts = ThroughputOptions {
+            workers: 4, // the acceptance criterion: >1 worker thread
+            requests_per_worker: 30,
+            shards: 4,
+            observe_every: 3,
+            users: 16,
+        };
+        let r = run_throughput(&world, &opts);
+        assert_eq!(r.workers, 4);
+        assert_eq!(r.searches, 4 * 30);
+        assert!(r.observes > 0, "write path exercised");
+        assert!(r.qps > 0.0);
+        assert!(r.elapsed_secs > 0.0);
+        assert!(r.mean_nanos > 0.0);
+        assert!(r.p50_nanos > 0, "histogram populated");
+        assert!(r.p95_nanos >= r.p50_nanos);
+        assert!(r.p99_nanos >= r.p95_nanos);
+        // The per-shard serving stages recorded the same run.
+        let snap = pws_obs::snapshot();
+        let shard_searches: u64 = snap
+            .stages
+            .iter()
+            .filter(|s| s.name.starts_with("serve.shard") && s.name.ends_with(".search"))
+            .map(|s| s.count)
+            .sum();
+        assert!(shard_searches >= r.searches, "per-shard stages saw every search");
+        let rendered = r.render();
+        assert!(rendered.contains("qps"));
+        assert!(rendered.contains("p99"));
+    }
+
+    #[test]
+    fn pure_read_workload_skips_observes() {
+        let world = pws_eval::ExperimentWorld::build(pws_eval::ExperimentSpec::small());
+        let opts = ThroughputOptions {
+            workers: 2,
+            requests_per_worker: 10,
+            shards: 2,
+            observe_every: 0,
+            users: 8,
+        };
+        let r = run_throughput(&world, &opts);
+        assert_eq!(r.searches, 20);
+        assert_eq!(r.observes, 0);
+    }
+}

@@ -1,0 +1,495 @@
+//! The shared, immutable read side of the engine.
+//!
+//! [`EngineCore`] owns everything a search needs that is *not* per-user:
+//! the baseline index, the location ontology and its matcher, the engine
+//! configuration, the (stateless) RankSVM trainer, and the resolved
+//! metrics handles. Every method takes `&self`; per-user mutable state
+//! ([`UserState`]) and per-query statistics ([`QueryStats`]) are passed in
+//! by the caller. That split is what lets two frontends drive one core:
+//!
+//! * [`crate::PersonalizedSearchEngine`] — the serial engine: one
+//!   `&mut self` map of users, as the paper's middleware ran;
+//! * `pws-serve`'s `ServingEngine` — user-sharded concurrent serving:
+//!   `&self + Send + Sync`, shards of mutex-guarded user maps.
+//!
+//! Because both frontends call the same `search_user`/`observe_user`, a
+//! request replayed through either produces the same [`SearchTurn`].
+
+use crate::config::{BlendStrategy, EngineConfig, PersonalizationMode};
+use crate::state::UserState;
+use pws_click::{Impression, UserId};
+use pws_concepts::QueryConceptOntology;
+use pws_entropy::{Effectiveness, QueryStats};
+use pws_geo::{LocationMatcher, LocationOntology};
+use pws_index::{SearchEngine, SearchHit};
+use pws_profile::{mine_pairs, FeatureExtractor, GeoContext, ResultFeatureInput};
+use pws_ranksvm::PairwiseTrainer;
+use pws_text::Analyzer;
+
+/// Everything one `search` call produced: the page shown to the user plus
+/// the intermediate state `observe` needs to learn from the clicks.
+#[derive(Debug, Clone)]
+pub struct SearchTurn {
+    /// The issuing user.
+    pub user: UserId,
+    /// The query text as received.
+    pub query_text: String,
+    /// The final, (possibly) personalized page, ranks re-assigned 1-based.
+    pub hits: Vec<SearchHit>,
+    /// Concept ontology extracted over the *page* snippets (aligned with
+    /// `hits`; feeds profile updates and query statistics).
+    pub ontology: QueryConceptOntology,
+    /// Feature vectors aligned with `hits` (feeds pair mining). The base
+    /// score is normalized exactly as the ranking features were — see
+    /// [`EngineCore::search_user`].
+    pub features: Vec<Vec<f64>>,
+    /// The content/location blend weight used (location share).
+    pub beta: f64,
+    /// Whether personalization actually re-ranked (false for baseline mode
+    /// and for cold queries the effectiveness gate skipped).
+    pub personalized: bool,
+}
+
+/// Cached handles into the global [`pws_obs`] registry, resolved once at
+/// engine construction so the hot path never touches the registry lock.
+struct EngineMetrics {
+    retrieval: std::sync::Arc<pws_obs::StageMetrics>,
+    concepts: std::sync::Arc<pws_obs::StageMetrics>,
+    features: std::sync::Arc<pws_obs::StageMetrics>,
+    beta: std::sync::Arc<pws_obs::StageMetrics>,
+    rerank: std::sync::Arc<pws_obs::StageMetrics>,
+    observe: std::sync::Arc<pws_obs::StageMetrics>,
+}
+
+impl EngineMetrics {
+    fn resolve() -> Self {
+        EngineMetrics {
+            retrieval: pws_obs::stage("engine.retrieval"),
+            concepts: pws_obs::stage("engine.concepts"),
+            features: pws_obs::stage("engine.features"),
+            beta: pws_obs::stage("engine.beta"),
+            rerank: pws_obs::stage("engine.rerank"),
+            observe: pws_obs::stage("engine.observe"),
+        }
+    }
+}
+
+/// The immutable shared read side of the personalized search engine.
+///
+/// Holds only state that is identical for every user and never mutated by
+/// a query: the index, the ontology + matcher, the configuration, the
+/// stateless trainer, and optional geo smoothing. All methods take
+/// `&self`, so one `EngineCore` can serve any number of concurrent
+/// requests as long as each request brings its own [`UserState`].
+pub struct EngineCore<'a> {
+    base: &'a SearchEngine,
+    world: &'a LocationOntology,
+    matcher: LocationMatcher,
+    cfg: EngineConfig,
+    trainer: PairwiseTrainer,
+    geo: Option<(&'a pws_geo::WorldCoords, f64)>,
+    analyzer: Analyzer,
+    metrics: EngineMetrics,
+}
+
+impl<'a> EngineCore<'a> {
+    /// Build the shared core over an already-built baseline index.
+    pub fn new(base: &'a SearchEngine, world: &'a LocationOntology, cfg: EngineConfig) -> Self {
+        let matcher = LocationMatcher::build(world);
+        let trainer = PairwiseTrainer::new(cfg.train_cfg);
+        EngineCore {
+            base,
+            world,
+            matcher,
+            cfg,
+            trainer,
+            geo: None,
+            // Surface forms matter when checking whether the query already
+            // names a city, so no stopword removal / stemming here.
+            analyzer: Analyzer::verbatim(),
+            metrics: EngineMetrics::resolve(),
+        }
+    }
+
+    /// Enable proximity-smoothed location scoring (the GPS extension):
+    /// preference for a city also endorses geographically nearby places,
+    /// with the exponential kernel scale `scale_km`.
+    pub fn with_geo(mut self, coords: &'a pws_geo::WorldCoords, scale_km: f64) -> Self {
+        self.geo = Some((coords, scale_km));
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The location ontology this core was built over.
+    pub fn world(&self) -> &'a LocationOntology {
+        self.world
+    }
+
+    /// Canonical map key for a query string.
+    pub fn query_key(query_text: &str) -> String {
+        query_text.trim().to_lowercase()
+    }
+
+    /// Does the (analyzed) query already mention `city_name`?
+    ///
+    /// Compared on token sequences, not substrings: a query mentioning
+    /// "yorkshire" does **not** mention the city "york", and a multi-word
+    /// city name must appear as a contiguous token run. Used to decide
+    /// whether the location-aware query augmentation would be redundant.
+    pub fn query_mentions_city(&self, query_text: &str, city_name: &str) -> bool {
+        let q_toks = self.analyzer.analyze(query_text);
+        let c_toks = self.analyzer.analyze(city_name);
+        contains_token_seq(&q_toks, &c_toks)
+    }
+
+    /// β for a query under the configured strategy and mode, given the
+    /// query's accumulated click statistics (if any).
+    pub fn choose_beta(&self, stats: Option<&QueryStats>) -> f64 {
+        let _span = self.metrics.beta.span();
+        match self.cfg.mode {
+            PersonalizationMode::ContentOnly => 0.0,
+            PersonalizationMode::LocationOnly => 1.0,
+            PersonalizationMode::Baseline => 0.5,
+            PersonalizationMode::Combined => match self.cfg.blend {
+                BlendStrategy::Fixed(b) => b.clamp(0.0, 1.0),
+                BlendStrategy::Adaptive => stats
+                    .map(|s| Effectiveness::from_stats(s, &self.cfg.effectiveness_cfg))
+                    .unwrap_or_else(Effectiveness::neutral)
+                    .beta(),
+            },
+        }
+    }
+
+    /// Execute one personalized search for `user` against the caller's
+    /// per-user `state`. `stats` is the accumulated clickthrough for this
+    /// query (drives the adaptive β); pass whatever view of it the calling
+    /// frontend maintains — a live map entry or an epoch snapshot.
+    ///
+    /// Feature normalization: every base score — for ranking *and* for the
+    /// page features returned in [`SearchTurn::features`] — is normalized
+    /// to `[0, 1]` by the candidate pool's maximum, through one shared
+    /// helper. Training therefore consumes exactly the scale serving
+    /// ranked with.
+    pub fn search_user(
+        &self,
+        user: UserId,
+        query_text: &str,
+        state: &mut UserState,
+        stats: Option<&QueryStats>,
+    ) -> SearchTurn {
+        // ── Candidate pool ────────────────────────────────────────────────
+        let retrieval_span = self.metrics.retrieval.span();
+        let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
+        let mut candidates = normalize_pool(&base_hits);
+
+        // Location-aware query augmentation: also retrieve for
+        // "query + preferred city" so home-city documents enter the pool
+        // even when the baseline ranking buried them. Augmented candidates
+        // are re-scored against the *original* query (a doc matching only
+        // the city name is topically irrelevant and must not inherit the
+        // augmented query's inflated score).
+        if self.cfg.query_augmentation && self.cfg.mode.uses_location() {
+            if let Some(city) = state.location.preferred_city(self.world) {
+                let city_name = self.world.name(city);
+                if !self.query_mentions_city(query_text, city_name) {
+                    let aug = format!("{query_text} {city_name}");
+                    let aug_hits = self.base.search(&aug, self.cfg.rerank_pool);
+                    let new_hits: Vec<SearchHit> = aug_hits
+                        .into_iter()
+                        .filter(|h| !candidates.iter().any(|(c, _)| c.doc == h.doc))
+                        .collect();
+                    let new_docs: Vec<u32> = new_hits.iter().map(|h| h.doc).collect();
+                    let base_scores = self.base.score_docs(query_text, &new_docs);
+                    let base_max = base_hits
+                        .iter()
+                        .map(|h| h.score)
+                        .fold(0.0_f64, f64::max)
+                        .max(f64::MIN_POSITIVE);
+                    let rescored: Vec<(SearchHit, f64)> = new_hits
+                        .into_iter()
+                        .zip(base_scores)
+                        .filter(|(_, s)| *s > 0.0)
+                        .map(|(h, s)| (h, s / base_max))
+                        .collect();
+                    merge_pools(&mut candidates, rescored);
+                }
+            }
+        }
+        drop(retrieval_span);
+
+        if self.cfg.mode == PersonalizationMode::Baseline || candidates.is_empty() {
+            // β must report what the mode would actually blend with (the
+            // F6/F7-style analyses read it from the turn), not a
+            // hard-coded neutral value.
+            let beta = self.choose_beta(stats);
+            let page: Vec<(SearchHit, f64)> = candidates
+                .into_iter()
+                .take(self.cfg.top_k)
+                .enumerate()
+                .map(|(i, (mut h, norm))| {
+                    h.rank = i + 1;
+                    (h, norm)
+                })
+                .collect();
+            return self.finish_turn(state, user, query_text, page, beta, false);
+        }
+
+        // ── Features over the pool ────────────────────────────────────────
+        let concepts_span = self.metrics.concepts.span();
+        let pool_snippets: Vec<String> =
+            candidates.iter().map(|(h, _)| h.snippet.clone()).collect();
+        let pool_onto = QueryConceptOntology::extract(
+            query_text,
+            &pool_snippets,
+            &self.matcher,
+            self.world,
+            &self.cfg.concept_cfg,
+            &self.cfg.location_cfg,
+        );
+        drop(concepts_span);
+        let features_span = self.metrics.features.span();
+        let inputs: Vec<ResultFeatureInput> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, (h, norm))| feature_input(h, *norm, i + 1))
+            .collect();
+        let extractor = FeatureExtractor::with_masks(
+            self.cfg.mode.uses_content(),
+            self.cfg.mode.uses_location(),
+        );
+        let geo_ctx = self.geo.map(|(coords, scale_km)| GeoContext { coords, scale_km });
+        let mut features = extractor.extract_page_geo(
+            query_text,
+            &inputs,
+            &pool_onto,
+            &state.content,
+            &state.location,
+            &state.history,
+            geo_ctx.as_ref(),
+        );
+        drop(features_span);
+
+        // ── Blend ────────────────────────────────────────────────────────
+        let beta = self.choose_beta(stats);
+        for f in &mut features {
+            f[1] *= 2.0 * (1.0 - beta);
+            f[2] *= 2.0 * beta;
+        }
+
+        // ── Score & select the page ──────────────────────────────────────
+        let rerank_span = self.metrics.rerank.span();
+        let order = state.model.rank(&features);
+        let page: Vec<(SearchHit, f64)> = order
+            .iter()
+            .take(self.cfg.top_k)
+            .enumerate()
+            .map(|(i, &idx)| {
+                let (h, norm) = &candidates[idx];
+                let mut h = h.clone();
+                h.rank = i + 1;
+                (h, *norm)
+            })
+            .collect();
+        drop(rerank_span);
+
+        self.finish_turn(state, user, query_text, page, beta, true)
+    }
+
+    /// Extract the page-level ontology + page-aligned features and assemble
+    /// the turn. `page` carries each hit's pool-normalized base score so
+    /// the training features see the same scale the ranker scored with.
+    fn finish_turn(
+        &self,
+        state: &UserState,
+        user: UserId,
+        query_text: &str,
+        page: Vec<(SearchHit, f64)>,
+        beta: f64,
+        personalized: bool,
+    ) -> SearchTurn {
+        let concepts_span = self.metrics.concepts.span();
+        let page_snippets: Vec<String> = page.iter().map(|(h, _)| h.snippet.clone()).collect();
+        let ontology = QueryConceptOntology::extract(
+            query_text,
+            &page_snippets,
+            &self.matcher,
+            self.world,
+            &self.cfg.concept_cfg,
+            &self.cfg.location_cfg,
+        );
+        drop(concepts_span);
+        let inputs: Vec<ResultFeatureInput> =
+            page.iter().map(|(h, norm)| feature_input(h, *norm, h.rank)).collect();
+        let extractor = FeatureExtractor::with_masks(
+            self.cfg.mode.uses_content(),
+            self.cfg.mode.uses_location(),
+        );
+        let geo_ctx = self.geo.map(|(coords, scale_km)| GeoContext { coords, scale_km });
+        let features_span = self.metrics.features.span();
+        let features = extractor.extract_page_geo(
+            query_text,
+            &inputs,
+            &ontology,
+            &state.content,
+            &state.location,
+            &state.history,
+            geo_ctx.as_ref(),
+        );
+        drop(features_span);
+        SearchTurn {
+            user,
+            query_text: query_text.to_string(),
+            hits: page.into_iter().map(|(h, _)| h).collect(),
+            ontology,
+            features,
+            beta,
+            personalized,
+        }
+    }
+
+    /// Fold the user's clicks on a turn back into `state` and the query's
+    /// statistics.
+    ///
+    /// `impression.results` must correspond to `turn.hits` (same order) —
+    /// the simulator guarantees this by construction.
+    pub fn observe_user(
+        &self,
+        turn: &SearchTurn,
+        impression: &Impression,
+        state: &mut UserState,
+        stats: &mut QueryStats,
+    ) {
+        let _span = self.metrics.observe.span();
+        // Query statistics always update (they also drive the adaptive β
+        // for baseline-mode logging).
+        stats.observe(&turn.ontology, impression);
+
+        state.history.observe(impression);
+
+        if self.cfg.mode == PersonalizationMode::Baseline {
+            state.observations += 1;
+            return;
+        }
+
+        if self.cfg.mode.uses_content() {
+            state
+                .content
+                .observe(&turn.ontology, impression, &self.cfg.content_profile_cfg);
+        }
+        if self.cfg.mode.uses_location() {
+            state.location.observe(
+                &turn.ontology,
+                impression,
+                self.world,
+                &self.cfg.location_profile_cfg,
+            );
+        }
+
+        // Pair mining + periodic re-training.
+        if self.cfg.retrain_every > 0 {
+            let mut pairs = match &self.cfg.pair_source {
+                crate::config::PairSource::Joachims(cfg) => {
+                    mine_pairs(impression, &turn.features, cfg)
+                }
+                crate::config::PairSource::SpyNb(cfg) => {
+                    pws_profile::mine_spynb_pairs(impression, &turn.features, cfg)
+                }
+            };
+            state.pairs.append(&mut pairs);
+            if state.pairs.len() > self.cfg.max_pairs_per_user {
+                let excess = state.pairs.len() - self.cfg.max_pairs_per_user;
+                state.pairs.drain(..excess);
+            }
+            state.observations += 1;
+            if state.observations.is_multiple_of(self.cfg.retrain_every) && !state.pairs.is_empty()
+            {
+                // Re-train from the prior each round (anchored): the pair
+                // window is the full training set, so warm-starting from
+                // the drifted model would double-count old pairs.
+                let anchor = UserState::prior_weights();
+                state.model = pws_ranksvm::LinearRankModel::from_weights(anchor.clone());
+                self.trainer.train_anchored(&mut state.model, &anchor, &state.pairs);
+            }
+        } else {
+            state.observations += 1;
+        }
+    }
+}
+
+/// The one place a hit becomes a feature input: the base-score feature is
+/// always the **pool-normalized** score, in `search_user` (ranking over
+/// the pool) and `finish_turn` (page features for training) alike. The
+/// 2010-era bug this guards against: rebuilding page features from raw
+/// BM25 scores trained every model on a different scale than it ranked
+/// with.
+fn feature_input(hit: &SearchHit, norm: f64, rank: usize) -> ResultFeatureInput {
+    ResultFeatureInput {
+        doc: hit.doc,
+        rank,
+        base_score: norm,
+        url: hit.url.clone(),
+        title: hit.title.clone(),
+    }
+}
+
+/// Normalize a hit list's scores to [0, 1] by its own max.
+pub(crate) fn normalize_pool(hits: &[SearchHit]) -> Vec<(SearchHit, f64)> {
+    let max = hits.iter().map(|h| h.score).fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
+    hits.iter().map(|h| (h.clone(), h.score / max)).collect()
+}
+
+/// Merge `extra` into `pool`, deduplicating by doc id (keeping the higher
+/// normalized score) and re-sorting by normalized score desc, doc asc.
+pub(crate) fn merge_pools(pool: &mut Vec<(SearchHit, f64)>, extra: Vec<(SearchHit, f64)>) {
+    for (hit, norm) in extra {
+        match pool.iter_mut().find(|(h, _)| h.doc == hit.doc) {
+            Some((_, existing)) => {
+                if norm > *existing {
+                    *existing = norm;
+                }
+            }
+            None => pool.push((hit, norm)),
+        }
+    }
+    pool.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.doc.cmp(&b.0.doc))
+    });
+}
+
+/// Does `haystack` contain `needle` as a contiguous run of whole tokens?
+/// An empty needle is trivially contained.
+fn contains_token_seq(haystack: &[String], needle: &[String]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_seq_containment() {
+        let toks = |s: &str| -> Vec<String> { s.split(' ').map(|t| t.to_string()).collect() };
+        assert!(contains_token_seq(&toks("restaurants in york"), &toks("york")));
+        assert!(contains_token_seq(&toks("best new york pizza"), &toks("new york")));
+        // Substring of a longer token is NOT a mention.
+        assert!(!contains_token_seq(&toks("restaurants in yorkshire"), &toks("york")));
+        // Token runs must be contiguous and in order.
+        assert!(!contains_token_seq(&toks("new deals in york"), &toks("new york")));
+        assert!(!contains_token_seq(&toks("york new bridge"), &toks("new york")));
+        // Empty needle is trivially contained; oversized needle never is.
+        assert!(contains_token_seq(&toks("a b"), &[]));
+        assert!(!contains_token_seq(&toks("york"), &toks("new york")));
+    }
+}

@@ -1,68 +1,28 @@
-//! The personalized search engine.
+//! The serial personalized search engine.
+//!
+//! A thin frontend over [`EngineCore`]: one owned map of per-user state and
+//! one map of per-query statistics, mutated through `&mut self`. This is
+//! the paper's original middleware shape — one caller at a time — and the
+//! shape the offline evaluation harness replays. For concurrent serving
+//! (`&self + Send + Sync`, user-sharded) see the `pws-serve` crate, which
+//! drives the same [`EngineCore`].
 
-use crate::config::{BlendStrategy, EngineConfig, PersonalizationMode};
+use crate::core::EngineCore;
+pub use crate::core::SearchTurn;
+use crate::config::EngineConfig;
 use crate::state::UserState;
 use pws_click::{Impression, UserId};
-use pws_concepts::QueryConceptOntology;
-use pws_entropy::{Effectiveness, QueryStats};
-use pws_geo::{LocationMatcher, LocationOntology};
-use pws_index::{SearchEngine, SearchHit};
-use pws_profile::{mine_pairs, FeatureExtractor, GeoContext, ResultFeatureInput, UserHistory};
-use pws_ranksvm::PairwiseTrainer;
+use pws_entropy::QueryStats;
+use pws_profile::UserHistory;
 use std::collections::HashMap;
-
-/// Everything one `search` call produced: the page shown to the user plus
-/// the intermediate state `observe` needs to learn from the clicks.
-#[derive(Debug, Clone)]
-pub struct SearchTurn {
-    /// The issuing user.
-    pub user: UserId,
-    /// The query text as received.
-    pub query_text: String,
-    /// The final, (possibly) personalized page, ranks re-assigned 1-based.
-    pub hits: Vec<SearchHit>,
-    /// Concept ontology extracted over the *page* snippets (aligned with
-    /// `hits`; feeds profile updates and query statistics).
-    pub ontology: QueryConceptOntology,
-    /// Feature vectors aligned with `hits` (feeds pair mining).
-    pub features: Vec<Vec<f64>>,
-    /// The content/location blend weight used (location share).
-    pub beta: f64,
-    /// Whether personalization actually re-ranked (false for baseline mode
-    /// and for cold queries the effectiveness gate skipped).
-    pub personalized: bool,
-}
-
-/// Cached handles into the global [`pws_obs`] registry, resolved once at
-/// engine construction so the hot path never touches the registry lock.
-struct EngineMetrics {
-    retrieval: std::sync::Arc<pws_obs::StageMetrics>,
-    concepts: std::sync::Arc<pws_obs::StageMetrics>,
-    features: std::sync::Arc<pws_obs::StageMetrics>,
-    beta: std::sync::Arc<pws_obs::StageMetrics>,
-    rerank: std::sync::Arc<pws_obs::StageMetrics>,
-    observe: std::sync::Arc<pws_obs::StageMetrics>,
-}
-
-impl EngineMetrics {
-    fn resolve() -> Self {
-        EngineMetrics {
-            retrieval: pws_obs::stage("engine.retrieval"),
-            concepts: pws_obs::stage("engine.concepts"),
-            features: pws_obs::stage("engine.features"),
-            beta: pws_obs::stage("engine.beta"),
-            rerank: pws_obs::stage("engine.rerank"),
-            observe: pws_obs::stage("engine.observe"),
-        }
-    }
-}
 
 /// The engine: baseline retrieval + per-user personalization state.
 ///
-/// Borrows an immutable baseline [`SearchEngine`] and location ontology;
-/// owns all per-user learned state. Every [`search`](Self::search) /
-/// [`observe`](Self::observe) stage records wall-clock latency into the
-/// process-global [`pws_obs`] registry under `engine.*` stage names.
+/// Borrows an immutable baseline [`pws_index::SearchEngine`] and location
+/// ontology; owns all per-user learned state. Every
+/// [`search`](Self::search) / [`observe`](Self::observe) stage records
+/// wall-clock latency into the process-global [`pws_obs`] registry under
+/// `engine.*` stage names.
 ///
 /// ```
 /// use pws_core::{EngineConfig, PersonalizedSearchEngine};
@@ -87,32 +47,22 @@ impl EngineMetrics {
 /// assert_eq!(turn.hits[0].rank, 1);
 /// ```
 pub struct PersonalizedSearchEngine<'a> {
-    base: &'a SearchEngine,
-    world: &'a LocationOntology,
-    matcher: LocationMatcher,
-    cfg: EngineConfig,
+    core: EngineCore<'a>,
     users: HashMap<UserId, UserState>,
     query_stats: HashMap<String, QueryStats>,
-    trainer: PairwiseTrainer,
-    geo: Option<(&'a pws_geo::WorldCoords, f64)>,
-    metrics: EngineMetrics,
 }
 
 impl<'a> PersonalizedSearchEngine<'a> {
     /// Build an engine over an already-built baseline index.
-    pub fn new(base: &'a SearchEngine, world: &'a LocationOntology, cfg: EngineConfig) -> Self {
-        let matcher = LocationMatcher::build(world);
-        let trainer = PairwiseTrainer::new(cfg.train_cfg);
+    pub fn new(
+        base: &'a pws_index::SearchEngine,
+        world: &'a pws_geo::LocationOntology,
+        cfg: EngineConfig,
+    ) -> Self {
         PersonalizedSearchEngine {
-            base,
-            world,
-            matcher,
-            cfg,
+            core: EngineCore::new(base, world, cfg),
             users: HashMap::new(),
             query_stats: HashMap::new(),
-            trainer,
-            geo: None,
-            metrics: EngineMetrics::resolve(),
         }
     }
 
@@ -120,13 +70,18 @@ impl<'a> PersonalizedSearchEngine<'a> {
     /// preference for a city also endorses geographically nearby places,
     /// with the exponential kernel scale `scale_km`.
     pub fn with_geo(mut self, coords: &'a pws_geo::WorldCoords, scale_km: f64) -> Self {
-        self.geo = Some((coords, scale_km));
+        self.core = self.core.with_geo(coords, scale_km);
         self
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.cfg
+        self.core.config()
+    }
+
+    /// The shared read side this engine drives.
+    pub fn core(&self) -> &EngineCore<'a> {
+        &self.core
     }
 
     /// Borrow a user's state (if the user has been seen).
@@ -136,7 +91,7 @@ impl<'a> PersonalizedSearchEngine<'a> {
 
     /// Accumulated statistics for a query string (if seen).
     pub fn query_stats(&self, query_text: &str) -> Option<&QueryStats> {
-        self.query_stats.get(&Self::query_key(query_text))
+        self.query_stats.get(&EngineCore::query_key(query_text))
     }
 
     /// Number of distinct users with state.
@@ -144,211 +99,11 @@ impl<'a> PersonalizedSearchEngine<'a> {
         self.users.len()
     }
 
-    fn query_key(query_text: &str) -> String {
-        query_text.trim().to_lowercase()
-    }
-
     /// Execute one personalized search for `user`.
     pub fn search(&mut self, user: UserId, query_text: &str) -> SearchTurn {
         let state = self.users.entry(user).or_default();
-
-        // ── Candidate pool ────────────────────────────────────────────────
-        let retrieval_span = self.metrics.retrieval.span();
-        let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
-        let mut candidates = normalize_pool(&base_hits);
-
-        // Location-aware query augmentation: also retrieve for
-        // "query + preferred city" so home-city documents enter the pool
-        // even when the baseline ranking buried them. Augmented candidates
-        // are re-scored against the *original* query (a doc matching only
-        // the city name is topically irrelevant and must not inherit the
-        // augmented query's inflated score).
-        if self.cfg.query_augmentation && self.cfg.mode.uses_location() {
-            if let Some(city) = state.location.preferred_city(self.world) {
-                let city_name = self.world.name(city);
-                if !Self::query_key(query_text).contains(city_name) {
-                    let aug = format!("{query_text} {city_name}");
-                    let aug_hits = self.base.search(&aug, self.cfg.rerank_pool);
-                    let new_hits: Vec<SearchHit> = aug_hits
-                        .into_iter()
-                        .filter(|h| !candidates.iter().any(|(c, _)| c.doc == h.doc))
-                        .collect();
-                    let new_docs: Vec<u32> = new_hits.iter().map(|h| h.doc).collect();
-                    let base_scores = self.base.score_docs(query_text, &new_docs);
-                    let base_max = base_hits
-                        .iter()
-                        .map(|h| h.score)
-                        .fold(0.0_f64, f64::max)
-                        .max(f64::MIN_POSITIVE);
-                    let rescored: Vec<(SearchHit, f64)> = new_hits
-                        .into_iter()
-                        .zip(base_scores)
-                        .filter(|(_, s)| *s > 0.0)
-                        .map(|(h, s)| (h, s / base_max))
-                        .collect();
-                    merge_pools(&mut candidates, rescored);
-                }
-            }
-        }
-        drop(retrieval_span);
-
-        if self.cfg.mode == PersonalizationMode::Baseline || candidates.is_empty() {
-            let page: Vec<SearchHit> = candidates
-                .into_iter()
-                .take(self.cfg.top_k)
-                .enumerate()
-                .map(|(i, (mut h, _))| {
-                    h.rank = i + 1;
-                    h
-                })
-                .collect();
-            return self.finish_turn(user, query_text, page, 0.5, false);
-        }
-
-        // ── Features over the pool ────────────────────────────────────────
-        let concepts_span = self.metrics.concepts.span();
-        let pool_snippets: Vec<String> =
-            candidates.iter().map(|(h, _)| h.snippet.clone()).collect();
-        let pool_onto = QueryConceptOntology::extract(
-            query_text,
-            &pool_snippets,
-            &self.matcher,
-            self.world,
-            &self.cfg.concept_cfg,
-            &self.cfg.location_cfg,
-        );
-        drop(concepts_span);
-        let features_span = self.metrics.features.span();
-        let inputs: Vec<ResultFeatureInput> = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, (h, norm))| ResultFeatureInput {
-                doc: h.doc,
-                rank: i + 1,
-                base_score: *norm,
-                url: h.url.clone(),
-                title: h.title.clone(),
-            })
-            .collect();
-        let extractor = FeatureExtractor::with_masks(
-            self.cfg.mode.uses_content(),
-            self.cfg.mode.uses_location(),
-        );
-        let state = self.users.get(&user).expect("state created above");
-        let geo_ctx = self.geo.map(|(coords, scale_km)| GeoContext { coords, scale_km });
-        let mut features = extractor.extract_page_geo(
-            query_text,
-            &inputs,
-            &pool_onto,
-            &state.content,
-            &state.location,
-            &state.history,
-            geo_ctx.as_ref(),
-        );
-        drop(features_span);
-
-        // ── Blend ────────────────────────────────────────────────────────
-        let beta = self.choose_beta(query_text);
-        for f in &mut features {
-            f[1] *= 2.0 * (1.0 - beta);
-            f[2] *= 2.0 * beta;
-        }
-
-        // ── Score & select the page ──────────────────────────────────────
-        let rerank_span = self.metrics.rerank.span();
-        let order = state.model.rank(&features);
-        let page: Vec<SearchHit> = order
-            .iter()
-            .take(self.cfg.top_k)
-            .enumerate()
-            .map(|(i, &idx)| {
-                let mut h = candidates[idx].0.clone();
-                h.rank = i + 1;
-                h
-            })
-            .collect();
-        drop(rerank_span);
-
-        self.finish_turn(user, query_text, page, beta, true)
-    }
-
-    /// β for this query under the configured strategy and mode.
-    fn choose_beta(&self, query_text: &str) -> f64 {
-        let _span = self.metrics.beta.span();
-        match self.cfg.mode {
-            PersonalizationMode::ContentOnly => 0.0,
-            PersonalizationMode::LocationOnly => 1.0,
-            PersonalizationMode::Baseline => 0.5,
-            PersonalizationMode::Combined => match self.cfg.blend {
-                BlendStrategy::Fixed(b) => b.clamp(0.0, 1.0),
-                BlendStrategy::Adaptive => self
-                    .query_stats
-                    .get(&Self::query_key(query_text))
-                    .map(|s| Effectiveness::from_stats(s, &self.cfg.effectiveness_cfg))
-                    .unwrap_or_else(Effectiveness::neutral)
-                    .beta(),
-            },
-        }
-    }
-
-    /// Extract the page-level ontology + page-aligned features and assemble
-    /// the turn.
-    fn finish_turn(
-        &mut self,
-        user: UserId,
-        query_text: &str,
-        page: Vec<SearchHit>,
-        beta: f64,
-        personalized: bool,
-    ) -> SearchTurn {
-        let concepts_span = self.metrics.concepts.span();
-        let page_snippets: Vec<String> = page.iter().map(|h| h.snippet.clone()).collect();
-        let ontology = QueryConceptOntology::extract(
-            query_text,
-            &page_snippets,
-            &self.matcher,
-            self.world,
-            &self.cfg.concept_cfg,
-            &self.cfg.location_cfg,
-        );
-        drop(concepts_span);
-        let geo = self.geo;
-        let state = self.users.entry(user).or_default();
-        let inputs: Vec<ResultFeatureInput> = page
-            .iter()
-            .map(|h| ResultFeatureInput {
-                doc: h.doc,
-                rank: h.rank,
-                base_score: h.score.max(f64::MIN_POSITIVE),
-                url: h.url.clone(),
-                title: h.title.clone(),
-            })
-            .collect();
-        let extractor = FeatureExtractor::with_masks(
-            self.cfg.mode.uses_content(),
-            self.cfg.mode.uses_location(),
-        );
-        let geo_ctx = geo.map(|(coords, scale_km)| GeoContext { coords, scale_km });
-        let features_span = self.metrics.features.span();
-        let features = extractor.extract_page_geo(
-            query_text,
-            &inputs,
-            &ontology,
-            &state.content,
-            &state.location,
-            &state.history,
-            geo_ctx.as_ref(),
-        );
-        drop(features_span);
-        SearchTurn {
-            user,
-            query_text: query_text.to_string(),
-            hits: page,
-            ontology,
-            features,
-            beta,
-            personalized,
-        }
+        let stats = self.query_stats.get(&EngineCore::query_key(query_text));
+        self.core.search_user(user, query_text, state, stats)
     }
 
     /// Fold the user's clicks on a turn back into the engine.
@@ -356,63 +111,12 @@ impl<'a> PersonalizedSearchEngine<'a> {
     /// `impression.results` must correspond to `turn.hits` (same order) —
     /// the simulator guarantees this by construction.
     pub fn observe(&mut self, turn: &SearchTurn, impression: &Impression) {
-        let _span = self.metrics.observe.span();
-        // Query statistics always update (they also drive the adaptive β
-        // for baseline-mode logging).
-        self.query_stats
-            .entry(Self::query_key(&turn.query_text))
-            .or_default()
-            .observe(&turn.ontology, impression);
-
+        let stats = self
+            .query_stats
+            .entry(EngineCore::query_key(&turn.query_text))
+            .or_default();
         let state = self.users.entry(turn.user).or_default();
-        state.history.observe(impression);
-
-        if self.cfg.mode == PersonalizationMode::Baseline {
-            state.observations += 1;
-            return;
-        }
-
-        if self.cfg.mode.uses_content() {
-            state
-                .content
-                .observe(&turn.ontology, impression, &self.cfg.content_profile_cfg);
-        }
-        if self.cfg.mode.uses_location() {
-            state.location.observe(
-                &turn.ontology,
-                impression,
-                self.world,
-                &self.cfg.location_profile_cfg,
-            );
-        }
-
-        // Pair mining + periodic re-training.
-        if self.cfg.retrain_every > 0 {
-            let mut pairs = match &self.cfg.pair_source {
-                crate::config::PairSource::Joachims(cfg) => {
-                    mine_pairs(impression, &turn.features, cfg)
-                }
-                crate::config::PairSource::SpyNb(cfg) => {
-                    pws_profile::mine_spynb_pairs(impression, &turn.features, cfg)
-                }
-            };
-            state.pairs.append(&mut pairs);
-            if state.pairs.len() > self.cfg.max_pairs_per_user {
-                let excess = state.pairs.len() - self.cfg.max_pairs_per_user;
-                state.pairs.drain(..excess);
-            }
-            state.observations += 1;
-            if state.observations.is_multiple_of(self.cfg.retrain_every) && !state.pairs.is_empty() {
-                // Re-train from the prior each round (anchored): the pair
-                // window is the full training set, so warm-starting from
-                // the drifted model would double-count old pairs.
-                let anchor = UserState::prior_weights();
-                state.model = pws_ranksvm::LinearRankModel::from_weights(anchor.clone());
-                self.trainer.train_anchored(&mut state.model, &anchor, &state.pairs);
-            }
-        } else {
-            state.observations += 1;
-        }
+        self.core.observe_user(turn, impression, state, stats);
     }
 
     /// Reset one user's learned state (testing / right-to-be-forgotten).
@@ -442,39 +146,15 @@ impl<'a> PersonalizedSearchEngine<'a> {
     }
 }
 
-/// Normalize a hit list's scores to [0, 1] by its own max.
-fn normalize_pool(hits: &[SearchHit]) -> Vec<(SearchHit, f64)> {
-    let max = hits.iter().map(|h| h.score).fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
-    hits.iter().map(|h| (h.clone(), h.score / max)).collect()
-}
-
-/// Merge `extra` into `pool`, deduplicating by doc id (keeping the higher
-/// normalized score) and re-sorting by normalized score desc, doc asc.
-fn merge_pools(pool: &mut Vec<(SearchHit, f64)>, extra: Vec<(SearchHit, f64)>) {
-    for (hit, norm) in extra {
-        match pool.iter_mut().find(|(h, _)| h.doc == hit.doc) {
-            Some((_, existing)) => {
-                if norm > *existing {
-                    *existing = norm;
-                }
-            }
-            None => pool.push((hit, norm)),
-        }
-    }
-    pool.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.doc.cmp(&b.0.doc))
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{BlendStrategy, PersonalizationMode};
+    use crate::core::{merge_pools, normalize_pool};
     use pws_click::{Click, ShownResult};
     use pws_corpus::query::QueryId;
-    use pws_geo::LocId;
-    use pws_index::{IndexBuilder, StoredDoc};
+    use pws_geo::{LocId, LocationOntology};
+    use pws_index::{IndexBuilder, SearchEngine, SearchHit, StoredDoc};
 
     fn world() -> LocationOntology {
         let mut o = LocationOntology::new();
@@ -646,6 +326,88 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_cold_paths_report_mode_beta() {
+        // Regression: the empty-pool early return used to hard-code
+        // β = 0.5, misreporting ContentOnly (β = 0) and LocationOnly
+        // (β = 1) turns in downstream β analyses.
+        let idx = index();
+        let w = world();
+        for (mode, want) in [
+            (PersonalizationMode::ContentOnly, 0.0),
+            (PersonalizationMode::LocationOnly, 1.0),
+            (PersonalizationMode::Baseline, 0.5),
+        ] {
+            let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::for_mode(mode));
+            let turn = e.search(UserId(0), "zzzz unknown");
+            assert!(turn.hits.is_empty());
+            assert_eq!(turn.beta, want, "empty-pool β for {mode:?}");
+        }
+        // A fixed combined blend must also survive the empty path.
+        let mut e = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig { blend: BlendStrategy::Fixed(0.8), ..EngineConfig::default() },
+        );
+        assert!((e.search(UserId(0), "zzzz unknown").beta - 0.8).abs() < 1e-12);
+        // Baseline mode reports 0.5 on non-empty pools too (by definition).
+        let mut b = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig::for_mode(PersonalizationMode::Baseline),
+        );
+        assert_eq!(b.search(UserId(0), "restaurant").beta, 0.5);
+    }
+
+    #[test]
+    fn page_features_match_serving_scale() {
+        // Regression for the train/serve feature skew: the page features a
+        // turn carries into pair mining / training must use the same
+        // pool-normalized base score the ranker scored with — not the raw
+        // BM25 score.
+        let idx = index();
+        let w = world();
+        // Cold user, no augmentation possible → the pool is exactly the
+        // baseline retrieval, so the expected normalization is checkable
+        // from outside.
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let turn = e.search(UserId(0), "seafood restaurant");
+        assert!(turn.personalized);
+        let pool = idx.search("seafood restaurant", e.config().rerank_pool);
+        let max = pool.iter().map(|h| h.score).fold(0.0_f64, f64::max);
+        assert!(max > 0.0);
+        for (h, f) in turn.hits.iter().zip(&turn.features) {
+            let raw = pool.iter().find(|p| p.doc == h.doc).expect("page doc in pool").score;
+            assert!(
+                (f[0] - raw / max).abs() < 1e-12,
+                "doc {}: feature {} != pool-normalized {}",
+                h.doc,
+                f[0],
+                raw / max
+            );
+            // The raw BM25 scale would violate [0, 1].
+            assert!(f[0] > 0.0 && f[0] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn augmentation_guard_is_token_boundary_aware() {
+        let idx = index();
+        let w = world();
+        let e = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let core = e.core();
+        // Exact and multi-word mentions are detected…
+        assert!(core.query_mentions_city("restaurants in alden", "alden"));
+        assert!(core.query_mentions_city("Alden harbor seafood", "alden"));
+        assert!(core.query_mentions_city("best port alden food", "port alden"));
+        // …but substrings of longer tokens are not (the "yorkshire"
+        // suppressing "york" bug)…
+        assert!(!core.query_mentions_city("aldenshire seafood", "alden"));
+        assert!(!core.query_mentions_city("restaurants in yorkshire", "york"));
+        // …and multi-word names must not match across token boundaries.
+        assert!(!core.query_mentions_city("port of call near alden", "port alden"));
+    }
+
+    #[test]
     fn adaptive_beta_starts_neutral_then_tracks_stats() {
         let idx = index();
         let w = world();
@@ -785,5 +547,21 @@ mod tests {
         let docs: Vec<u32> = pool.iter().map(|(x, _)| x.doc).collect();
         assert_eq!(docs, vec![0, 1, 2]);
         assert_eq!(pool[1].1, 0.9, "kept the higher normalized score");
+    }
+
+    #[test]
+    fn normalize_pool_unit_max() {
+        let h = |doc: u32, score: f64| SearchHit {
+            doc,
+            score,
+            rank: 1,
+            url: format!("u{doc}"),
+            title: "t".into(),
+            snippet: "s".into(),
+        };
+        let pool = normalize_pool(&[h(0, 8.0), h(1, 2.0)]);
+        assert_eq!(pool[0].1, 1.0);
+        assert_eq!(pool[1].1, 0.25);
+        assert!(normalize_pool(&[]).is_empty());
     }
 }

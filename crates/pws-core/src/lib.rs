@@ -31,9 +31,11 @@
 //! baseline / content-only / location-only / combined.
 
 pub mod config;
+pub mod core;
 pub mod engine;
 pub mod state;
 
+pub use crate::core::{EngineCore, SearchTurn};
 pub use config::{BlendStrategy, EngineConfig, PairSource, PersonalizationMode};
-pub use engine::{PersonalizedSearchEngine, SearchTurn};
+pub use engine::PersonalizedSearchEngine;
 pub use state::UserState;

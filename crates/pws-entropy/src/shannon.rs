@@ -5,6 +5,14 @@
 /// Non-positive entries are ignored; the distribution is normalized
 /// internally. Returns 0 for empty or single-support distributions.
 ///
+/// The result is **permutation-invariant at the bit level**: entries are
+/// sorted before accumulating, so the same multiset of counts always
+/// yields the same float no matter what order the caller's container
+/// iterates in. Callers routinely pass `HashMap::values()`, whose order
+/// varies per map instance; without the sort, two logically identical
+/// distributions could differ in the last ulp — enough to break
+/// byte-identical replay between the serial and sharded engines.
+///
 /// ```
 /// use pws_entropy::entropy;
 /// assert_eq!(entropy(&[1.0, 1.0]), 1.0);        // uniform over 2 → 1 bit
@@ -12,12 +20,14 @@
 /// assert!(entropy(&[1.0, 1.0, 1.0, 1.0]) > entropy(&[10.0, 1.0, 1.0, 1.0]));
 /// ```
 pub fn entropy(counts: &[f64]) -> f64 {
-    let total: f64 = counts.iter().filter(|&&c| c > 0.0).sum();
+    let mut pos: Vec<f64> = counts.iter().copied().filter(|&c| c > 0.0).collect();
+    pos.sort_by(f64::total_cmp);
+    let total: f64 = pos.iter().sum();
     if total <= 0.0 {
         return 0.0;
     }
     let mut h = 0.0;
-    for &c in counts.iter().filter(|&&c| c > 0.0) {
+    for &c in &pos {
         let p = c / total;
         h -= p * p.log2();
     }

@@ -195,12 +195,12 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.impressions(), all.impressions());
         assert_eq!(a.clicks(), all.clicks());
-        // Entropies sum over HashMap values, so summation order (and thus
-        // the last ulp) can differ between the merged and the sequential
-        // accumulator; the click masses themselves are exactly equal.
-        assert!((a.click_entropy() - all.click_entropy()).abs() < 1e-12);
-        assert!((a.content_entropy() - all.content_entropy()).abs() < 1e-12);
-        assert!((a.location_entropy() - all.location_entropy()).abs() < 1e-12);
+        // The entropy primitive sorts before accumulating, so equal click
+        // masses give *bit-identical* entropies regardless of how either
+        // map happens to iterate.
+        assert_eq!(a.click_entropy(), all.click_entropy());
+        assert_eq!(a.content_entropy(), all.content_entropy());
+        assert_eq!(a.location_entropy(), all.location_entropy());
         assert_eq!(a.distinct_locations(), all.distinct_locations());
     }
 

@@ -43,6 +43,51 @@ pub fn eval_threads() -> usize {
     EVAL_THREADS.load(Ordering::Relaxed).max(1)
 }
 
+/// Which engine frontend replays each user.
+///
+/// Results are backend-invariant: both frontends drive the same
+/// `EngineCore`, and a per-user `ServingEngine` with
+/// `stats_refresh_every = 1` sees exactly the statistics a serial
+/// engine would (pinned by `pws-serve`'s replay-equivalence tests and
+/// [`tests::backends_produce_identical_results`]). The sharded backend
+/// exists to exercise the production serving path under the full
+/// evaluation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalBackend {
+    /// The serial `PersonalizedSearchEngine` (default).
+    #[default]
+    Serial,
+    /// The concurrent `pws-serve::ServingEngine` with this many user
+    /// shards (clamped to ≥ 1).
+    Sharded {
+        /// User-shard count for the serving engine.
+        shards: usize,
+    },
+}
+
+/// Backend used by [`replay_users`]' per-user engines. Encoded in one
+/// atomic (0 = serial, n > 0 = sharded with n shards) for the same
+/// reason [`EVAL_THREADS`] is global: the many existing `RunConfig`
+/// literals stay valid, and results never depend on it.
+static EVAL_BACKEND: AtomicUsize = AtomicUsize::new(0);
+
+/// Select the engine frontend for subsequent runs.
+pub fn set_eval_backend(backend: EvalBackend) {
+    let encoded = match backend {
+        EvalBackend::Serial => 0,
+        EvalBackend::Sharded { shards } => shards.max(1),
+    };
+    EVAL_BACKEND.store(encoded, Ordering::Relaxed);
+}
+
+/// Currently selected engine frontend.
+pub fn eval_backend() -> EvalBackend {
+    match EVAL_BACKEND.load(Ordering::Relaxed) {
+        0 => EvalBackend::Serial,
+        n => EvalBackend::Sharded { shards: n },
+    }
+}
+
 /// Deterministic per-user RNG seed: a SplitMix64 finalizer over the
 /// harness seed and the user index. Each user's simulator draws from its
 /// own stream, so replay order (and thread interleaving) cannot perturb
@@ -228,7 +273,22 @@ pub fn run_method(world: &ExperimentWorld, cfg: &RunConfig) -> MethodResult {
 /// also derives from the user's own clickthrough.
 fn replay_user(world: &ExperimentWorld, cfg: &RunConfig, user_idx: usize) -> Vec<IssueDetail> {
     let top_k = cfg.engine.top_k;
-    let mut engine = PersonalizedSearchEngine::new(&world.engine, &world.world, cfg.engine.clone());
+    let mut engine = match eval_backend() {
+        EvalBackend::Serial => UserEngine::Serial(PersonalizedSearchEngine::new(
+            &world.engine,
+            &world.world,
+            cfg.engine.clone(),
+        )),
+        EvalBackend::Sharded { shards } => UserEngine::Sharded(pws_serve::ServingEngine::new(
+            &world.engine,
+            &world.world,
+            cfg.engine.clone(),
+            // Refresh after every observe: a single-caller sharded engine
+            // then replays byte-identically to the serial one, keeping
+            // experiment outputs backend-invariant.
+            pws_serve::ServeConfig { shards, stats_refresh_every: 1 },
+        )),
+    };
     let mut sim = SessionSimulator::with_model(
         &world.engine,
         &world.corpus,
@@ -277,9 +337,36 @@ pub fn run_methods_parallel(world: &ExperimentWorld, cfgs: &[RunConfig]) -> Vec<
     })
 }
 
+/// A per-user engine behind either frontend — the harness drives both
+/// through the same two calls.
+enum UserEngine<'w> {
+    /// The paper's serial middleware shape.
+    Serial(PersonalizedSearchEngine<'w>),
+    /// The concurrent serving layer (driven single-threaded here; the
+    /// point is to run the production code path, not to add parallelism
+    /// inside one user's replay).
+    Sharded(pws_serve::ServingEngine<'w>),
+}
+
+impl UserEngine<'_> {
+    fn search(&mut self, user: UserId, query_text: &str) -> pws_core::SearchTurn {
+        match self {
+            UserEngine::Serial(e) => e.search(user, query_text),
+            UserEngine::Sharded(e) => e.search(user, query_text),
+        }
+    }
+
+    fn observe(&mut self, turn: &pws_core::SearchTurn, impression: &pws_click::Impression) {
+        match self {
+            UserEngine::Serial(e) => e.observe(turn, impression),
+            UserEngine::Sharded(e) => e.observe(turn, impression),
+        }
+    }
+}
+
 /// One issue through the personalized engine + the click simulator.
 fn one_issue<'a>(
-    engine: &mut PersonalizedSearchEngine<'_>,
+    engine: &mut UserEngine<'_>,
     sim: &mut SessionSimulator<'a>,
     user: UserId,
     qid: QueryId,
@@ -369,6 +456,25 @@ mod tests {
         let a = serde_json::to_string(&serial).expect("serialize serial");
         let b = serde_json::to_string(&parallel).expect("serialize parallel");
         assert_eq!(a, b, "thread count changed the result bytes");
+    }
+
+    #[test]
+    fn backends_produce_identical_results() {
+        // The sharded serving backend must not change any experiment
+        // number: same engine core, per-user engines, fresh stats every
+        // observe → byte-identical serialized results.
+        let w = world();
+        let cfg = RunConfig::quick(EngineConfig::for_mode(PersonalizationMode::Combined));
+        set_eval_backend(EvalBackend::Serial);
+        let serial = run_method(&w, &cfg);
+        set_eval_backend(EvalBackend::Sharded { shards: 4 });
+        let sharded = run_method(&w, &cfg);
+        set_eval_backend(EvalBackend::Serial);
+        assert_eq!(
+            serde_json::to_string(&serial).expect("serialize serial"),
+            serde_json::to_string(&sharded).expect("serialize sharded"),
+            "eval backend changed the result bytes"
+        );
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub mod metrics;
 pub mod setup;
 
 pub use harness::{
-    eval_threads, replay_users, run_method, run_methods_parallel, set_eval_threads, user_seed,
-    ClickModelKind, MethodResult, RunConfig,
+    eval_backend, eval_threads, replay_users, run_method, run_methods_parallel, set_eval_backend,
+    set_eval_threads, user_seed, ClickModelKind, EvalBackend, MethodResult, RunConfig,
 };
 pub use metrics::{ndcg_at, precision_at, IssueMetrics, MetricAccumulator};
 pub use setup::{ExperimentSpec, ExperimentWorld};

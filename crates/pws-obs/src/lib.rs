@@ -117,6 +117,16 @@ impl StageMetrics {
         self.count.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one observation of an arbitrary non-time value (queue
+    /// depths, batch sizes, …). Identical storage to [`record_nanos`] —
+    /// the histogram and percentiles then read in that value's unit
+    /// rather than nanoseconds.
+    ///
+    /// [`record_nanos`]: Self::record_nanos
+    pub fn record_value(&self, value: u64) {
+        self.record_nanos(value);
+    }
+
     /// Start an RAII timer that records into this stage when dropped.
     pub fn span(&self) -> Span<'_> {
         Span { stage: self, start: Instant::now() }
@@ -205,6 +215,17 @@ fn registry() -> &'static Mutex<HashMap<String, Arc<StageMetrics>>> {
 pub fn stage(name: &str) -> Arc<StageMetrics> {
     let mut map = registry().lock().expect("metrics registry poisoned");
     map.entry(name.to_string()).or_insert_with(|| Arc::new(StageMetrics::new(name))).clone()
+}
+
+/// Intern one stage per shard: `"{prefix}{i}.{name}"` for `i` in
+/// `0..shards` (e.g. `serve.shard0.search`, `serve.shard1.search`, …).
+///
+/// The returned handles are index-aligned with the caller's shard
+/// vector, so a sharded component resolves its whole per-shard metric
+/// family in one call at construction and indexes it lock-free on the
+/// hot path.
+pub fn shard_stages(prefix: &str, shards: usize, name: &str) -> Vec<Arc<StageMetrics>> {
+    (0..shards).map(|i| stage(&format!("{prefix}{i}.{name}"))).collect()
 }
 
 /// Capture every registered stage, sorted by name.
@@ -419,6 +440,31 @@ mod tests {
         });
         assert_eq!(m.count(), 40_000);
         assert_eq!(m.total_nanos(), 4_000_000);
+    }
+
+    #[test]
+    fn shard_stages_interned_index_aligned() {
+        let fam = shard_stages("test.shardfam", 3, "search");
+        assert_eq!(fam.len(), 3);
+        assert_eq!(fam[0].name(), "test.shardfam0.search");
+        assert_eq!(fam[2].name(), "test.shardfam2.search");
+        // Same family resolved again → same underlying stages.
+        let again = shard_stages("test.shardfam", 3, "search");
+        fam[1].record_nanos(7);
+        assert_eq!(again[1].count(), 1);
+    }
+
+    #[test]
+    fn record_value_feeds_the_histogram() {
+        let m = StageMetrics::new("test.value");
+        for depth in [0u64, 2, 2, 9] {
+            m.record_value(depth);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.total_nanos, 13, "total is in the value's unit");
+        // Depth 2 lands in bucket [2, 4): upper bound 3.
+        assert_eq!(s.p50_nanos, 3);
     }
 
     #[test]

@@ -154,11 +154,18 @@ impl ContentProfile {
         self.observations += 1;
     }
 
+    /// The profile's L1 mass, summed in sorted order so the value is
+    /// identical for logically equal profiles regardless of the map's
+    /// per-instance iteration order (replay determinism).
+    fn l1(&self) -> f64 {
+        crate::sorted_l1(self.weights.values().copied())
+    }
+
     /// Preference score of a snippet given the concepts present in it:
     /// the sum of their weights, normalized by the profile's L1 mass.
     /// Returns 0 for an empty profile (cold start → neutral).
     pub fn score_concepts<'a>(&self, terms: impl Iterator<Item = &'a str>) -> f64 {
-        let l1: f64 = self.weights.values().map(|w| w.abs()).sum();
+        let l1 = self.l1();
         if l1 == 0.0 {
             return 0.0;
         }

@@ -33,7 +33,12 @@ pub struct ResultFeatureInput {
     pub doc: u32,
     /// 1-based rank in the baseline list.
     pub rank: usize,
-    /// Baseline retrieval score (BM25).
+    /// Baseline retrieval score, **already normalized to `[0, 1]`** by the
+    /// caller (the engine divides by the candidate pool's max). The
+    /// extractor passes it through untouched — normalizing here too would
+    /// re-scale by the *page* max and silently diverge from the scale the
+    /// ranker scored with whenever the pool's top document was reranked
+    /// off the page (the train/serve skew bug).
     pub base_score: f64,
     /// Result URL.
     pub url: String,
@@ -118,11 +123,6 @@ impl FeatureExtractor {
         history: &UserHistory,
         geo: Option<&GeoContext<'_>>,
     ) -> Vec<Vec<f64>> {
-        let max_score = inputs
-            .iter()
-            .map(|i| i.base_score)
-            .fold(0.0_f64, f64::max)
-            .max(f64::MIN_POSITIVE);
         let q_terms = self.analyzer.analyze(query_text);
 
         inputs
@@ -130,7 +130,7 @@ impl FeatureExtractor {
             .enumerate()
             .map(|(i, input)| {
                 let mut f = vec![0.0; FEATURE_DIM];
-                f[0] = input.base_score / max_score;
+                f[0] = input.base_score;
 
                 if self.use_content {
                     if let Some(concepts) = onto.content_by_snippet.get(i) {
@@ -203,7 +203,7 @@ mod tests {
             .map(|(i, _)| ResultFeatureInput {
                 doc: i as u32,
                 rank: i + 1,
-                base_score: 10.0 - i as f64,
+                base_score: (10.0 - i as f64) / 10.0,
                 url: format!("http://d{i}.test/p"),
                 title: if i == 0 { "restaurant guide".into() } else { "other page".into() },
             })
@@ -217,8 +217,13 @@ mod tests {
     }
 
     #[test]
-    fn base_score_normalized_to_unit_max() {
-        let (onto, inputs) = setup(&["seafood alden", "sushi bar"]);
+    fn base_score_passed_through_unrescaled() {
+        // The caller normalizes by the candidate *pool* max; the extractor
+        // must not re-normalize by the *page* max. A page whose top score
+        // is 0.8 (pool winner reranked off the page) keeps 0.8.
+        let (onto, mut inputs) = setup(&["seafood alden", "sushi bar"]);
+        inputs[0].base_score = 0.8;
+        inputs[1].base_score = 0.4;
         let fx = FeatureExtractor::new();
         let feats = fx.extract_page(
             "restaurant",
@@ -229,8 +234,8 @@ mod tests {
             &UserHistory::new(),
         );
         assert_eq!(feats.len(), 2);
-        assert!((feats[0][0] - 1.0).abs() < 1e-12);
-        assert!(feats[1][0] < 1.0 && feats[1][0] > 0.0);
+        assert!((feats[0][0] - 0.8).abs() < 1e-12);
+        assert!((feats[1][0] - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -32,3 +32,17 @@ pub use history::UserHistory;
 pub use location_profile::{LocationProfile, LocationProfileConfig};
 pub use pairs::{mine_pairs, PairMiningConfig};
 pub use spynb::{mine_spynb_pairs, SpyNbConfig};
+
+/// Sum of absolute values, accumulated in sorted order.
+///
+/// Floating-point addition is not associative, so summing a `HashMap`'s
+/// values in iteration order makes the result depend on the particular
+/// map *instance* (std maps seed their hasher per instance). Profile
+/// scoring normalizes by L1 mass; computing that mass through this
+/// helper keeps scores bit-identical for logically equal profiles —
+/// the property the serial-vs-sharded replay equivalence tests pin.
+pub(crate) fn sorted_l1(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.map(f64::abs).collect();
+    v.sort_by(f64::total_cmp);
+    v.iter().sum()
+}

@@ -159,11 +159,18 @@ impl LocationProfile {
         self.observations += 1;
     }
 
+    /// The profile's L1 mass, summed in sorted order so the value is
+    /// identical for logically equal profiles regardless of the map's
+    /// per-instance iteration order (replay determinism).
+    fn l1(&self) -> f64 {
+        crate::sorted_l1(self.weights.values().copied())
+    }
+
     /// Preference score of a result given the locations mentioned in its
     /// snippet: the sum of their weights, normalized by the profile's L1
     /// mass. Empty profile → 0 (neutral).
     pub fn score_locations(&self, locs: impl Iterator<Item = LocId>) -> f64 {
-        let l1: f64 = self.weights.values().map(|w| w.abs()).sum();
+        let l1 = self.l1();
         if l1 == 0.0 {
             return 0.0;
         }
@@ -182,13 +189,17 @@ impl LocationProfile {
         coords: &pws_geo::WorldCoords,
         scale_km: f64,
     ) -> f64 {
-        let l1: f64 = self.weights.values().map(|w| w.abs()).sum();
+        let l1 = self.l1();
         if l1 == 0.0 {
             return 0.0;
         }
+        // Iterate entries in id order: the kernel sum must not depend on
+        // the map instance's iteration order (replay determinism).
+        let mut entries: Vec<(LocId, f64)> = self.weights.iter().map(|(&l, &w)| (l, w)).collect();
+        entries.sort_by_key(|(l, _)| *l);
         let mut total = 0.0;
         for l in locs {
-            for (&e, &w) in &self.weights {
+            for &(e, w) in &entries {
                 total += w * coords.proximity(e, l, scale_km);
             }
         }

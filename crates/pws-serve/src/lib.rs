@@ -1,0 +1,727 @@
+//! # pws-serve — user-sharded concurrent serving
+//!
+//! The serial [`pws_core::PersonalizedSearchEngine`] takes `&mut self`
+//! over one global user map, so a process serves exactly one query at a
+//! time. This crate is the concurrent frontend over the same
+//! [`EngineCore`]: an engine that is `&self + Send + Sync`, sharding the
+//! *only* mutable state — per-user profiles and per-query statistics —
+//! so that requests for different users proceed in parallel and never
+//! contend on a global lock.
+//!
+//! ## Sharding and locking
+//!
+//! ```text
+//!                    ┌───────────────────────────────┐
+//!                    │  EngineCore (shared, &self)   │
+//!                    │  index · ontology · matcher   │
+//!                    │  config · trainer · metrics   │
+//!                    └──────────────┬────────────────┘
+//!          search/observe(user, q)  │ hash(user) → shard
+//!              ┌───────────────┬────┴──────────┬───────────────┐
+//!              ▼               ▼               ▼               ▼
+//!        ┌───────────┐   ┌───────────┐                  ┌───────────┐
+//!        │ shard 0   │   │ shard 1   │       …          │ shard N-1 │
+//!        │ Mutex<    │   │ Mutex<    │                  │ Mutex<    │
+//!        │  user map>│   │  user map>│                  │  user map>│
+//!        └───────────┘   └───────────┘                  └───────────┘
+//!
+//!        query statistics (adaptive β):
+//!          writes → hash(query) → Mutex shard      (observe path)
+//!          reads  → RwLock<Arc<snapshot>>, epoch-  (search path —
+//!                   rebuilt every `stats_refresh_every` observes;
+//!                   an Arc clone, never a shard lock)
+//! ```
+//!
+//! **Read path** (`search`): lock exactly one user shard (the issuing
+//! user's), read β statistics from the lock-free epoch snapshot, run
+//! [`EngineCore::search_user`]. Queries for users on different shards
+//! share no locks at all.
+//!
+//! **Write path** (`observe`): lock the user's shard and the query's
+//! statistics shard (always in that order — the deadlock-freedom
+//! invariant), fold the clicks in, then bump the epoch counter and — at
+//! most every [`ServeConfig::stats_refresh_every`] observes — rebuild
+//! the statistics snapshot.
+//!
+//! ## Determinism
+//!
+//! Both frontends run the same [`EngineCore::search_user`] /
+//! [`EngineCore::observe_user`], so a session log replayed per-user in
+//! order produces byte-identical [`SearchTurn`]s to the serial engine —
+//! for any shard count and any thread count — whenever the adaptive-β
+//! coupling between users is inert: fixed/mode β, or per-user-disjoint
+//! query strings with `stats_refresh_every = 1`. The equivalence tests
+//! at the bottom of this file pin exactly that.
+//!
+//! ## Metrics
+//!
+//! Each shard registers `serve.shard{i}.search`, `serve.shard{i}.observe`
+//! (latency histograms) and `serve.shard{i}.queue` (in-flight request
+//! depth sampled at arrival) in the global [`pws_obs`] registry, next to
+//! the engine's own `engine.*` stages.
+
+use pws_click::{Impression, UserId};
+use pws_core::{EngineConfig, EngineCore, SearchTurn, UserState};
+use pws_entropy::QueryStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Configuration of the serving layer (the engine's own behavior lives
+/// in [`EngineConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of user shards (and query-statistics shards). More shards
+    /// → less lock contention, slightly more memory. Clamped to ≥ 1.
+    pub shards: usize,
+    /// Rebuild the adaptive-β statistics snapshot every this many
+    /// observes. `1` = after every observe (strongest freshness, used by
+    /// the replay-equivalence tests); larger values amortize the rebuild
+    /// under heavy write traffic at the cost of β lagging by at most
+    /// that many clicks. Clamped to ≥ 1.
+    pub stats_refresh_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { shards: 8, stats_refresh_every: 64 }
+    }
+}
+
+/// One user shard: the mutable per-user state for every user hashing
+/// here, plus this shard's metric handles.
+struct UserShard {
+    users: Mutex<HashMap<UserId, UserState>>,
+    /// Requests currently inside `search`/`observe` on this shard;
+    /// sampled into the `queue` histogram at arrival, so its p99 is the
+    /// queue depth an arriving request actually saw.
+    inflight: AtomicU64,
+    search: Arc<pws_obs::StageMetrics>,
+    observe: Arc<pws_obs::StageMetrics>,
+    queue: Arc<pws_obs::StageMetrics>,
+}
+
+/// Sharded query statistics with an epoch-snapshot read path.
+///
+/// Writers mutate hash-sharded `Mutex<HashMap>`s; readers only ever
+/// clone an `Arc` out of an `RwLock` — they never touch a shard lock,
+/// so `search` cannot block behind a stats write.
+struct ShardedStats {
+    shards: Vec<Mutex<HashMap<String, QueryStats>>>,
+    snapshot: RwLock<Arc<HashMap<String, QueryStats>>>,
+    /// Observes since the last snapshot rebuild.
+    pending: AtomicU64,
+    refresh_every: u64,
+}
+
+impl ShardedStats {
+    fn new(shards: usize, refresh_every: u64) -> Self {
+        ShardedStats {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            snapshot: RwLock::new(Arc::new(HashMap::new())),
+            pending: AtomicU64::new(0),
+            refresh_every: refresh_every.max(1),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        // FNV-1a over the key bytes; stable across runs (no RandomState).
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// The current epoch snapshot (an `Arc` clone; cheap).
+    fn read(&self) -> Arc<HashMap<String, QueryStats>> {
+        self.snapshot.read().expect("stats snapshot poisoned").clone()
+    }
+
+    /// Merge every shard into a fresh snapshot and publish it.
+    fn refresh(&self) {
+        let mut merged = HashMap::new();
+        for shard in &self.shards {
+            let guard = shard.lock().expect("stats shard poisoned");
+            for (k, v) in guard.iter() {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        *self.snapshot.write().expect("stats snapshot poisoned") = Arc::new(merged);
+    }
+
+    /// Account one observe; refresh the snapshot when the epoch is due.
+    /// Must be called with **no** stats-shard lock held (refresh takes
+    /// them all).
+    fn tick(&self) {
+        let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        if pending >= self.refresh_every {
+            self.pending.store(0, Ordering::Relaxed);
+            self.refresh();
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the same user-hash the eval harness uses for
+/// seeding, reused here so shard assignment is well-mixed even for the
+/// dense sequential `UserId`s the simulator generates.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The concurrent serving engine: shared [`EngineCore`] + user-sharded
+/// mutable state. All request methods take `&self`; the type is
+/// `Send + Sync` and intended to be put behind an `Arc` (or borrowed by
+/// scoped threads) and called from as many threads as you like.
+///
+/// ```
+/// use pws_click::UserId;
+/// use pws_core::EngineConfig;
+/// use pws_geo::{LocId, LocationOntology};
+/// use pws_index::{IndexBuilder, StoredDoc};
+/// use pws_serve::{ServeConfig, ServingEngine};
+///
+/// let mut b = IndexBuilder::new();
+/// b.add(StoredDoc::new(0, "http://a.test", "Harbor dining",
+///     "seafood restaurant by the harbor"));
+/// let index = b.build();
+/// let mut world = LocationOntology::new();
+/// let r = world.add(LocId::WORLD, "westland", vec![]);
+/// world.add(r, "alden", vec![]);
+///
+/// let engine = ServingEngine::new(&index, &world, EngineConfig::default(),
+///     ServeConfig::default());
+/// std::thread::scope(|s| {
+///     for u in 0..4u32 {
+///         let engine = &engine;
+///         s.spawn(move || engine.search(UserId(u), "restaurant"));
+///     }
+/// });
+/// assert_eq!(engine.user_count(), 4);
+/// ```
+pub struct ServingEngine<'a> {
+    core: EngineCore<'a>,
+    shards: Vec<UserShard>,
+    stats: ShardedStats,
+}
+
+impl<'a> ServingEngine<'a> {
+    /// Build a serving engine over an already-built baseline index.
+    pub fn new(
+        base: &'a pws_index::SearchEngine,
+        world: &'a pws_geo::LocationOntology,
+        cfg: EngineConfig,
+        serve_cfg: ServeConfig,
+    ) -> Self {
+        let n = serve_cfg.shards.max(1);
+        let search_m = pws_obs::shard_stages("serve.shard", n, "search");
+        let observe_m = pws_obs::shard_stages("serve.shard", n, "observe");
+        let queue_m = pws_obs::shard_stages("serve.shard", n, "queue");
+        let shards = search_m
+            .into_iter()
+            .zip(observe_m)
+            .zip(queue_m)
+            .map(|((search, observe), queue)| UserShard {
+                users: Mutex::new(HashMap::new()),
+                inflight: AtomicU64::new(0),
+                search,
+                observe,
+                queue,
+            })
+            .collect();
+        ServingEngine {
+            core: EngineCore::new(base, world, cfg),
+            shards,
+            stats: ShardedStats::new(n, serve_cfg.stats_refresh_every),
+        }
+    }
+
+    /// Enable proximity-smoothed location scoring (see
+    /// [`EngineCore::with_geo`]).
+    pub fn with_geo(mut self, coords: &'a pws_geo::WorldCoords, scale_km: f64) -> Self {
+        self.core = self.core.with_geo(coords, scale_km);
+        self
+    }
+
+    /// The shared read side.
+    pub fn core(&self) -> &EngineCore<'a> {
+        &self.core
+    }
+
+    /// The active engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        self.core.config()
+    }
+
+    /// Number of user shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, user: UserId) -> usize {
+        (splitmix64(user.0 as u64) % self.shards.len() as u64) as usize
+    }
+
+    /// Execute one personalized search for `user`.
+    ///
+    /// Locks only the user's shard; β statistics come from the epoch
+    /// snapshot, so no cross-shard or global lock is ever taken.
+    pub fn search(&self, user: UserId, query_text: &str) -> SearchTurn {
+        let shard = &self.shards[self.shard_of(user)];
+        let depth = shard.inflight.fetch_add(1, Ordering::Relaxed);
+        shard.queue.record_value(depth);
+        let span = shard.search.span();
+        let snap = self.stats.read();
+        let stats = snap.get(&EngineCore::query_key(query_text));
+        let turn = {
+            let mut users = shard.users.lock().expect("user shard poisoned");
+            let state = users.entry(user).or_default();
+            self.core.search_user(user, query_text, state, stats)
+        };
+        drop(span);
+        shard.inflight.fetch_sub(1, Ordering::Relaxed);
+        turn
+    }
+
+    /// Fold the user's clicks on a turn back into the engine.
+    ///
+    /// Lock order: user shard, then query-statistics shard — every
+    /// writer acquires in that order, so the pair can never deadlock.
+    /// The snapshot refresh runs only after both are released.
+    pub fn observe(&self, turn: &SearchTurn, impression: &Impression) {
+        let shard = &self.shards[self.shard_of(turn.user)];
+        let depth = shard.inflight.fetch_add(1, Ordering::Relaxed);
+        shard.queue.record_value(depth);
+        {
+            let _span = shard.observe.span();
+            let key = EngineCore::query_key(&turn.query_text);
+            let stats_idx = self.stats.shard_of(&key);
+            let mut users = shard.users.lock().expect("user shard poisoned");
+            let state = users.entry(turn.user).or_default();
+            let mut stats_shard =
+                self.stats.shards[stats_idx].lock().expect("stats shard poisoned");
+            let stats = stats_shard.entry(key).or_default();
+            self.core.observe_user(turn, impression, state, stats);
+        }
+        shard.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.stats.tick();
+    }
+
+    /// Execute a batch of searches, one thread per occupied shard.
+    ///
+    /// Results are returned in request order. Requests for users on the
+    /// same shard run sequentially in request order (they'd serialize on
+    /// the shard lock anyway); requests on different shards run in
+    /// parallel. Since `search` does not learn (only `observe` does),
+    /// this is observationally identical to calling [`Self::search`] in
+    /// a loop.
+    pub fn batch_search(&self, requests: &[(UserId, String)]) -> Vec<SearchTurn> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (user, _)) in requests.iter().enumerate() {
+            by_shard[self.shard_of(*user)].push(i);
+        }
+        let results: Mutex<Vec<(usize, SearchTurn)>> =
+            Mutex::new(Vec::with_capacity(requests.len()));
+        std::thread::scope(|scope| {
+            for indices in by_shard.into_iter().filter(|v| !v.is_empty()) {
+                let results = &results;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(indices.len());
+                    for i in indices {
+                        let (user, query) = &requests[i];
+                        local.push((i, self.search(*user, query)));
+                    }
+                    results.lock().expect("batch sink poisoned").extend(local);
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("batch sink poisoned");
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Force an immediate rebuild of the β-statistics snapshot (tests
+    /// and batch pipelines that want freshness at a phase boundary).
+    pub fn refresh_stats(&self) {
+        self.stats.refresh();
+    }
+
+    /// Clone out a user's state (if the user has been seen).
+    pub fn user_state(&self, user: UserId) -> Option<UserState> {
+        let shard = &self.shards[self.shard_of(user)];
+        shard.users.lock().expect("user shard poisoned").get(&user).cloned()
+    }
+
+    /// Accumulated statistics for a query string, as of the last
+    /// snapshot refresh.
+    pub fn query_stats(&self, query_text: &str) -> Option<QueryStats> {
+        self.stats.read().get(&EngineCore::query_key(query_text)).cloned()
+    }
+
+    /// Number of distinct users with state, across all shards.
+    pub fn user_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.users.lock().expect("user shard poisoned").len())
+            .sum()
+    }
+
+    /// Reset one user's learned state.
+    pub fn forget_user(&self, user: UserId) {
+        let shard = &self.shards[self.shard_of(user)];
+        shard.users.lock().expect("user shard poisoned").remove(&user);
+    }
+
+    /// Export one user's learned state as JSON (profile portability).
+    pub fn export_user(&self, user: UserId) -> Option<String> {
+        self.user_state(user)
+            .map(|s| serde_json::to_string(&s).expect("UserState serialization is infallible"))
+    }
+
+    /// Import a previously exported user state, replacing any existing
+    /// state for that user id.
+    pub fn import_user(&self, user: UserId, json: &str) -> Result<(), serde_json::Error> {
+        let state: UserState = serde_json::from_str(json)?;
+        let shard = &self.shards[self.shard_of(user)];
+        shard.users.lock().expect("user shard poisoned").insert(user, state);
+        Ok(())
+    }
+}
+
+// The whole point of the crate; if a field ever grows interior
+// mutability that isn't thread-safe, this fails to compile.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServingEngine<'static>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_click::{Click, ShownResult};
+    use pws_core::{BlendStrategy, PersonalizedSearchEngine};
+    use pws_corpus::query::QueryId;
+    use pws_geo::{LocId, LocationOntology};
+    use pws_index::{IndexBuilder, SearchEngine, StoredDoc};
+
+    fn world() -> LocationOntology {
+        let mut o = LocationOntology::new();
+        let r = o.add(LocId::WORLD, "westland", vec![]);
+        let c = o.add(r, "ardonia", vec![]);
+        let s = o.add(c, "vale", vec![]);
+        o.add(s, "alden", vec![]);
+        o.add(s, "lakemoor", vec![]);
+        o
+    }
+
+    fn index() -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        b.add(StoredDoc::new(0, "http://a.test/0", "Seafood guide",
+            "seafood restaurant guide with lobster in alden harbor area"));
+        b.add(StoredDoc::new(1, "http://b.test/1", "Seafood lakemoor",
+            "seafood restaurant in lakemoor with fresh oysters"));
+        b.add(StoredDoc::new(2, "http://c.test/2", "Sushi place",
+            "sushi restaurant downtown with omakase menu in alden"));
+        b.add(StoredDoc::new(3, "http://d.test/3", "Steak house",
+            "steak restaurant grill with ribeye specials"));
+        b.add(StoredDoc::new(4, "http://e.test/4", "Pizza lakemoor",
+            "pizza restaurant in lakemoor stone oven margherita"));
+        b.add(StoredDoc::new(5, "http://f.test/5", "Noodle bar",
+            "noodle restaurant with ramen and broth in alden"));
+        b.build()
+    }
+
+    fn impression_from(turn: &SearchTurn, clicked_docs: &[u32]) -> Impression {
+        Impression {
+            user: turn.user,
+            query: QueryId(0),
+            query_text: turn.query_text.clone(),
+            results: turn
+                .hits
+                .iter()
+                .map(|h| ShownResult {
+                    doc: h.doc,
+                    rank: h.rank,
+                    url: h.url.clone(),
+                    title: h.title.clone(),
+                    snippet: h.snippet.clone(),
+                })
+                .collect(),
+            clicks: turn
+                .hits
+                .iter()
+                .filter(|h| clicked_docs.contains(&h.doc))
+                .map(|h| Click { doc: h.doc, rank: h.rank, dwell: 600 })
+                .collect(),
+        }
+    }
+
+    /// The deterministic replay click rule: click the highest doc id on
+    /// the page (arbitrary but stable, and it exercises skip-above pair
+    /// mining because the clicked doc is rarely rank 1).
+    fn click_rule(turn: &SearchTurn) -> Vec<u32> {
+        turn.hits.iter().map(|h| h.doc).max().into_iter().collect()
+    }
+
+    /// A session log: per user, an ordered list of query strings.
+    fn session_log(queries: &dyn Fn(u32) -> Vec<String>, users: u32) -> Vec<(UserId, Vec<String>)> {
+        (0..users).map(|u| (UserId(u), queries(u))).collect()
+    }
+
+    /// Replay through the serial engine, turns interleaved round-robin
+    /// across users (the order the middleware would see); returns each
+    /// user's Debug-formatted turn transcript.
+    fn replay_serial(
+        log: &[(UserId, Vec<String>)],
+        cfg: EngineConfig,
+    ) -> HashMap<UserId, Vec<String>> {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(&idx, &w, cfg);
+        let mut out: HashMap<UserId, Vec<String>> = HashMap::new();
+        let rounds = log.iter().map(|(_, qs)| qs.len()).max().unwrap_or(0);
+        for round in 0..rounds {
+            for (user, qs) in log {
+                let Some(q) = qs.get(round) else { continue };
+                let turn = e.search(*user, q);
+                let imp = impression_from(&turn, &click_rule(&turn));
+                e.observe(&turn, &imp);
+                out.entry(*user).or_default().push(format!("{turn:?}"));
+            }
+        }
+        out
+    }
+
+    /// Replay through the sharded engine with `threads` worker threads,
+    /// each owning a disjoint set of users (a user's turns must stay
+    /// ordered; cross-user order is left to the scheduler on purpose).
+    fn replay_sharded(
+        log: &[(UserId, Vec<String>)],
+        cfg: EngineConfig,
+        shards: usize,
+        threads: usize,
+    ) -> HashMap<UserId, Vec<String>> {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            cfg,
+            ServeConfig { shards, stats_refresh_every: 1 },
+        );
+        type Transcript = Vec<(UserId, Vec<String>)>;
+        let transcripts: Vec<Mutex<Transcript>> =
+            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+        std::thread::scope(|scope| {
+            for (t, sink) in transcripts.iter().enumerate() {
+                let e = &e;
+                let log = &log;
+                scope.spawn(move || {
+                    for (i, (user, qs)) in log.iter().enumerate() {
+                        if i % threads != t {
+                            continue;
+                        }
+                        let mut turns = Vec::with_capacity(qs.len());
+                        for q in qs {
+                            let turn = e.search(*user, q);
+                            let imp = impression_from(&turn, &click_rule(&turn));
+                            e.observe(&turn, &imp);
+                            turns.push(format!("{turn:?}"));
+                        }
+                        sink.lock().unwrap().push((*user, turns));
+                    }
+                });
+            }
+        });
+        let mut out = HashMap::new();
+        for sink in transcripts {
+            for (user, turns) in sink.into_inner().unwrap() {
+                out.insert(user, turns);
+            }
+        }
+        out
+    }
+
+    fn assert_equivalent(
+        serial: &HashMap<UserId, Vec<String>>,
+        sharded: &HashMap<UserId, Vec<String>>,
+        label: &str,
+    ) {
+        assert_eq!(serial.len(), sharded.len(), "{label}: user sets differ");
+        for (user, s_turns) in serial {
+            let p_turns = sharded.get(user).unwrap_or_else(|| panic!("{label}: {user:?} missing"));
+            assert_eq!(
+                s_turns, p_turns,
+                "{label}: {user:?} transcripts diverge (byte-level)"
+            );
+        }
+    }
+
+    /// Sharded replay is byte-identical to serial replay across every
+    /// shard/thread combination, under the *adaptive* β blend. Each user
+    /// issues user-disjoint query strings, so the query-statistics
+    /// coupling between users is inert and per-user determinism is the
+    /// whole story (with `stats_refresh_every: 1` each user's own stats
+    /// are always fresh for its next turn).
+    #[test]
+    fn sharded_replay_matches_serial_adaptive_disjoint_queries() {
+        let queries = |u: u32| -> Vec<String> {
+            vec![
+                format!("seafood restaurant u{u}"),
+                format!("restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+                format!("sushi restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+            ]
+        };
+        let log = session_log(&queries, 6);
+        let serial = replay_serial(&log, EngineConfig::default());
+        for shards in [1usize, 3, 8] {
+            for threads in [1usize, 4] {
+                let sharded = replay_sharded(&log, EngineConfig::default(), shards, threads);
+                assert_equivalent(&serial, &sharded, &format!("{shards} shards / {threads} threads"));
+            }
+        }
+    }
+
+    /// With a fixed β the statistics never influence ranking, so even
+    /// *shared* query strings replay byte-identically at any concurrency.
+    #[test]
+    fn sharded_replay_matches_serial_fixed_beta_shared_queries() {
+        let queries = |_u: u32| -> Vec<String> {
+            ["seafood restaurant", "restaurant", "seafood restaurant", "pizza restaurant"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        };
+        let log = session_log(&queries, 5);
+        let cfg = EngineConfig {
+            blend: BlendStrategy::Fixed(0.4),
+            ..EngineConfig::default()
+        };
+        let serial = replay_serial(&log, cfg.clone());
+        for shards in [1usize, 4] {
+            for threads in [1usize, 4] {
+                let sharded = replay_sharded(&log, cfg.clone(), shards, threads);
+                assert_equivalent(&serial, &sharded, &format!("{shards} shards / {threads} threads"));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_search_matches_sequential_and_preserves_order() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        let requests: Vec<(UserId, String)> = (0..12u32)
+            .map(|i| (UserId(i % 5), format!("restaurant u{}", i % 5)))
+            .collect();
+        let batch = e.batch_search(&requests);
+        assert_eq!(batch.len(), requests.len());
+        for ((user, q), turn) in requests.iter().zip(&batch) {
+            assert_eq!(turn.user, *user);
+            assert_eq!(&turn.query_text, q);
+            let again = e.search(*user, q);
+            assert_eq!(format!("{turn:?}"), format!("{again:?}"));
+        }
+    }
+
+    #[test]
+    fn adaptive_beta_flows_through_snapshot() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { shards: 4, stats_refresh_every: 1 },
+        );
+        assert_eq!(e.search(UserId(0), "restaurant").beta, 0.5, "no stats → neutral");
+        for u in 0..6u32 {
+            let turn = e.search(UserId(u), "restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        assert!(e.query_stats("restaurant").is_some());
+        let beta = e.search(UserId(9), "restaurant").beta;
+        assert!(beta > 0.0 && beta < 1.0, "β should now be stats-driven, got {beta}");
+    }
+
+    #[test]
+    fn stats_refresh_epoch_batches_snapshot_rebuilds() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { shards: 2, stats_refresh_every: 1_000_000 },
+        );
+        let turn = e.search(UserId(0), "restaurant");
+        let imp = impression_from(&turn, &click_rule(&turn));
+        e.observe(&turn, &imp);
+        // The write landed in a shard but the epoch hasn't rolled, so the
+        // snapshot still reads empty…
+        assert!(e.query_stats("restaurant").is_none());
+        // …until explicitly refreshed.
+        e.refresh_stats();
+        assert!(e.query_stats("restaurant").is_some());
+    }
+
+    #[test]
+    fn user_lifecycle_forget_export_import() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        let user = UserId(42);
+        for _ in 0..3 {
+            let turn = e.search(user, "seafood restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        let json = e.export_user(user).expect("state exists");
+        let weights = e.user_state(user).unwrap().model.weights.clone();
+        e.forget_user(user);
+        assert!(e.user_state(user).is_none());
+        e.import_user(user, &json).expect("round trip");
+        assert_eq!(e.user_state(user).unwrap().model.weights, weights);
+        assert!(e.import_user(user, "{not json").is_err());
+    }
+
+    #[test]
+    fn per_shard_metrics_are_recorded() {
+        let idx = index();
+        let w = world();
+        pws_obs::reset();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { shards: 3, stats_refresh_every: 1 },
+        );
+        for u in 0..24u32 {
+            let turn = e.search(UserId(u), "restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        let snap = pws_obs::snapshot();
+        let count = |name: &str| {
+            snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+        };
+        let searches: u64 = (0..3).map(|i| count(&format!("serve.shard{i}.search"))).sum();
+        let observes: u64 = (0..3).map(|i| count(&format!("serve.shard{i}.observe"))).sum();
+        let queue: u64 = (0..3).map(|i| count(&format!("serve.shard{i}.queue"))).sum();
+        assert_eq!(searches, 24);
+        assert_eq!(observes, 24);
+        assert_eq!(queue, 48, "queue depth sampled once per search and per observe");
+        // 24 users over 3 well-mixed shards: every shard should have seen
+        // at least one search.
+        for i in 0..3 {
+            assert!(count(&format!("serve.shard{i}.search")) > 0, "shard {i} idle");
+        }
+    }
+}

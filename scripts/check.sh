@@ -29,9 +29,9 @@ else
     echo "    (rustfmt not installed; skipped)"
 fi
 
-echo "==> cargo clippy -D warnings (pws-obs)"
+echo "==> cargo clippy -D warnings (workspace)"
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy -p pws-obs --offline --all-targets -- -D warnings
+    cargo clippy --workspace --offline --all-targets -- -D warnings
 else
     echo "    (clippy not installed; skipped)"
 fi
