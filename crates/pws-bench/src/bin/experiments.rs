@@ -15,7 +15,8 @@
 //! engine with N user shards). The JSON output is byte-identical for
 //! every thread count *and* backend (see EXPERIMENTS.md). A stage-latency
 //! profile from the engine's built-in metrics (`pws-obs`) is written to
-//! `results/metrics.json` on exit.
+//! `results/metrics.json` (and, in Prometheus text exposition format,
+//! `results/metrics.prom`) on exit.
 
 use pws_eval::experiments as exp;
 use pws_eval::experiments::Protocol;
@@ -248,11 +249,15 @@ fn main() {
     }
 
     // Stage-latency profile accumulated by the engine's instrumentation
-    // over everything that just ran.
+    // over everything that just ran: JSON for the repo's own tooling,
+    // Prometheus text exposition for scrape-style consumers.
     let snapshot = pws_obs::snapshot();
     let _ = fs::create_dir_all("results");
     if let Err(e) = fs::write("results/metrics.json", snapshot.to_json(true)) {
         eprintln!("warn: could not write results/metrics.json: {e}");
+    }
+    if let Err(e) = fs::write("results/metrics.prom", snapshot.to_prometheus()) {
+        eprintln!("warn: could not write results/metrics.prom: {e}");
     }
 
     eprintln!("total {:.1?} ({threads} thread(s), {backend:?} backend)", t0.elapsed());

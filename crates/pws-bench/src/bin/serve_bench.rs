@@ -11,22 +11,28 @@
 //! including the per-shard `serve.shard{i}.*` stages — to
 //! `results/serve_bench.json` / `results/serve_bench_metrics.json`.
 //! `--sweep` additionally scans worker counts 1, 2, 4, … up to
-//! `--workers` to show throughput scaling.
+//! `--workers` to show throughput scaling. `--metrics-out PATH` also
+//! writes the stage profile in Prometheus text exposition format (the
+//! file a node exporter's textfile collector would scrape).
 
 use pws_bench::throughput::{run_throughput, ThroughputOptions};
 use std::fs;
 
-fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+fn parse_str_flag(args: &[String], name: &str) -> Option<String> {
     let eq = format!("--{name}=");
     for (i, a) in args.iter().enumerate() {
         if a == &format!("--{name}") {
-            return args.get(i + 1).and_then(|v| v.parse().ok());
+            return args.get(i + 1).cloned();
         }
         if let Some(v) = a.strip_prefix(&eq) {
-            return v.parse().ok();
+            return Some(v.to_string());
         }
     }
     None
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+    parse_str_flag(args, name).and_then(|v| v.parse().ok())
 }
 
 fn main() {
@@ -77,5 +83,10 @@ fn main() {
     if let Err(e) = fs::write("results/serve_bench_metrics.json", pws_obs::snapshot().to_json(true))
     {
         eprintln!("warn: could not write results/serve_bench_metrics.json: {e}");
+    }
+    if let Some(path) = parse_str_flag(&args, "metrics-out") {
+        if let Err(e) = fs::write(&path, pws_obs::prometheus_text()) {
+            eprintln!("warn: could not write {path}: {e}");
+        }
     }
 }

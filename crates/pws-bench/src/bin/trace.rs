@@ -1,0 +1,152 @@
+//! `pws-trace` — replay one query from an eval fixture and pretty-print
+//! its decision trace.
+//!
+//! ```text
+//! cargo run -p pws-bench --release --bin pws-trace -- small 3
+//! cargo run -p pws-bench --release --bin pws-trace -- small 3 --user 2 --train 40
+//! cargo run -p pws-bench --release --bin pws-trace -- paper 17 --shards 8 --json
+//! ```
+//!
+//! Builds the named experiment fixture (`small` or `paper`), warms the
+//! target user with `--train` simulated interactions exactly the way the
+//! eval harness does (same per-user seed, same click model), then issues
+//! query `<query-id>` through the sharded serving path with tracing on
+//! and prints the resulting [`pws_obs::trace::QueryTrace`]: stage-by-stage
+//! latency, extracted content/location concepts with supports, the chosen
+//! β and its provenance, and per-result feature vectors with base→final
+//! rank deltas for every pool candidate. `--json` emits the trace as JSON
+//! instead of the human-readable rendering.
+
+use pws_click::{SessionSimulator, SimConfig, UserId};
+use pws_core::EngineConfig;
+use pws_corpus::query::QueryId;
+use pws_eval::{user_seed, ClickModelKind, ExperimentSpec, ExperimentWorld};
+use pws_serve::{ServeConfig, ServingEngine};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pws-trace <small|paper> <query-id> [--user N] [--train N] \
+         [--shards N] [--seed N] [--json]\n\
+         \n\
+         Replays one query from the eval fixture through the serving path\n\
+         with tracing enabled and prints the decision trace."
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    let eq = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == &format!("--{name}") {
+            return args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix(&eq) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--")).collect();
+    // Flag values consumed by `--flag N` also land in `positional`; only
+    // the first two positionals (fixture, query id) are meaningful, and
+    // flags are recommended in `--flag=N` form. Reject obvious misuse.
+    let (fixture, query_arg) = match (positional.first(), positional.get(1)) {
+        (Some(f), Some(q)) => (f.as_str(), q.as_str()),
+        _ => usage(),
+    };
+
+    let spec = match fixture {
+        "small" => ExperimentSpec::small(),
+        "paper" => ExperimentSpec::default_paper(),
+        other => {
+            eprintln!("unknown fixture {other:?} (want: small | paper)");
+            usage();
+        }
+    };
+    let Ok(query_id) = query_arg.parse::<u32>() else {
+        eprintln!("query id {query_arg:?} is not a number");
+        usage();
+    };
+
+    let user_idx = parse_flag(&args, "user").unwrap_or(0) as usize;
+    let train = parse_flag(&args, "train").unwrap_or(40) as usize;
+    let shards = parse_flag(&args, "shards").unwrap_or(8).max(1) as usize;
+    let seed = parse_flag(&args, "seed").unwrap_or(99);
+    let json = args.iter().any(|a| a == "--json");
+
+    eprintln!(
+        "building {fixture} fixture ({} docs, {} users, {} queries)…",
+        spec.corpus.num_docs, spec.users.num_users, spec.queries.num_queries
+    );
+    let world = ExperimentWorld::build(spec);
+    if query_id as usize >= world.queries.len() {
+        eprintln!(
+            "query id {query_id} out of range: the {fixture} fixture has {} queries (0..={})",
+            world.queries.len(),
+            world.queries.len() - 1
+        );
+        std::process::exit(2);
+    }
+    if user_idx >= world.population.len() {
+        eprintln!(
+            "user {user_idx} out of range: the {fixture} fixture has {} users",
+            world.population.len()
+        );
+        std::process::exit(2);
+    }
+
+    // Same serving configuration the eval harness uses for its sharded
+    // backend, plus an always-on trace ring so the warm-up traffic is
+    // admitted to the slow-query log too.
+    let engine = ServingEngine::new(
+        &world.engine,
+        &world.world,
+        EngineConfig::default(),
+        ServeConfig {
+            shards,
+            stats_refresh_every: 1,
+            trace: pws_serve::TraceConfig::sample_all(64),
+        },
+    );
+    let top_k = EngineConfig::default().top_k;
+    let mut sim = SessionSimulator::with_model(
+        &world.engine,
+        &world.corpus,
+        &world.world,
+        &world.population,
+        &world.queries,
+        SimConfig { top_k, seed: user_seed(seed, user_idx) },
+        ClickModelKind::PositionBias.build(),
+    );
+    let user = UserId(user_idx as u32);
+
+    // Warm the user's profile exactly like the harness training phase.
+    eprintln!("warming user {user_idx} with {train} interaction(s)…");
+    for _ in 0..train {
+        let qid = sim.sample_query(user);
+        let intent = sim.sample_intent_city(user);
+        let query = &sim.queries()[qid.index()];
+        let text = sim.render_query(query, intent);
+        let turn = engine.search(user, &text);
+        let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
+        engine.observe(&turn, &outcome.impression);
+    }
+
+    // The replayed query: the requested template, rendered with a
+    // deterministically sampled intent city for this user.
+    let qid = QueryId(query_id);
+    let intent = sim.sample_intent_city(user);
+    let query = &sim.queries()[qid.index()];
+    let text = sim.render_query(query, intent);
+    let (_turn, trace) = engine.search_traced(user, &text);
+
+    if json {
+        println!("{}", trace.to_json(true));
+    } else {
+        println!("{}", trace.render());
+    }
+}

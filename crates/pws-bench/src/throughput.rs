@@ -49,7 +49,7 @@ impl Default for ThroughputOptions {
 
 /// Result of one throughput run. All latency fields are nanoseconds read
 /// from the `serve.request` histogram (log₂ buckets — percentiles are
-/// bucket upper bounds, see `pws-obs`).
+/// bucket midpoints, see `pws-obs`).
 #[derive(Debug, Clone, Serialize)]
 pub struct ThroughputReport {
     /// Worker threads that drove the engine.
@@ -66,7 +66,7 @@ pub struct ThroughputReport {
     pub qps: f64,
     /// Mean request latency, nanoseconds.
     pub mean_nanos: f64,
-    /// Median request latency (histogram bucket upper bound).
+    /// Median request latency (histogram bucket midpoint).
     pub p50_nanos: u64,
     /// 95th-percentile request latency.
     pub p95_nanos: u64,
@@ -208,6 +208,10 @@ mod tests {
 
     #[test]
     fn closed_loop_reports_qps_and_percentiles() {
+        // run_throughput resets the shared `serve.request` stage and this
+        // test asserts on global per-shard counts — serialize against
+        // every other registry-touching test in this binary.
+        let _guard = pws_obs::test_lock();
         let world = pws_eval::ExperimentWorld::build(pws_eval::ExperimentSpec::small());
         let opts = ThroughputOptions {
             workers: 4, // the acceptance criterion: >1 worker thread
@@ -242,6 +246,9 @@ mod tests {
 
     #[test]
     fn pure_read_workload_skips_observes() {
+        // Serialized for the same reason as above: run_throughput resets
+        // the shared `serve.request` stage.
+        let _guard = pws_obs::test_lock();
         let world = pws_eval::ExperimentWorld::build(pws_eval::ExperimentSpec::small());
         let opts = ThroughputOptions {
             workers: 2,

@@ -22,6 +22,7 @@ use pws_concepts::QueryConceptOntology;
 use pws_entropy::{Effectiveness, QueryStats};
 use pws_geo::{LocationMatcher, LocationOntology};
 use pws_index::{SearchEngine, SearchHit};
+use pws_obs::trace::{BetaProvenance, BetaTrace, ConceptTrace, QueryTrace, ResultTrace};
 use pws_profile::{mine_pairs, FeatureExtractor, GeoContext, ResultFeatureInput};
 use pws_ranksvm::PairwiseTrainer;
 use pws_text::Analyzer;
@@ -150,16 +151,43 @@ impl<'a> EngineCore<'a> {
     /// query's accumulated click statistics (if any).
     pub fn choose_beta(&self, stats: Option<&QueryStats>) -> f64 {
         let _span = self.metrics.beta.span();
+        self.beta_decision(stats).value
+    }
+
+    /// The full β decision: the value [`choose_beta`] would return plus
+    /// its provenance (mode-pinned / fixed / adaptive) and, on the
+    /// adaptive path, the entropy-derived effectiveness inputs. This is
+    /// the *single* implementation of the blend policy — `choose_beta`
+    /// delegates here, so a traced turn can never report a β different
+    /// from the one the engine ranked with.
+    ///
+    /// [`choose_beta`]: Self::choose_beta
+    pub fn beta_decision(&self, stats: Option<&QueryStats>) -> BetaTrace {
         match self.cfg.mode {
-            PersonalizationMode::ContentOnly => 0.0,
-            PersonalizationMode::LocationOnly => 1.0,
-            PersonalizationMode::Baseline => 0.5,
+            PersonalizationMode::ContentOnly => BetaTrace::pinned(0.0, BetaProvenance::Mode),
+            PersonalizationMode::LocationOnly => BetaTrace::pinned(1.0, BetaProvenance::Mode),
+            PersonalizationMode::Baseline => BetaTrace::pinned(0.5, BetaProvenance::Mode),
             PersonalizationMode::Combined => match self.cfg.blend {
-                BlendStrategy::Fixed(b) => b.clamp(0.0, 1.0),
-                BlendStrategy::Adaptive => stats
-                    .map(|s| Effectiveness::from_stats(s, &self.cfg.effectiveness_cfg))
-                    .unwrap_or_else(Effectiveness::neutral)
-                    .beta(),
+                BlendStrategy::Fixed(b) => {
+                    BetaTrace::pinned(b.clamp(0.0, 1.0), BetaProvenance::Fixed)
+                }
+                BlendStrategy::Adaptive => match stats {
+                    None => BetaTrace::pinned(
+                        Effectiveness::neutral().beta(),
+                        BetaProvenance::AdaptiveNeutral,
+                    ),
+                    Some(s) => {
+                        let eff = Effectiveness::from_stats(s, &self.cfg.effectiveness_cfg);
+                        BetaTrace {
+                            value: eff.beta(),
+                            provenance: BetaProvenance::Adaptive,
+                            content_effectiveness: Some(eff.content),
+                            location_effectiveness: Some(eff.location),
+                            clicks: Some(s.clicks()),
+                            impressions: Some(s.impressions()),
+                        }
+                    }
+                },
             },
         }
     }
@@ -180,6 +208,28 @@ impl<'a> EngineCore<'a> {
         query_text: &str,
         state: &mut UserState,
         stats: Option<&QueryStats>,
+    ) -> SearchTurn {
+        self.search_user_traced(user, query_text, state, stats, None)
+    }
+
+    /// [`search_user`] with an optional per-query decision trace.
+    ///
+    /// When `trace` is `Some`, the turn's stage timings, concepts, β
+    /// decision, and per-candidate feature vectors / rank movements are
+    /// copied into it. Tracing only *reads* values the search computed
+    /// anyway — the ranking computation is identical with and without a
+    /// trace (the replay-equivalence tests in `pws-serve` assert this
+    /// byte-for-byte) — and a `None` trace costs nothing beyond the
+    /// untraced path.
+    ///
+    /// [`search_user`]: Self::search_user
+    pub fn search_user_traced(
+        &self,
+        user: UserId,
+        query_text: &str,
+        state: &mut UserState,
+        stats: Option<&QueryStats>,
+        mut trace: Option<&mut QueryTrace>,
     ) -> SearchTurn {
         // ── Candidate pool ────────────────────────────────────────────────
         let retrieval_span = self.metrics.retrieval.span();
@@ -219,13 +269,19 @@ impl<'a> EngineCore<'a> {
                 }
             }
         }
-        drop(retrieval_span);
+        finish_span(retrieval_span, &mut trace, "engine.retrieval");
 
         if self.cfg.mode == PersonalizationMode::Baseline || candidates.is_empty() {
             // β must report what the mode would actually blend with (the
             // F6/F7-style analyses read it from the turn), not a
             // hard-coded neutral value.
-            let beta = self.choose_beta(stats);
+            let beta_span = self.metrics.beta.span();
+            let decision = self.beta_decision(stats);
+            finish_span(beta_span, &mut trace, "engine.beta");
+            let beta = decision.value;
+            if let Some(t) = trace.as_deref_mut() {
+                t.beta = decision;
+            }
             let page: Vec<(SearchHit, f64)> = candidates
                 .into_iter()
                 .take(self.cfg.top_k)
@@ -235,7 +291,7 @@ impl<'a> EngineCore<'a> {
                     (h, norm)
                 })
                 .collect();
-            return self.finish_turn(state, user, query_text, page, beta, false);
+            return self.finish_turn(state, user, query_text, page, beta, false, trace);
         }
 
         // ── Features over the pool ────────────────────────────────────────
@@ -250,7 +306,7 @@ impl<'a> EngineCore<'a> {
             &self.cfg.concept_cfg,
             &self.cfg.location_cfg,
         );
-        drop(concepts_span);
+        finish_span(concepts_span, &mut trace, "engine.concepts");
         let features_span = self.metrics.features.span();
         let inputs: Vec<ResultFeatureInput> = candidates
             .iter()
@@ -271,10 +327,13 @@ impl<'a> EngineCore<'a> {
             &state.history,
             geo_ctx.as_ref(),
         );
-        drop(features_span);
+        finish_span(features_span, &mut trace, "engine.features");
 
         // ── Blend ────────────────────────────────────────────────────────
-        let beta = self.choose_beta(stats);
+        let beta_span = self.metrics.beta.span();
+        let decision = self.beta_decision(stats);
+        finish_span(beta_span, &mut trace, "engine.beta");
+        let beta = decision.value;
         for f in &mut features {
             f[1] *= 2.0 * (1.0 - beta);
             f[2] *= 2.0 * beta;
@@ -294,14 +353,55 @@ impl<'a> EngineCore<'a> {
                 (h, *norm)
             })
             .collect();
-        drop(rerank_span);
+        finish_span(rerank_span, &mut trace, "engine.rerank");
 
-        self.finish_turn(state, user, query_text, page, beta, true)
+        // Copy the decision record into the trace: the concepts the
+        // ranker actually matched against (pool-level ontology), the β,
+        // and every pool candidate's post-blend feature vector with its
+        // base-rank → final-rank movement. Reads only; nothing the
+        // untraced path computes differs.
+        if let Some(t) = trace.as_deref_mut() {
+            t.beta = decision;
+            t.personalized = true;
+            t.feature_names = pws_profile::FEATURE_NAMES.to_vec();
+            t.content_concepts = pool_onto
+                .content
+                .iter()
+                .map(|c| ConceptTrace { name: c.term.clone(), support: c.support })
+                .collect();
+            t.location_concepts = pool_onto
+                .locations
+                .iter()
+                .map(|l| ConceptTrace {
+                    name: self.world.name(l.loc).to_string(),
+                    support: l.support,
+                })
+                .collect();
+            t.results = order
+                .iter()
+                .enumerate()
+                .map(|(final_pos, &idx)| {
+                    let (h, norm) = &candidates[idx];
+                    ResultTrace {
+                        doc: h.doc,
+                        title: h.title.clone(),
+                        base_rank: idx + 1,
+                        final_rank: final_pos + 1,
+                        on_page: final_pos < self.cfg.top_k,
+                        base_score: *norm,
+                        features: features[idx].clone(),
+                    }
+                })
+                .collect();
+        }
+
+        self.finish_turn(state, user, query_text, page, beta, true, trace)
     }
 
     /// Extract the page-level ontology + page-aligned features and assemble
     /// the turn. `page` carries each hit's pool-normalized base score so
     /// the training features see the same scale the ranker scored with.
+    #[allow(clippy::too_many_arguments)]
     fn finish_turn(
         &self,
         state: &UserState,
@@ -310,6 +410,7 @@ impl<'a> EngineCore<'a> {
         page: Vec<(SearchHit, f64)>,
         beta: f64,
         personalized: bool,
+        mut trace: Option<&mut QueryTrace>,
     ) -> SearchTurn {
         let concepts_span = self.metrics.concepts.span();
         let page_snippets: Vec<String> = page.iter().map(|(h, _)| h.snippet.clone()).collect();
@@ -321,7 +422,7 @@ impl<'a> EngineCore<'a> {
             &self.cfg.concept_cfg,
             &self.cfg.location_cfg,
         );
-        drop(concepts_span);
+        finish_span(concepts_span, &mut trace, "engine.concepts");
         let inputs: Vec<ResultFeatureInput> =
             page.iter().map(|(h, norm)| feature_input(h, *norm, h.rank)).collect();
         let extractor = FeatureExtractor::with_masks(
@@ -339,7 +440,42 @@ impl<'a> EngineCore<'a> {
             &state.history,
             geo_ctx.as_ref(),
         );
-        drop(features_span);
+        finish_span(features_span, &mut trace, "engine.features");
+        // The personalized path filled the trace from the pool before
+        // calling here; for baseline / cold / empty turns the page *is*
+        // the pool prefix in base order, so record it with base == final.
+        if let Some(t) = trace {
+            if !personalized {
+                t.personalized = false;
+                t.feature_names = pws_profile::FEATURE_NAMES.to_vec();
+                t.content_concepts = ontology
+                    .content
+                    .iter()
+                    .map(|c| ConceptTrace { name: c.term.clone(), support: c.support })
+                    .collect();
+                t.location_concepts = ontology
+                    .locations
+                    .iter()
+                    .map(|l| ConceptTrace {
+                        name: self.world.name(l.loc).to_string(),
+                        support: l.support,
+                    })
+                    .collect();
+                t.results = page
+                    .iter()
+                    .zip(&features)
+                    .map(|((h, norm), f)| ResultTrace {
+                        doc: h.doc,
+                        title: h.title.clone(),
+                        base_rank: h.rank,
+                        final_rank: h.rank,
+                        on_page: true,
+                        base_score: *norm,
+                        features: f.clone(),
+                    })
+                    .collect();
+            }
+        }
         SearchTurn {
             user,
             query_text: query_text.to_string(),
@@ -417,6 +553,21 @@ impl<'a> EngineCore<'a> {
         } else {
             state.observations += 1;
         }
+    }
+}
+
+/// Close a stage span, recording into the aggregate histogram exactly as
+/// dropping would, and additionally copy the measured nanoseconds into
+/// the trace (if one is being filled). One measurement feeds both sinks,
+/// so aggregate metrics and traces can never disagree about a stage.
+fn finish_span(
+    span: pws_obs::Span<'_>,
+    trace: &mut Option<&mut QueryTrace>,
+    stage: &'static str,
+) {
+    let nanos = span.finish();
+    if let Some(t) = trace.as_deref_mut() {
+        t.stage(stage, nanos);
     }
 }
 

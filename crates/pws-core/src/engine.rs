@@ -106,6 +106,23 @@ impl<'a> PersonalizedSearchEngine<'a> {
         self.core.search_user(user, query_text, state, stats)
     }
 
+    /// [`search`](Self::search) plus a filled-in per-query decision
+    /// trace: stage timings, extracted concepts, β provenance, and every
+    /// pool candidate's feature vector and base→final rank movement. The
+    /// returned turn is byte-identical to what `search` would produce.
+    pub fn search_traced(
+        &mut self,
+        user: UserId,
+        query_text: &str,
+    ) -> (SearchTurn, pws_obs::trace::QueryTrace) {
+        let mut trace = pws_obs::trace::QueryTrace::new(user.0, query_text);
+        let state = self.users.entry(user).or_default();
+        let stats = self.query_stats.get(&EngineCore::query_key(query_text));
+        let turn = self.core.search_user_traced(user, query_text, state, stats, Some(&mut trace));
+        trace.total_nanos = trace.stage_nanos_total();
+        (turn, trace)
+    }
+
     /// Fold the user's clicks on a turn back into the engine.
     ///
     /// `impression.results` must correspond to `turn.hits` (same order) —
@@ -438,6 +455,89 @@ mod tests {
         }
         assert_eq!(turn.features.len(), turn.hits.len());
         assert_eq!(turn.ontology.content_by_snippet.len(), turn.hits.len());
+    }
+
+    #[test]
+    fn traced_search_matches_untraced_and_fills_trace() {
+        let idx = index();
+        let w = world();
+        let user = UserId(7);
+        // Two identically-trained engines: one searches untraced, the
+        // other traced. The pages must match byte-for-byte.
+        let mut plain = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        let mut traced = PersonalizedSearchEngine::new(&idx, &w, EngineConfig::default());
+        for e in [&mut plain, &mut traced] {
+            for _ in 0..4 {
+                let turn = e.search(user, "seafood restaurant");
+                if let Some(h) = turn.hits.iter().find(|h| h.doc == 1) {
+                    let imp = impression_from(&turn, &[h.rank]);
+                    e.observe(&turn, &imp);
+                }
+            }
+        }
+        let want = plain.search(user, "seafood restaurant");
+        let (turn, trace) = traced.search_traced(user, "seafood restaurant");
+        let docs = |t: &SearchTurn| t.hits.iter().map(|h| h.doc).collect::<Vec<_>>();
+        assert_eq!(docs(&turn), docs(&want));
+        assert_eq!(turn.features, want.features);
+        assert_eq!(turn.beta, want.beta);
+
+        // The trace carries the full decision record.
+        assert_eq!(trace.user, 7);
+        assert_eq!(trace.query_text, "seafood restaurant");
+        assert!(trace.personalized);
+        assert_eq!(trace.beta.value, turn.beta);
+        let stage_names: Vec<&str> = trace.stages.iter().map(|s| s.stage).collect();
+        for required in ["engine.retrieval", "engine.concepts", "engine.features",
+                         "engine.beta", "engine.rerank"] {
+            assert!(stage_names.contains(&required), "missing stage {required}");
+        }
+        // Every pool candidate appears, in final-rank order, with a full
+        // feature vector; the page prefix matches the returned hits.
+        assert!(!trace.results.is_empty());
+        assert_eq!(trace.feature_names.len(), pws_profile::FEATURE_DIM);
+        for (i, r) in trace.results.iter().enumerate() {
+            assert_eq!(r.final_rank, i + 1);
+            assert_eq!(r.features.len(), pws_profile::FEATURE_DIM);
+        }
+        let page_docs: Vec<u32> = trace
+            .results
+            .iter()
+            .filter(|r| r.on_page)
+            .map(|r| r.doc)
+            .collect();
+        assert_eq!(page_docs, docs(&turn));
+        // base_rank is a permutation of 1..=pool_size.
+        let mut base: Vec<usize> = trace.results.iter().map(|r| r.base_rank).collect();
+        base.sort_unstable();
+        assert_eq!(base, (1..=trace.results.len()).collect::<Vec<_>>());
+        // Concepts were extracted over the pool.
+        assert!(!trace.content_concepts.is_empty() || !trace.location_concepts.is_empty());
+    }
+
+    #[test]
+    fn traced_baseline_search_traces_page_in_base_order() {
+        let idx = index();
+        let w = world();
+        let mut e = PersonalizedSearchEngine::new(
+            &idx,
+            &w,
+            EngineConfig::for_mode(PersonalizationMode::Baseline),
+        );
+        let (turn, trace) = e.search_traced(UserId(0), "seafood restaurant");
+        assert!(!trace.personalized);
+        assert_eq!(trace.beta.value, 0.5);
+        assert_eq!(
+            trace.beta.provenance,
+            pws_obs::trace::BetaProvenance::Mode
+        );
+        assert_eq!(trace.results.len(), turn.hits.len());
+        for (r, h) in trace.results.iter().zip(&turn.hits) {
+            assert_eq!(r.doc, h.doc);
+            assert_eq!(r.base_rank, r.final_rank, "baseline never moves results");
+            assert_eq!(r.rank_delta(), 0);
+            assert!(r.on_page);
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub fn eval_threads() -> usize {
 /// `EngineCore`, and a per-user `ServingEngine` with
 /// `stats_refresh_every = 1` sees exactly the statistics a serial
 /// engine would (pinned by `pws-serve`'s replay-equivalence tests and
-/// [`tests::backends_produce_identical_results`]). The sharded backend
+/// this module's `backends_produce_identical_results` test). The sharded backend
 /// exists to exercise the production serving path under the full
 /// evaluation workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -286,7 +286,11 @@ fn replay_user(world: &ExperimentWorld, cfg: &RunConfig, user_idx: usize) -> Vec
             // Refresh after every observe: a single-caller sharded engine
             // then replays byte-identically to the serial one, keeping
             // experiment outputs backend-invariant.
-            pws_serve::ServeConfig { shards, stats_refresh_every: 1 },
+            pws_serve::ServeConfig {
+                shards,
+                stats_refresh_every: 1,
+                ..pws_serve::ServeConfig::default()
+            },
         )),
     };
     let mut sim = SessionSimulator::with_model(

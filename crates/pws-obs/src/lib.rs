@@ -41,12 +41,29 @@
 //!
 //! # Accuracy
 //!
-//! Histogram buckets double in width, so percentile estimates are
-//! upper bounds with at most 2× resolution error — adequate for
-//! spotting stage-level regressions, not for microbenchmarks (use
-//! `pws-bench` for those). Counters use relaxed atomics: totals are
-//! exact once threads quiesce, but a snapshot taken mid-flight may
-//! observe a count and total from slightly different instants.
+//! Histogram buckets double in width; percentile estimates report the
+//! **midpoint** of the bucket containing the requested rank, so the
+//! resolution error is at most ±50% of the true value (an upper-bound
+//! report would be biased high by up to 2×). The two edge buckets are
+//! exact-zero (reported as 0) and the unbounded catch-all for values
+//! ≥ 2⁶² (reported as its lower bound). Adequate for spotting
+//! stage-level regressions, not for microbenchmarks (use `pws-bench`
+//! for those). Counters use relaxed atomics: totals are exact once
+//! threads quiesce, but a snapshot taken mid-flight may observe a
+//! count and total from slightly different instants.
+//!
+//! # Tracing and export
+//!
+//! Aggregates answer "how slow is stage X overall"; the [`trace`]
+//! module holds the plain-data per-query [`trace::QueryTrace`] record
+//! the engine fills when a caller asks "why did *this* query rank the
+//! way it did". [`prometheus_text`] renders the whole registry in the
+//! Prometheus text exposition format for scraping.
+
+pub mod prometheus;
+pub mod trace;
+
+pub use prometheus::prometheus_text;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,14 +95,33 @@ pub fn bucket_index(value: u64) -> usize {
     }
 }
 
-/// Upper bound of a bucket, used as its representative value when
-/// estimating percentiles.
+/// Upper bound of a bucket (inclusive). Used for the Prometheus `le`
+/// bucket boundaries, not as the percentile representative.
 #[inline]
-fn bucket_upper(index: usize) -> u64 {
+pub(crate) fn bucket_upper(index: usize) -> u64 {
     match index {
         0 => 0,
         b if b >= BUCKETS - 1 => u64::MAX,
         b => (1u64 << b) - 1,
+    }
+}
+
+/// Midpoint of a bucket, used as its representative value when
+/// estimating percentiles. Reporting the midpoint instead of the upper
+/// bound removes the systematic high bias (up to 2×) the log₂ buckets
+/// would otherwise introduce; the residual error is at most ±50% of
+/// the true value. Bucket 0 is exactly zero; the unbounded top bucket
+/// reports its lower bound `2⁶²` (it has no meaningful midpoint).
+#[inline]
+fn bucket_mid(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        b if b >= BUCKETS - 1 => 1u64 << 62,
+        b => {
+            let lower = 1u64 << (b - 1);
+            let upper = (1u64 << b) - 1;
+            lower + (upper - lower) / 2
+        }
     }
 }
 
@@ -167,13 +203,15 @@ impl StageMetrics {
             p50_nanos: percentile(&buckets, histogram_count, 0.50),
             p95_nanos: percentile(&buckets, histogram_count, 0.95),
             p99_nanos: percentile(&buckets, histogram_count, 0.99),
+            buckets,
         }
     }
 }
 
-/// Estimate the `q`-quantile from log₂ bucket counts: the upper bound
-/// of the bucket containing the `ceil(q·total)`-th observation.
-fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
+/// Estimate the `q`-quantile from log₂ bucket counts: the midpoint of
+/// the bucket containing the `ceil(q·total)`-th observation (see
+/// [`bucket_mid`] for the error bound).
+pub(crate) fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
     if total == 0 {
         return 0;
     }
@@ -182,10 +220,10 @@ fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
     for (i, &c) in buckets.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            return bucket_upper(i);
+            return bucket_mid(i);
         }
     }
-    bucket_upper(BUCKETS - 1)
+    bucket_mid(BUCKETS - 1)
 }
 
 /// RAII timer returned by [`StageMetrics::span`]. Records the elapsed
@@ -194,6 +232,18 @@ fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
 pub struct Span<'a> {
     stage: &'a StageMetrics,
     start: Instant,
+}
+
+impl Span<'_> {
+    /// Record now (exactly as dropping would) and return the elapsed
+    /// nanoseconds. Lets a caller feed the same measurement into a
+    /// per-query [`trace::QueryTrace`] without timing twice.
+    pub fn finish(self) -> u64 {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stage.record_nanos(nanos);
+        std::mem::forget(self);
+        nanos
+    }
 }
 
 impl Drop for Span<'_> {
@@ -244,6 +294,26 @@ pub fn reset() {
     }
 }
 
+/// Serialize tests that touch the process-global registry.
+///
+/// The registry is shared by every test in a test binary, so a test
+/// that calls [`reset`] (or asserts exact counts on stages other tests
+/// also record into) can be perturbed by a concurrently running test.
+/// Such tests must hold this guard for their whole body:
+///
+/// ```
+/// let _guard = pws_obs::test_lock();
+/// pws_obs::reset();
+/// // ... assertions on global stage counts ...
+/// ```
+///
+/// The lock recovers from poisoning (a panicking test must not
+/// cascade into every later test that takes the guard).
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Plain-data capture of one stage (see [`StageMetrics::snapshot`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageSnapshot {
@@ -255,12 +325,45 @@ pub struct StageSnapshot {
     pub total_nanos: u64,
     /// Mean recorded duration (0 when nothing was timed).
     pub mean_nanos: f64,
-    /// Estimated median duration (bucket upper bound).
+    /// Estimated median duration (bucket midpoint; error ≤ ±50%).
     pub p50_nanos: u64,
     /// Estimated 95th-percentile duration.
     pub p95_nanos: u64,
     /// Estimated 99th-percentile duration.
     pub p99_nanos: u64,
+    /// Raw log₂ histogram bucket counts (see [`bucket_index`]). Carried
+    /// so snapshots can be merged and exported with full resolution;
+    /// omitted from [`MetricsSnapshot::to_json`] to keep the JSON
+    /// profile compact.
+    pub buckets: Vec<u64>,
+}
+
+impl StageSnapshot {
+    /// Fold `other` (a snapshot of the same logical stage, e.g. from
+    /// another process or run) into this one: counts, totals, and
+    /// buckets sum; mean and percentiles are recomputed from the
+    /// combined histogram.
+    pub fn merge(&mut self, other: &StageSnapshot) {
+        // Wrapping, matching the relaxed-atomic accumulation in
+        // `StageMetrics` (which also wraps on overflow).
+        self.count = self.count.wrapping_add(other.count);
+        self.total_nanos = self.total_nanos.wrapping_add(other.total_nanos);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        let histogram_count: u64 = self.buckets.iter().sum();
+        self.mean_nanos = if histogram_count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / histogram_count as f64
+        };
+        self.p50_nanos = percentile(&self.buckets, histogram_count, 0.50);
+        self.p95_nanos = percentile(&self.buckets, histogram_count, 0.95);
+        self.p99_nanos = percentile(&self.buckets, histogram_count, 0.99);
+    }
 }
 
 /// Plain-data capture of the whole registry, JSON-serializable without
@@ -272,6 +375,20 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Union-merge `other` into this snapshot: stages present in both
+    /// are combined via [`StageSnapshot::merge`] (summed buckets,
+    /// recomputed percentiles); stages only in `other` are adopted.
+    /// Use to combine profiles from multiple processes or bench runs.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for s in &other.stages {
+            match self.stages.iter_mut().find(|mine| mine.name == s.name) {
+                Some(mine) => mine.merge(s),
+                None => self.stages.push(s.clone()),
+            }
+        }
+        self.stages.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
     /// Serialize to JSON. `pretty` adds two-space indentation.
     pub fn to_json(&self, pretty: bool) -> String {
         let (nl, ind, ind2, sp) = if pretty { ("\n", "  ", "    ", " ") } else { ("", "", "", "") };
@@ -348,6 +465,34 @@ mod tests {
     }
 
     #[test]
+    fn bucket_midpoints_sit_inside_their_bucket() {
+        // The percentile representative must lie within [lower, upper]
+        // for every bucket, at the boundary values 1, 2^k, 2^k − 1 and
+        // the extremes 0 / u64::MAX.
+        assert_eq!(bucket_mid(0), 0);
+        assert_eq!(bucket_mid(1), 1, "bucket [1, 2) has the single value 1");
+        assert_eq!(bucket_mid(2), 2, "bucket [2, 4) midpoint");
+        assert_eq!(bucket_mid(10), 767, "bucket [512, 1024) midpoint");
+        for k in 1..62u32 {
+            for v in [1u64 << k, (1u64 << k) - 1] {
+                let b = bucket_index(v);
+                let (lower, upper) = (1u64 << (b - 1), bucket_upper(b));
+                let mid = bucket_mid(b);
+                assert!(
+                    (lower..=upper).contains(&mid),
+                    "bucket {b} of value {v}: mid {mid} outside [{lower}, {upper}]"
+                );
+                // Midpoint error bound: within ±50% of any value in the
+                // bucket (the reason midpoints replaced upper bounds).
+                assert!(mid as f64 >= v as f64 * 0.5 && mid as f64 <= v as f64 * 1.5);
+            }
+        }
+        // The unbounded top bucket reports its lower bound.
+        assert_eq!(bucket_mid(bucket_index(u64::MAX)), 1u64 << 62);
+        assert_eq!(bucket_mid(bucket_index(1u64 << 63)), 1u64 << 62);
+    }
+
+    #[test]
     fn percentiles_on_known_distribution() {
         let m = StageMetrics::new("test.percentiles");
         // 99 fast observations (~1µs) and one slow outlier (~1ms).
@@ -357,12 +502,12 @@ mod tests {
         m.record_nanos(1_000_000);
         let s = m.snapshot();
         assert_eq!(s.count, 100);
-        // 1000 lands in bucket [512, 1024): upper bound 1023.
-        assert_eq!(s.p50_nanos, 1023);
-        assert_eq!(s.p95_nanos, 1023);
+        // 1000 lands in bucket [512, 1024): midpoint 767.
+        assert_eq!(s.p50_nanos, 767);
+        assert_eq!(s.p95_nanos, 767);
         // The p99 rank is exactly the 99th observation — still fast; the
         // outlier is only visible at p100-ish ranks.
-        assert_eq!(s.p99_nanos, 1023);
+        assert_eq!(s.p99_nanos, 767);
         assert_eq!(s.total_nanos, 99 * 1_000 + 1_000_000);
         // Mean reflects the outlier.
         assert!((s.mean_nanos - 10_990.0).abs() < 1e-9);
@@ -375,8 +520,9 @@ mod tests {
         m.record_nanos(u64::MAX);
         let s = m.snapshot();
         assert_eq!(s.p50_nanos, 0);
-        assert_eq!(s.p95_nanos, u64::MAX);
-        assert_eq!(s.p99_nanos, u64::MAX);
+        // The unbounded top bucket reports its lower bound 2^62.
+        assert_eq!(s.p95_nanos, 1u64 << 62);
+        assert_eq!(s.p99_nanos, 1u64 << 62);
         assert_eq!(s.total_nanos, u64::MAX);
     }
 
@@ -463,8 +609,74 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.count, 4);
         assert_eq!(s.total_nanos, 13, "total is in the value's unit");
-        // Depth 2 lands in bucket [2, 4): upper bound 3.
-        assert_eq!(s.p50_nanos, 3);
+        // Depth 2 lands in bucket [2, 4): midpoint 2.
+        assert_eq!(s.p50_nanos, 2);
+    }
+
+    /// Deterministic pseudo-random stream for the merge property test.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn merged_percentiles_equal_recombined_histogram() {
+        // Property: for arbitrary observation sets A and B,
+        // merge(snapshot(A), snapshot(B)) reports exactly the
+        // percentiles of snapshot(A ∪ B). 64 random splits.
+        let mut seed = 42u64;
+        for case in 0..64 {
+            let n_a = (splitmix(&mut seed) % 50) as usize;
+            let n_b = (splitmix(&mut seed) % 50) as usize;
+            let a = StageMetrics::new("test.merge");
+            let b = StageMetrics::new("test.merge");
+            let combined = StageMetrics::new("test.merge");
+            for _ in 0..n_a {
+                let v = splitmix(&mut seed) >> (splitmix(&mut seed) % 64);
+                a.record_nanos(v);
+                combined.record_nanos(v);
+            }
+            for _ in 0..n_b {
+                let v = splitmix(&mut seed) >> (splitmix(&mut seed) % 64);
+                b.record_nanos(v);
+                combined.record_nanos(v);
+            }
+            let mut merged = a.snapshot();
+            merged.merge(&b.snapshot());
+            let expect = combined.snapshot();
+            assert_eq!(merged.count, expect.count, "case {case}");
+            assert_eq!(merged.total_nanos, expect.total_nanos, "case {case}");
+            assert_eq!(merged.buckets, expect.buckets, "case {case}");
+            assert_eq!(merged.p50_nanos, expect.p50_nanos, "case {case}");
+            assert_eq!(merged.p95_nanos, expect.p95_nanos, "case {case}");
+            assert_eq!(merged.p99_nanos, expect.p99_nanos, "case {case}");
+            assert!((merged.mean_nanos - expect.mean_nanos).abs() < 1e-9, "case {case}");
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_unions_stages() {
+        let x = StageMetrics::new("test.union.x");
+        x.record_nanos(10);
+        let y = StageMetrics::new("test.union.y");
+        y.record_nanos(20);
+        let shared_a = StageMetrics::new("test.union.shared");
+        shared_a.record_nanos(100);
+        let shared_b = StageMetrics::new("test.union.shared");
+        shared_b.record_nanos(200);
+
+        let mut left = MetricsSnapshot { stages: vec![shared_a.snapshot(), x.snapshot()] };
+        let right = MetricsSnapshot { stages: vec![y.snapshot(), shared_b.snapshot()] };
+        left.merge(&right);
+
+        let names: Vec<&str> = left.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["test.union.shared", "test.union.x", "test.union.y"]);
+        let shared = &left.stages[0];
+        assert_eq!(shared.count, 2);
+        assert_eq!(shared.total_nanos, 300);
     }
 
     #[test]

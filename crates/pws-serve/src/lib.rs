@@ -59,10 +59,28 @@
 //! (latency histograms) and `serve.shard{i}.queue` (in-flight request
 //! depth sampled at arrival) in the global [`pws_obs`] registry, next to
 //! the engine's own `engine.*` stages.
+//!
+//! ## Tracing
+//!
+//! With [`TraceConfig::enabled`], every `search` fills a per-query
+//! [`QueryTrace`] (stage timings, concepts, β provenance, per-candidate
+//! rank movement — see [`pws_obs::trace`]) and stamps it with the shard
+//! index and the queue depth the request saw at admission. Traces are
+//! *admitted* to a fixed-capacity **slow-query ring** — lock-free
+//! slot-claiming on the write path — by a deterministic policy: 1-in-N
+//! sampling keyed by the canonical query key ([`TraceConfig::sample_every`];
+//! replay-stable, so two identical replays capture identical trace
+//! sets), and/or a wall-clock latency threshold
+//! ([`TraceConfig::slow_threshold_nanos`]; inherently timing-dependent).
+//! Read the ring with [`ServingEngine::slow_queries`]; force a trace for
+//! one request with [`ServingEngine::search_traced`]. Tracing never
+//! changes what a search returns — the replay-equivalence tests below
+//! run with tracing enabled to pin that.
 
 use pws_click::{Impression, UserId};
 use pws_core::{EngineConfig, EngineCore, SearchTurn, UserState};
 use pws_entropy::QueryStats;
+use pws_obs::trace::QueryTrace;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -80,12 +98,109 @@ pub struct ServeConfig {
     /// under heavy write traffic at the cost of β lagging by at most
     /// that many clicks. Clamped to ≥ 1.
     pub stats_refresh_every: u64,
+    /// Per-query tracing and the slow-query ring (disabled by default —
+    /// a disabled trace costs one branch per search).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { shards: 8, stats_refresh_every: 64 }
+        ServeConfig { shards: 8, stats_refresh_every: 64, trace: TraceConfig::default() }
     }
+}
+
+/// Per-query tracing policy for the serving layer.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master switch. When `false` no [`QueryTrace`] is ever allocated
+    /// and [`ServingEngine::slow_queries`] is always empty.
+    pub enabled: bool,
+    /// Admit any trace whose end-to-end `search` latency is at least
+    /// this many nanoseconds (`0` disables the latency criterion).
+    /// Latency admission is honest about being timing-dependent: two
+    /// replays of the same log may capture different trace sets.
+    pub slow_threshold_nanos: u64,
+    /// Admit 1-in-N queries by hash of the canonical query key
+    /// (`0` disables sampling; `1` admits everything). Deterministic:
+    /// the same query string is always admitted or always skipped, so
+    /// replays capture identical trace sets.
+    pub sample_every: u64,
+    /// Slow-query ring capacity (oldest traces are overwritten).
+    /// Clamped to ≥ 1.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            slow_threshold_nanos: 0,
+            sample_every: 0,
+            ring_capacity: 64,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on, every query admitted to the ring — the configuration
+    /// the replay-equivalence tests run with.
+    pub fn sample_all(ring_capacity: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            slow_threshold_nanos: 0,
+            sample_every: 1,
+            ring_capacity,
+        }
+    }
+}
+
+/// Fixed-capacity overwrite-oldest ring of admitted query traces.
+///
+/// The write path is lock-free in its coordination: a single atomic
+/// `fetch_add` claims a slot, and the per-slot mutexes only serialize
+/// two writers that wrapped onto the *same* slot (or a writer with a
+/// concurrent [`collect`](Self::collect)) — never writer against
+/// writer on different slots. No allocation happens on push beyond the
+/// trace the engine already built.
+struct TraceRing {
+    slots: Vec<Mutex<Option<QueryTrace>>>,
+    cursor: AtomicU64,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        TraceRing {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, trace: QueryTrace) {
+        let claimed = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (claimed % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().expect("trace ring slot poisoned") = Some(trace);
+    }
+
+    /// Snapshot the ring's contents, oldest first.
+    fn collect(&self) -> Vec<QueryTrace> {
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let n = self.slots.len() as u64;
+        (0..n)
+            .map(|k| ((cursor + k) % n) as usize)
+            .filter_map(|i| self.slots[i].lock().expect("trace ring slot poisoned").clone())
+            .collect()
+    }
+}
+
+/// FNV-1a over a string; stable across runs and platforms (no
+/// `RandomState`), shared by statistics sharding and trace sampling.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// One user shard: the mutable per-user state for every user hashing
@@ -125,13 +240,7 @@ impl ShardedStats {
     }
 
     fn shard_of(&self, key: &str) -> usize {
-        // FNV-1a over the key bytes; stable across runs (no RandomState).
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in key.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        (h % self.shards.len() as u64) as usize
+        (fnv1a(key) % self.shards.len() as u64) as usize
     }
 
     /// The current epoch snapshot (an `Arc` clone; cheap).
@@ -207,6 +316,10 @@ pub struct ServingEngine<'a> {
     core: EngineCore<'a>,
     shards: Vec<UserShard>,
     stats: ShardedStats,
+    trace_cfg: TraceConfig,
+    /// `Some` iff tracing is enabled; the `None` fast path skips trace
+    /// allocation entirely.
+    ring: Option<TraceRing>,
 }
 
 impl<'a> ServingEngine<'a> {
@@ -233,10 +346,14 @@ impl<'a> ServingEngine<'a> {
                 queue,
             })
             .collect();
+        let ring =
+            serve_cfg.trace.enabled.then(|| TraceRing::new(serve_cfg.trace.ring_capacity));
         ServingEngine {
             core: EngineCore::new(base, world, cfg),
             shards,
             stats: ShardedStats::new(n, serve_cfg.stats_refresh_every),
+            trace_cfg: serve_cfg.trace,
+            ring,
         }
     }
 
@@ -269,22 +386,86 @@ impl<'a> ServingEngine<'a> {
     /// Execute one personalized search for `user`.
     ///
     /// Locks only the user's shard; β statistics come from the epoch
-    /// snapshot, so no cross-shard or global lock is ever taken.
+    /// snapshot, so no cross-shard or global lock is ever taken. When
+    /// tracing is enabled the turn's trace is offered to the slow-query
+    /// ring under the configured admission policy.
     pub fn search(&self, user: UserId, query_text: &str) -> SearchTurn {
-        let shard = &self.shards[self.shard_of(user)];
+        let (turn, trace) = self.search_inner(user, query_text, false);
+        if let (Some(trace), Some(ring)) = (trace, &self.ring) {
+            if self.admit(&trace) {
+                ring.push(trace);
+            }
+        }
+        turn
+    }
+
+    /// [`search`](Self::search) with a forced trace, regardless of the
+    /// configured admission policy — the single-query diagnostic path
+    /// (`pws-trace`). The returned turn is byte-identical to what
+    /// `search` would produce; the trace bypasses the slow-query ring.
+    pub fn search_traced(&self, user: UserId, query_text: &str) -> (SearchTurn, QueryTrace) {
+        let (turn, trace) = self.search_inner(user, query_text, true);
+        (turn, trace.expect("forced trace is always filled"))
+    }
+
+    /// The one search implementation: traces iff `force` or tracing is
+    /// enabled, and stamps the trace with the serving-layer context
+    /// (shard, queue depth at admission, end-to-end nanoseconds).
+    fn search_inner(
+        &self,
+        user: UserId,
+        query_text: &str,
+        force: bool,
+    ) -> (SearchTurn, Option<QueryTrace>) {
+        let shard_idx = self.shard_of(user);
+        let shard = &self.shards[shard_idx];
         let depth = shard.inflight.fetch_add(1, Ordering::Relaxed);
         shard.queue.record_value(depth);
+        let mut trace = if force || self.ring.is_some() {
+            let mut t = QueryTrace::new(user.0, query_text);
+            t.shard = Some(shard_idx);
+            t.queue_depth = Some(depth);
+            Some(t)
+        } else {
+            None
+        };
         let span = shard.search.span();
         let snap = self.stats.read();
         let stats = snap.get(&EngineCore::query_key(query_text));
         let turn = {
             let mut users = shard.users.lock().expect("user shard poisoned");
             let state = users.entry(user).or_default();
-            self.core.search_user(user, query_text, state, stats)
+            self.core.search_user_traced(user, query_text, state, stats, trace.as_mut())
         };
-        drop(span);
+        let total_nanos = span.finish();
         shard.inflight.fetch_sub(1, Ordering::Relaxed);
-        turn
+        if let Some(t) = trace.as_mut() {
+            t.total_nanos = total_nanos;
+        }
+        (turn, trace)
+    }
+
+    /// The deterministic-by-sampling / timing-by-threshold admission
+    /// policy (see [`TraceConfig`]).
+    fn admit(&self, trace: &QueryTrace) -> bool {
+        let cfg = &self.trace_cfg;
+        let sampled = cfg.sample_every > 0
+            && fnv1a(&EngineCore::query_key(&trace.query_text)).is_multiple_of(cfg.sample_every);
+        let slow =
+            cfg.slow_threshold_nanos > 0 && trace.total_nanos >= cfg.slow_threshold_nanos;
+        sampled || slow
+    }
+
+    /// The slow-query ring's current contents, oldest first. Empty when
+    /// tracing is disabled.
+    pub fn slow_queries(&self) -> Vec<QueryTrace> {
+        self.ring.as_ref().map(TraceRing::collect).unwrap_or_default()
+    }
+
+    /// Each shard's current in-flight request count (index-aligned with
+    /// shard ids). All zeros whenever no request is mid-flight.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.inflight.load(Ordering::Relaxed)).collect()
     }
 
     /// Fold the user's clicks on a turn back into the engine.
@@ -505,13 +686,23 @@ mod tests {
         shards: usize,
         threads: usize,
     ) -> HashMap<UserId, Vec<String>> {
+        replay_sharded_traced(log, cfg, shards, threads, TraceConfig::default())
+    }
+
+    fn replay_sharded_traced(
+        log: &[(UserId, Vec<String>)],
+        cfg: EngineConfig,
+        shards: usize,
+        threads: usize,
+        trace: TraceConfig,
+    ) -> HashMap<UserId, Vec<String>> {
         let idx = index();
         let w = world();
         let e = ServingEngine::new(
             &idx,
             &w,
             cfg,
-            ServeConfig { shards, stats_refresh_every: 1 },
+            ServeConfig { shards, stats_refresh_every: 1, trace },
         );
         type Transcript = Vec<(UserId, Vec<String>)>;
         let transcripts: Vec<Mutex<Transcript>> =
@@ -638,7 +829,7 @@ mod tests {
             &idx,
             &w,
             EngineConfig::default(),
-            ServeConfig { shards: 4, stats_refresh_every: 1 },
+            ServeConfig { shards: 4, stats_refresh_every: 1, ..ServeConfig::default() },
         );
         assert_eq!(e.search(UserId(0), "restaurant").beta, 0.5, "no stats → neutral");
         for u in 0..6u32 {
@@ -659,7 +850,7 @@ mod tests {
             &idx,
             &w,
             EngineConfig::default(),
-            ServeConfig { shards: 2, stats_refresh_every: 1_000_000 },
+            ServeConfig { shards: 2, stats_refresh_every: 1_000_000, ..ServeConfig::default() },
         );
         let turn = e.search(UserId(0), "restaurant");
         let imp = impression_from(&turn, &click_rule(&turn));
@@ -694,6 +885,9 @@ mod tests {
 
     #[test]
     fn per_shard_metrics_are_recorded() {
+        // reset() zeroes the registry every test in this binary shares;
+        // the lock serializes us against other global-count tests.
+        let _guard = pws_obs::test_lock();
         let idx = index();
         let w = world();
         pws_obs::reset();
@@ -701,7 +895,7 @@ mod tests {
             &idx,
             &w,
             EngineConfig::default(),
-            ServeConfig { shards: 3, stats_refresh_every: 1 },
+            ServeConfig { shards: 3, stats_refresh_every: 1, ..ServeConfig::default() },
         );
         for u in 0..24u32 {
             let turn = e.search(UserId(u), "restaurant");
@@ -722,6 +916,199 @@ mod tests {
         // at least one search.
         for i in 0..3 {
             assert!(count(&format!("serve.shard{i}.search")) > 0, "shard {i} idle");
+        }
+    }
+
+    /// The acceptance-criteria test: replay equivalence holds with
+    /// tracing **enabled** (every query traced and admitted), across
+    /// shard and thread counts — observability does not perturb ranking
+    /// or determinism.
+    #[test]
+    fn sharded_replay_with_tracing_enabled_matches_serial() {
+        let queries = |u: u32| -> Vec<String> {
+            vec![
+                format!("seafood restaurant u{u}"),
+                format!("restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+                format!("sushi restaurant u{u}"),
+            ]
+        };
+        let log = session_log(&queries, 6);
+        let serial = replay_serial(&log, EngineConfig::default());
+        for shards in [1usize, 3, 8] {
+            for threads in [1usize, 4] {
+                let traced = replay_sharded_traced(
+                    &log,
+                    EngineConfig::default(),
+                    shards,
+                    threads,
+                    TraceConfig::sample_all(32),
+                );
+                assert_equivalent(
+                    &serial,
+                    &traced,
+                    &format!("tracing on, {shards} shards / {threads} threads"),
+                );
+            }
+        }
+    }
+
+    /// Sampling admission is keyed by the query string, so two identical
+    /// replays capture identical trace sets — the deterministic half of
+    /// the slow-query-log contract.
+    #[test]
+    fn slow_query_ring_sampling_is_replay_deterministic() {
+        let run = || -> Vec<String> {
+            let idx = index();
+            let w = world();
+            let e = ServingEngine::new(
+                &idx,
+                &w,
+                EngineConfig::default(),
+                ServeConfig {
+                    shards: 4,
+                    stats_refresh_every: 1,
+                    trace: TraceConfig {
+                        enabled: true,
+                        slow_threshold_nanos: 0,
+                        sample_every: 2,
+                        ring_capacity: 64,
+                    },
+                },
+            );
+            for u in 0..8u32 {
+                for q in ["seafood restaurant", "restaurant", "sushi restaurant",
+                          "pizza restaurant", "noodle restaurant"] {
+                    e.search(UserId(u), q);
+                }
+            }
+            e.slow_queries().iter().map(|t| t.query_text.clone()).collect()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "same replay must admit the same traces");
+        assert!(!first.is_empty(), "1-in-2 sampling over 5 query strings admits some");
+        // Admission is per query string: a string is either always in or
+        // always out.
+        let admitted: std::collections::HashSet<&String> = first.iter().collect();
+        assert!(admitted.len() < 5, "1-in-2 sampling should reject some strings");
+    }
+
+    #[test]
+    fn slow_query_ring_traces_carry_serving_context() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig {
+                shards: 4,
+                stats_refresh_every: 1,
+                trace: TraceConfig::sample_all(8),
+            },
+        );
+        for u in 0..6u32 {
+            e.search(UserId(u), "seafood restaurant");
+        }
+        let traces = e.slow_queries();
+        assert_eq!(traces.len(), 6);
+        for t in &traces {
+            let shard = t.shard.expect("serving layer stamps the shard");
+            assert!(shard < 4);
+            assert!(t.queue_depth.is_some(), "queue depth at admission");
+            assert!(t.total_nanos > 0, "end-to-end latency stamped");
+            assert!(!t.results.is_empty(), "full decision record");
+            assert!(!t.stages.is_empty());
+        }
+        // Ring capacity bounds the log, overwriting oldest.
+        for u in 0..20u32 {
+            e.search(UserId(u), "restaurant");
+        }
+        let traces = e.slow_queries();
+        assert_eq!(traces.len(), 8, "capacity-bounded");
+    }
+
+    #[test]
+    fn tracing_disabled_yields_no_traces() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        e.search(UserId(0), "restaurant");
+        assert!(e.slow_queries().is_empty());
+        // But a forced trace still works, without touching the ring.
+        let (turn, trace) = e.search_traced(UserId(0), "restaurant");
+        assert_eq!(trace.query_text, "restaurant");
+        assert_eq!(trace.user, 0);
+        assert!(!trace.results.is_empty());
+        assert!(e.slow_queries().is_empty());
+        // And it matches the untraced search byte-for-byte.
+        let again = e.search(UserId(0), "restaurant");
+        assert_eq!(format!("{turn:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn queue_depth_returns_to_zero_after_batch_search() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        let requests: Vec<(UserId, String)> = (0..32u32)
+            .map(|i| (UserId(i), format!("restaurant u{}", i % 4)))
+            .collect();
+        let turns = e.batch_search(&requests);
+        assert_eq!(turns.len(), 32);
+        assert!(
+            e.queue_depths().iter().all(|&d| d == 0),
+            "all shards drained: {:?}",
+            e.queue_depths()
+        );
+    }
+
+    #[test]
+    fn queue_depth_gauge_never_underflows_under_concurrency() {
+        // The inflight counter is incremented at admission and
+        // decremented on exit; an unbalanced pair would underflow the
+        // u64 and record astronomical depths. Hammer search+observe
+        // concurrently, then check both the live gauge (exactly zero)
+        // and the recorded samples (all plausibly small).
+        let _guard = pws_obs::test_lock();
+        let idx = index();
+        let w = world();
+        pws_obs::reset();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { shards: 2, stats_refresh_every: 1, ..ServeConfig::default() },
+        );
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let e = &e;
+                scope.spawn(move || {
+                    for i in 0..20u32 {
+                        let user = UserId(t * 100 + i % 5);
+                        let turn = e.search(user, "seafood restaurant");
+                        let imp = impression_from(&turn, &click_rule(&turn));
+                        e.observe(&turn, &imp);
+                    }
+                });
+            }
+        });
+        assert!(
+            e.queue_depths().iter().all(|&d| d == 0),
+            "gauge must return to zero: {:?}",
+            e.queue_depths()
+        );
+        // Every sampled depth must be bounded by the worker count — an
+        // underflow would have recorded ~2^64 into the histogram.
+        let snap = pws_obs::snapshot();
+        for s in snap.stages.iter().filter(|s| s.name.contains(".queue")) {
+            assert!(
+                s.p99_nanos <= 16,
+                "{}: sampled queue depth p99 {} exceeds any plausible depth",
+                s.name,
+                s.p99_nanos
+            );
         }
     }
 }

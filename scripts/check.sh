@@ -36,4 +36,33 @@ else
     echo "    (clippy not installed; skipped)"
 fi
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
+echo "==> stage-name registry gate (docs/ARCHITECTURE.md)"
+# Every stage name used in production code must be documented in the
+# registry table. Names under test./docs. are reserved for tests and
+# doc examples. shard_stages("p", n, "op") registers p{i}.op.
+registry=docs/ARCHITECTURE.md
+stage_names=$(
+    grep -rh 'pws_obs::stage("' crates --include='*.rs' \
+        | grep -v '^\s*//' \
+        | grep -oP 'pws_obs::stage\("\K[^"]+'
+    grep -rh 'shard_stages(' crates --include='*.rs' \
+        | grep -v '^\s*//' \
+        | perl -ne 'print $1 . "{i}." . $2 . "\n" if /shard_stages\("([^"]+)",\s*[^,]+,\s*"([^"]+)"\)/'
+)
+missing=0
+for name in $(printf '%s\n' "$stage_names" | sort -u); do
+    case "$name" in test.*|docs.*) continue ;; esac
+    if ! grep -qF "\`$name\`" "$registry"; then
+        echo "    stage \"$name\" is not in the $registry registry table"
+        missing=1
+    fi
+done
+if [[ $missing -ne 0 ]]; then
+    echo "FAIL: undocumented stage names (add them to $registry)"
+    exit 1
+fi
+
 echo "OK: all tier-1 checks passed"
