@@ -14,9 +14,29 @@
 //! `--workers` to show throughput scaling. `--metrics-out PATH` also
 //! writes the stage profile in Prometheus text exposition format (the
 //! file a node exporter's textfile collector would scrape).
+//!
+//! Fault tolerance knobs:
+//!
+//! ```text
+//! cargo run -p pws-bench --release --bin serve_bench -- --deadline-ms 2
+//! cargo run -p pws-bench --release --bin serve_bench -- \
+//!     --chaos seed=42,panic=64,delay=16:200us,poison=512 --deadline-ms 5
+//! ```
+//!
+//! `--deadline-ms N` gives every request a [`SearchBudget`] deadline
+//! (queries over budget degrade to base ranking at the engine's stage
+//! checkpoints). `--chaos PLAN` attaches a deterministic seeded
+//! [`pws_chaos::SeededFaultPlan`]; after the run the `serve.*` fault
+//! counter family (degrade reasons, lock recoveries, evictions, state
+//! rollbacks) is printed so injected faults can be reconciled against
+//! the report's degraded/shed totals by eye.
+//!
+//! [`SearchBudget`]: pws_serve::SearchBudget
 
 use pws_bench::throughput::{run_throughput, ThroughputOptions};
+use pws_chaos::ChaosSpec;
 use std::fs;
+use std::time::Duration;
 
 fn parse_str_flag(args: &[String], name: &str) -> Option<String> {
     let eq = format!("--{name}=");
@@ -50,6 +70,18 @@ fn main() {
     if let Some(o) = parse_flag(&args, "observe-every") {
         opts.observe_every = o;
     }
+    if let Some(ms) = parse_flag(&args, "deadline-ms") {
+        opts.deadline = Some(Duration::from_millis(ms as u64));
+    }
+    if let Some(plan) = parse_str_flag(&args, "chaos") {
+        match ChaosSpec::parse(&plan) {
+            Ok(spec) => opts.chaos = Some(spec),
+            Err(e) => {
+                eprintln!("error: bad --chaos plan {plan:?}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let sweep = args.iter().any(|a| a == "--sweep");
 
     eprintln!("building bench world…");
@@ -70,6 +102,35 @@ fn main() {
         println!("{}", r.render());
         vec![r]
     };
+
+    if opts.chaos.is_some() || opts.deadline.is_some() {
+        let snap = pws_obs::snapshot();
+        let mut fault_counters: Vec<(String, u64)> = snap
+            .stages
+            .iter()
+            .filter(|s| {
+                s.count > 0
+                    && (s.name.starts_with("serve.degraded.")
+                        || matches!(
+                            s.name.as_str(),
+                            "serve.lock_recovered"
+                                | "serve.user_evicted"
+                                | "serve.state_restored"
+                                | "serve.overloaded"
+                                | "serve.state_io_error"
+                        ))
+            })
+            .map(|s| (s.name.clone(), s.count))
+            .collect();
+        fault_counters.sort();
+        println!("\nfault counters:");
+        if fault_counters.is_empty() {
+            println!("  (none fired)");
+        }
+        for (name, count) in fault_counters {
+            println!("  {name:<34} {count}");
+        }
+    }
 
     let _ = fs::create_dir_all("results");
     match serde_json::to_string_pretty(&reports) {

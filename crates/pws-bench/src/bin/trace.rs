@@ -110,6 +110,7 @@ fn main() {
             shards,
             stats_refresh_every: 1,
             trace: pws_serve::TraceConfig::sample_all(64),
+            ..ServeConfig::default()
         },
     );
     let top_k = EngineConfig::default().top_k;

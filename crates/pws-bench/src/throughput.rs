@@ -10,14 +10,16 @@
 //! profile — and the per-shard `serve.shard{i}.*` stages fill in
 //! alongside, giving a shard-level view of the same run.
 
+use pws_chaos::ChaosSpec;
 use pws_click::{Click, Impression, ShownResult, UserId};
 use pws_core::{EngineConfig, SearchTurn};
 use pws_corpus::query::QueryId;
 use pws_eval::ExperimentWorld;
-use pws_serve::{ServeConfig, ServingEngine};
+use pws_serve::{quiet_injected_panics, SearchBudget, ServeConfig, ServingEngine};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Workload shape for one throughput run.
 #[derive(Debug, Clone)]
@@ -33,6 +35,14 @@ pub struct ThroughputOptions {
     pub observe_every: usize,
     /// Simulated user population size the workload cycles through.
     pub users: usize,
+    /// Per-request deadline budget. `Some` switches the loop to
+    /// `search_with` so queries degrade at the engine's stage
+    /// checkpoints instead of running past the deadline.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault injection ([`ChaosSpec`]); `None` runs
+    /// fault-free. Any chaos (or a deadline) routes requests through
+    /// the budgeted `search_with` path.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for ThroughputOptions {
@@ -43,6 +53,8 @@ impl Default for ThroughputOptions {
             shards: 8,
             observe_every: 4,
             users: 64,
+            deadline: None,
+            chaos: None,
         }
     }
 }
@@ -72,12 +84,16 @@ pub struct ThroughputReport {
     pub p95_nanos: u64,
     /// 99th-percentile request latency.
     pub p99_nanos: u64,
+    /// Searches answered from the degraded (base-ranking) path.
+    pub degraded: u64,
+    /// Searches shed by admission control (`Overloaded`).
+    pub shed: u64,
 }
 
 impl ThroughputReport {
     /// Human-readable one-run table.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "serve throughput: {} workers x {} shards\n\
              requests  {:>8} searches + {:>6} observes in {:.2}s\n\
              qps       {:>10.0}\n\
@@ -92,7 +108,14 @@ impl ThroughputReport {
             self.p50_nanos as f64 / 1e3,
             self.p95_nanos as f64 / 1e3,
             self.p99_nanos as f64 / 1e3,
-        )
+        );
+        if self.degraded > 0 || self.shed > 0 {
+            out.push_str(&format!(
+                "\nfaults    {:>8} degraded + {:>6} shed (every query still answered)",
+                self.degraded, self.shed
+            ));
+        }
+        out
     }
 }
 
@@ -138,16 +161,26 @@ fn top_click_impression(turn: &SearchTurn, qid: QueryId) -> Impression {
 /// threads race on the engine — which is the point; the engine's own
 /// equivalence tests cover correctness, this measures contention.
 pub fn run_throughput(world: &ExperimentWorld, opts: &ThroughputOptions) -> ThroughputReport {
-    let engine = ServingEngine::new(
+    let mut engine = ServingEngine::new(
         &world.engine,
         &world.world,
         EngineConfig::default(),
         ServeConfig { shards: opts.shards, ..ServeConfig::default() },
     );
+    if let Some(spec) = &opts.chaos {
+        quiet_injected_panics();
+        engine = engine.with_fault_plan(Arc::new(spec.build()));
+    }
+    // Budgeted path whenever a deadline or chaos is in play; the plain
+    // `search` path otherwise, so fault-free baselines measure the
+    // engine without the budget machinery on the request path.
+    let budgeted = opts.deadline.is_some() || opts.chaos.is_some();
     let request_stage = pws_obs::stage("serve.request");
     request_stage.reset();
     let searches = AtomicU64::new(0);
     let observes = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
     let users = opts.users.max(1) as u64;
     let n_queries = world.queries.len() as u64;
 
@@ -158,6 +191,8 @@ pub fn run_throughput(world: &ExperimentWorld, opts: &ThroughputOptions) -> Thro
             let request_stage = &request_stage;
             let searches = &searches;
             let observes = &observes;
+            let degraded = &degraded;
+            let shed = &shed;
             let queries = &world.queries;
             scope.spawn(move || {
                 for i in 0..opts.requests_per_worker {
@@ -165,7 +200,29 @@ pub fn run_throughput(world: &ExperimentWorld, opts: &ThroughputOptions) -> Thro
                     let user = UserId((tag % users) as u32);
                     let qidx = (tag >> 16) % n_queries;
                     let text = &queries[qidx as usize].text;
-                    let turn = {
+                    let turn = if budgeted {
+                        let budget = match opts.deadline {
+                            Some(d) => SearchBudget::with_deadline_in(d),
+                            None => SearchBudget::none(),
+                        };
+                        let resp = {
+                            let _t = request_stage.span();
+                            engine.search_with(user, text, budget)
+                        };
+                        match resp {
+                            Ok(resp) => {
+                                if resp.is_degraded() {
+                                    degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                resp.turn
+                            }
+                            Err(_) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                                searches.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    } else {
                         let _t = request_stage.span();
                         engine.search(user, text)
                     };
@@ -199,6 +256,8 @@ pub fn run_throughput(world: &ExperimentWorld, opts: &ThroughputOptions) -> Thro
         p50_nanos: snap.p50_nanos,
         p95_nanos: snap.p95_nanos,
         p99_nanos: snap.p99_nanos,
+        degraded: degraded.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
     }
 }
 
@@ -219,6 +278,7 @@ mod tests {
             shards: 4,
             observe_every: 3,
             users: 16,
+            ..ThroughputOptions::default()
         };
         let r = run_throughput(&world, &opts);
         assert_eq!(r.workers, 4);
@@ -256,9 +316,33 @@ mod tests {
             shards: 2,
             observe_every: 0,
             users: 8,
+            ..ThroughputOptions::default()
         };
         let r = run_throughput(&world, &opts);
         assert_eq!(r.searches, 20);
         assert_eq!(r.observes, 0);
+        assert_eq!(r.degraded, 0);
+        assert_eq!(r.shed, 0);
+    }
+
+    #[test]
+    fn chaos_workload_degrades_but_answers_every_search() {
+        // Serialized: run_throughput resets the shared `serve.request` stage.
+        let _guard = pws_obs::test_lock();
+        let world = pws_eval::ExperimentWorld::build(pws_eval::ExperimentSpec::small());
+        let opts = ThroughputOptions {
+            workers: 3,
+            requests_per_worker: 40,
+            shards: 4,
+            observe_every: 4,
+            users: 16,
+            chaos: Some(ChaosSpec::parse("seed=11,panic=8,poison=16").unwrap()),
+            ..ThroughputOptions::default()
+        };
+        let r = run_throughput(&world, &opts);
+        assert_eq!(r.searches, 3 * 40, "chaos must not lose searches");
+        assert!(r.degraded > 0, "panic/poison rates of 1-in-8/1-in-16 must fire");
+        assert_eq!(r.shed, 0, "no admission limit configured");
+        assert!(r.render().contains("degraded"));
     }
 }

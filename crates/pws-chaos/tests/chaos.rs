@@ -1,0 +1,283 @@
+//! The chaos suite: drives `pws-serve` through `SeededFaultPlan` and
+//! pins the serving layer's fault-tolerance contract:
+//!
+//! 1. **No query is ever lost** — under heavy concurrent chaos, every
+//!    `search_with` returns a ranked page (degraded where faulted,
+//!    never an error, never a panic).
+//! 2. **Every injected fault is accounted** — the injector's emission
+//!    counts reconcile exactly with the `serve.*` counter family.
+//! 3. **Blast-radius isolation** — for any seed, users the injector
+//!    never touched rank byte-identically to a fault-free run.
+//! 4. **The fault layer is inert when disabled** — an all-zero plan
+//!    compiled in and attached changes nothing, byte-for-byte.
+
+use pws_chaos::ChaosSpec;
+use pws_click::{Click, Impression, ShownResult, UserId};
+use pws_core::{EngineConfig, SearchTurn};
+use pws_corpus::query::QueryId;
+use pws_geo::{LocId, LocationOntology};
+use pws_index::{IndexBuilder, SearchEngine, StoredDoc};
+use pws_serve::{
+    quiet_injected_panics, DegradeReason, SearchBudget, ServeConfig, ServingEngine,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn world() -> LocationOntology {
+    let mut o = LocationOntology::new();
+    let r = o.add(LocId::WORLD, "westland", vec![]);
+    let c = o.add(r, "ardonia", vec![]);
+    let s = o.add(c, "vale", vec![]);
+    o.add(s, "alden", vec![]);
+    o.add(s, "lakemoor", vec![]);
+    o
+}
+
+fn index() -> SearchEngine {
+    let mut b = IndexBuilder::new();
+    b.add(StoredDoc::new(0, "http://a.test/0", "Seafood guide",
+        "seafood restaurant guide with lobster in alden harbor area"));
+    b.add(StoredDoc::new(1, "http://b.test/1", "Seafood lakemoor",
+        "seafood restaurant in lakemoor with fresh oysters"));
+    b.add(StoredDoc::new(2, "http://c.test/2", "Sushi place",
+        "sushi restaurant downtown with omakase menu in alden"));
+    b.add(StoredDoc::new(3, "http://d.test/3", "Steak house",
+        "steak restaurant grill with ribeye specials"));
+    b.add(StoredDoc::new(4, "http://e.test/4", "Pizza lakemoor",
+        "pizza restaurant in lakemoor stone oven margherita"));
+    b.add(StoredDoc::new(5, "http://f.test/5", "Noodle bar",
+        "noodle restaurant with ramen and broth in alden"));
+    b.build()
+}
+
+/// Click the highest doc id on the page (stable, exercises skip-above).
+fn impression_from(turn: &SearchTurn) -> Impression {
+    let clicked = turn.hits.iter().map(|h| h.doc).max();
+    Impression {
+        user: turn.user,
+        query: QueryId(0),
+        query_text: turn.query_text.clone(),
+        results: turn
+            .hits
+            .iter()
+            .map(|h| ShownResult {
+                doc: h.doc,
+                rank: h.rank,
+                url: h.url.clone(),
+                title: h.title.clone(),
+                snippet: h.snippet.clone(),
+            })
+            .collect(),
+        clicks: turn
+            .hits
+            .iter()
+            .filter(|h| Some(h.doc) == clicked)
+            .map(|h| Click { doc: h.doc, rank: h.rank, dwell: 600 })
+            .collect(),
+    }
+}
+
+fn queries_for(u: u32) -> Vec<String> {
+    vec![
+        format!("seafood restaurant u{u}"),
+        format!("restaurant u{u}"),
+        format!("seafood restaurant u{u}"),
+        format!("sushi restaurant u{u}"),
+    ]
+}
+
+/// Sequential replay: per-user transcripts (`{turn:?}`), observing
+/// every turn. Fault injection (if the engine carries a plan) and the
+/// `stats_refresh_every: 1` + disjoint-queries setup make this fully
+/// deterministic.
+fn replay(e: &ServingEngine<'_>, users: u32) -> HashMap<u32, Vec<String>> {
+    let mut out: HashMap<u32, Vec<String>> = HashMap::new();
+    for u in 0..users {
+        for q in queries_for(u) {
+            let resp = e
+                .search_with(UserId(u), &q, SearchBudget::none())
+                .expect("no admission limit configured");
+            e.observe(&resp.turn, &impression_from(&resp.turn));
+            out.entry(u).or_default().push(format!("{:?}", resp.turn));
+        }
+    }
+    out
+}
+
+/// Contract 1: under heavy concurrent chaos (panics, delays, lock
+/// poisoning), 100% of queries return ranked results — degraded where
+/// faulted, never an error, never a lost query, never a wedged shard.
+#[test]
+fn chaos_never_loses_a_query() {
+    quiet_injected_panics();
+    let idx = index();
+    let w = world();
+    let plan = Arc::new(
+        ChaosSpec::parse("seed=42,panic=4,delay=6:200us,poison=8").unwrap().build(),
+    );
+    let e = ServingEngine::new(
+        &idx,
+        &w,
+        EngineConfig::default(),
+        ServeConfig { shards: 4, stats_refresh_every: 1, ..ServeConfig::default() },
+    )
+    .with_fault_plan(plan.clone());
+    let threads = 8u32;
+    let per_thread_users = 8u32;
+    let answered = std::sync::atomic::AtomicU64::new(0);
+    let degraded = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let e = &e;
+            let answered = &answered;
+            let degraded = &degraded;
+            scope.spawn(move || {
+                for i in 0..per_thread_users {
+                    let user = UserId(t * 1000 + i);
+                    for q in queries_for(user.0) {
+                        let resp = e
+                            .search_with(user, &q, SearchBudget::none())
+                            .expect("chaos degrades queries, never errors them");
+                        assert!(
+                            !resp.turn.hits.is_empty(),
+                            "every query must come back ranked (user {user:?}, {q:?})"
+                        );
+                        if resp.is_degraded() {
+                            degraded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        e.observe(&resp.turn, &impression_from(&resp.turn));
+                        answered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let total = (threads * per_thread_users * 4) as u64;
+    assert_eq!(answered.into_inner(), total, "no query may be lost");
+    let counts = plan.counts();
+    assert!(
+        counts.search_panics + counts.poisons > 0,
+        "the plan must actually have injected faults: {counts:?}"
+    );
+    assert!(degraded.into_inner() > 0, "injected faults must surface as degraded turns");
+    assert!(
+        e.queue_depths().iter().all(|&d| d == 0),
+        "all shards drained — nothing wedged: {:?}",
+        e.queue_depths()
+    );
+}
+
+/// Contract 2: the injector's emission counts reconcile exactly with
+/// the engine's `serve.*` counters — no fault is silently swallowed.
+#[test]
+fn every_injected_fault_is_visible_in_counters() {
+    quiet_injected_panics();
+    let _guard = pws_obs::test_lock();
+    pws_obs::reset();
+    let idx = index();
+    let w = world();
+    let plan = Arc::new(ChaosSpec::parse("seed=7,panic=3,poison=5").unwrap().build());
+    let e = ServingEngine::new(
+        &idx,
+        &w,
+        EngineConfig::default(),
+        ServeConfig { shards: 4, stats_refresh_every: 1, ..ServeConfig::default() },
+    )
+    .with_fault_plan(plan.clone());
+    // Sequential: each poisoning is recovered by its own request, so
+    // the counter correspondence is exact, not merely a lower bound.
+    let _ = replay(&e, 40);
+    let counts = plan.counts();
+    assert!(counts.search_panics > 0 && counts.observe_panics > 0 && counts.poisons > 0,
+        "rates of 1-in-3 / 1-in-5 over 160 queries must fire every family: {counts:?}");
+    let snap = pws_obs::snapshot();
+    let count = |name: &str| {
+        snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+    };
+    assert_eq!(count("serve.degraded.panic"), counts.search_panics);
+    assert_eq!(count("serve.state_restored"), counts.observe_panics);
+    assert_eq!(count("serve.degraded.lock_poisoned"), counts.poisons);
+    assert_eq!(count("serve.user_evicted"), counts.poisons);
+    assert_eq!(count("serve.lock_recovered"), counts.poisons);
+}
+
+/// Contract 3 (the property test): for any seeded `FaultPlan`, queries
+/// of users the injector never touched return byte-identical results
+/// to a fault-free run — fault handling has zero blast radius beyond
+/// the faulted requests themselves.
+#[test]
+fn healthy_users_rank_byte_identically_to_fault_free_run() {
+    quiet_injected_panics();
+    let idx = index();
+    let w = world();
+    let users = 24u32;
+    let serve_cfg =
+        || ServeConfig { shards: 4, stats_refresh_every: 1, ..ServeConfig::default() };
+    let clean = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg());
+    let baseline = replay(&clean, users);
+    for seed in [1u64, 7, 42] {
+        let plan = Arc::new(
+            ChaosSpec::parse(&format!("seed={seed},panic=16,delay=24:100us,poison=32"))
+                .unwrap()
+                .build(),
+        );
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg())
+            .with_fault_plan(plan.clone());
+        let chaotic = replay(&e, users);
+        let faulted = plan.faulted_users();
+        assert!(!faulted.is_empty(), "seed {seed}: plan must touch someone");
+        let healthy: Vec<u32> = (0..users).filter(|u| !faulted.contains(u)).collect();
+        assert!(!healthy.is_empty(), "seed {seed}: plan must leave someone untouched");
+        for u in healthy {
+            assert_eq!(
+                baseline[&u], chaotic[&u],
+                "seed {seed}: untouched user {u} diverged from the fault-free run"
+            );
+        }
+    }
+}
+
+/// Contract 4: the fault layer compiled in but *disabled* — an all-zero
+/// plan attached — is byte-for-byte invisible.
+#[test]
+fn inert_plan_is_byte_identical_to_no_plan() {
+    let idx = index();
+    let w = world();
+    let users = 12u32;
+    let serve_cfg =
+        || ServeConfig { shards: 3, stats_refresh_every: 1, ..ServeConfig::default() };
+    let without = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg());
+    let inert = Arc::new(ChaosSpec::default().build());
+    let with = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg())
+        .with_fault_plan(inert.clone());
+    assert_eq!(replay(&without, users), replay(&with, users));
+    assert_eq!(inert.counts(), pws_chaos::ChaosCounts::default());
+}
+
+/// Injected latency plus a deadline budget: every delayed query
+/// degrades at a deadline checkpoint — deterministically, because the
+/// injected delay (50ms) dwarfs the budget (5ms) — and still ranks.
+#[test]
+fn injected_latency_blows_deadlines_into_degraded_turns() {
+    let idx = index();
+    let w = world();
+    let plan = Arc::new(ChaosSpec::parse("delay=1:50ms").unwrap().build());
+    let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default())
+        .with_fault_plan(plan);
+    for u in 0..3u32 {
+        let resp = e
+            .search_with(
+                UserId(u),
+                &format!("seafood restaurant u{u}"),
+                SearchBudget::with_deadline_in(std::time::Duration::from_millis(5)),
+            )
+            .expect("deadlines degrade, never shed");
+        assert!(matches!(
+            resp.degraded,
+            Some(DegradeReason::DeadlineRetrieval
+                | DegradeReason::DeadlineConcepts
+                | DegradeReason::DeadlineFeatures)
+        ), "expected a deadline degrade, got {:?}", resp.degraded);
+        assert!(!resp.turn.hits.is_empty());
+    }
+}

@@ -27,6 +27,37 @@ use pws_profile::{mine_pairs, FeatureExtractor, GeoContext, ResultFeatureInput};
 use pws_ranksvm::PairwiseTrainer;
 use pws_text::Analyzer;
 
+/// Budget checkpoints inside [`EngineCore::search_user_gated`], in
+/// execution order. At each one the caller's gate may abort
+/// *personalization* — never the query: the turn falls back to the
+/// pool-normalized base ranking and still completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageCheckpoint {
+    /// After candidate retrieval (including query augmentation).
+    Retrieval,
+    /// After concept extraction over the candidate pool.
+    Concepts,
+    /// After feature-vector construction over the pool.
+    Features,
+}
+
+impl StageCheckpoint {
+    /// Stable lower-case label (used in metric names and traces).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageCheckpoint::Retrieval => "retrieval",
+            StageCheckpoint::Concepts => "concepts",
+            StageCheckpoint::Features => "features",
+        }
+    }
+}
+
+/// The caller-supplied budget/fault gate consulted at each
+/// [`StageCheckpoint`]. Returning `true` aborts personalization for the
+/// turn (degrading to the base ranking); the gate may also inject
+/// side effects (deadline checks, chaos-testing faults) before deciding.
+pub type CheckpointGate<'g> = &'g mut dyn FnMut(StageCheckpoint) -> bool;
+
 /// Everything one `search` call produced: the page shown to the user plus
 /// the intermediate state `observe` needs to learn from the clicks.
 #[derive(Debug, Clone)]
@@ -229,8 +260,36 @@ impl<'a> EngineCore<'a> {
         query_text: &str,
         state: &mut UserState,
         stats: Option<&QueryStats>,
-        mut trace: Option<&mut QueryTrace>,
+        trace: Option<&mut QueryTrace>,
     ) -> SearchTurn {
+        self.search_user_gated(user, query_text, state, stats, trace, None).0
+    }
+
+    /// [`search_user_traced`] with a per-query budget/fault gate.
+    ///
+    /// The gate is consulted at each [`StageCheckpoint`] (after
+    /// retrieval, after pool concept extraction, after feature build).
+    /// When it returns `true` the turn **degrades**: personalization is
+    /// abandoned and the page is the pool-normalized base ranking — the
+    /// query itself always completes with a ranked result. The second
+    /// return value names the checkpoint that aborted (`None` for a
+    /// healthy turn).
+    ///
+    /// With `gate: None` (or a gate that never fires) this is
+    /// byte-identical to [`search_user_traced`] — the serving layer's
+    /// replay-equivalence tests run with the gate wired in and inert to
+    /// pin exactly that.
+    ///
+    /// [`search_user_traced`]: Self::search_user_traced
+    pub fn search_user_gated(
+        &self,
+        user: UserId,
+        query_text: &str,
+        state: &mut UserState,
+        stats: Option<&QueryStats>,
+        mut trace: Option<&mut QueryTrace>,
+        mut gate: Option<CheckpointGate<'_>>,
+    ) -> (SearchTurn, Option<StageCheckpoint>) {
         // ── Candidate pool ────────────────────────────────────────────────
         let retrieval_span = self.metrics.retrieval.span();
         let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
@@ -272,26 +331,18 @@ impl<'a> EngineCore<'a> {
         finish_span(retrieval_span, &mut trace, "engine.retrieval");
 
         if self.cfg.mode == PersonalizationMode::Baseline || candidates.is_empty() {
-            // β must report what the mode would actually blend with (the
-            // F6/F7-style analyses read it from the turn), not a
-            // hard-coded neutral value.
-            let beta_span = self.metrics.beta.span();
-            let decision = self.beta_decision(stats);
-            finish_span(beta_span, &mut trace, "engine.beta");
-            let beta = decision.value;
-            if let Some(t) = trace.as_deref_mut() {
-                t.beta = decision;
-            }
-            let page: Vec<(SearchHit, f64)> = candidates
-                .into_iter()
-                .take(self.cfg.top_k)
-                .enumerate()
-                .map(|(i, (mut h, norm))| {
-                    h.rank = i + 1;
-                    (h, norm)
-                })
-                .collect();
-            return self.finish_turn(state, user, query_text, page, beta, false, trace);
+            // Nothing to degrade here — this branch *is* the base order.
+            return (
+                self.base_order_turn(state, user, query_text, candidates, stats, trace),
+                None,
+            );
+        }
+
+        if gate_fires(&mut gate, StageCheckpoint::Retrieval) {
+            return (
+                self.base_order_turn(state, user, query_text, candidates, stats, trace),
+                Some(StageCheckpoint::Retrieval),
+            );
         }
 
         // ── Features over the pool ────────────────────────────────────────
@@ -307,6 +358,12 @@ impl<'a> EngineCore<'a> {
             &self.cfg.location_cfg,
         );
         finish_span(concepts_span, &mut trace, "engine.concepts");
+        if gate_fires(&mut gate, StageCheckpoint::Concepts) {
+            return (
+                self.base_order_turn(state, user, query_text, candidates, stats, trace),
+                Some(StageCheckpoint::Concepts),
+            );
+        }
         let features_span = self.metrics.features.span();
         let inputs: Vec<ResultFeatureInput> = candidates
             .iter()
@@ -328,6 +385,12 @@ impl<'a> EngineCore<'a> {
             geo_ctx.as_ref(),
         );
         finish_span(features_span, &mut trace, "engine.features");
+        if gate_fires(&mut gate, StageCheckpoint::Features) {
+            return (
+                self.base_order_turn(state, user, query_text, candidates, stats, trace),
+                Some(StageCheckpoint::Features),
+            );
+        }
 
         // ── Blend ────────────────────────────────────────────────────────
         let beta_span = self.metrics.beta.span();
@@ -395,7 +458,62 @@ impl<'a> EngineCore<'a> {
                 .collect();
         }
 
-        self.finish_turn(state, user, query_text, page, beta, true, trace)
+        (self.finish_turn(state, user, query_text, page, beta, true, trace), None)
+    }
+
+    /// Complete a turn in base (pool) order: β decision, top-K page with
+    /// ranks reassigned, `personalized: false`. Shared by the baseline /
+    /// empty-pool branch and every degraded checkpoint — a degraded turn
+    /// is byte-identical to what baseline mode would have served.
+    fn base_order_turn(
+        &self,
+        state: &UserState,
+        user: UserId,
+        query_text: &str,
+        candidates: Vec<(SearchHit, f64)>,
+        stats: Option<&QueryStats>,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> SearchTurn {
+        // β must report what the mode would actually blend with (the
+        // F6/F7-style analyses read it from the turn), not a
+        // hard-coded neutral value.
+        let beta_span = self.metrics.beta.span();
+        let decision = self.beta_decision(stats);
+        finish_span(beta_span, &mut trace, "engine.beta");
+        let beta = decision.value;
+        if let Some(t) = trace.as_deref_mut() {
+            t.beta = decision;
+        }
+        let page: Vec<(SearchHit, f64)> = candidates
+            .into_iter()
+            .take(self.cfg.top_k)
+            .enumerate()
+            .map(|(i, (mut h, norm))| {
+                h.rank = i + 1;
+                (h, norm)
+            })
+            .collect();
+        self.finish_turn(state, user, query_text, page, beta, false, trace)
+    }
+
+    /// The stateless escape hatch: serve `query_text` from baseline
+    /// retrieval alone, in pool-normalized base order, against a fresh
+    /// default [`UserState`]. Touches no caller state at all, so the
+    /// serving layer can answer a query even when the user's state is
+    /// unavailable (poisoned shard lock, panic mid-personalization).
+    /// No query augmentation — that needs a location profile.
+    pub fn degraded_search(
+        &self,
+        user: UserId,
+        query_text: &str,
+        stats: Option<&QueryStats>,
+    ) -> SearchTurn {
+        let retrieval_span = self.metrics.retrieval.span();
+        let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
+        let candidates = normalize_pool(&base_hits);
+        drop(retrieval_span);
+        let state = UserState::default();
+        self.base_order_turn(&state, user, query_text, candidates, stats, None)
     }
 
     /// Extract the page-level ontology + page-aligned features and assemble
@@ -553,6 +671,14 @@ impl<'a> EngineCore<'a> {
         } else {
             state.observations += 1;
         }
+    }
+}
+
+/// Consult the optional checkpoint gate; `None` never fires.
+fn gate_fires(gate: &mut Option<CheckpointGate<'_>>, cp: StageCheckpoint) -> bool {
+    match gate {
+        Some(g) => g(cp),
+        None => false,
     }
 }
 

@@ -143,10 +143,13 @@ impl<'a> PersonalizedSearchEngine<'a> {
 
     /// Export one user's learned state as JSON — profile portability and
     /// the user-facing "what do you know about me" view.
-    pub fn export_user(&self, user: UserId) -> Option<String> {
-        self.users.get(&user).map(|s| {
-            serde_json::to_string(s).expect("UserState serialization is infallible")
-        })
+    ///
+    /// `Ok(None)` when the user has no state; `Err` if the state fails
+    /// to serialize (corrupt floats, etc.) — serialization is *expected*
+    /// to be infallible, but a corrupt snapshot must surface as an error
+    /// the caller can count and handle, never a panic.
+    pub fn export_user(&self, user: UserId) -> Result<Option<String>, serde_json::Error> {
+        self.users.get(&user).map(serde_json::to_string).transpose()
     }
 
     /// Import a previously exported user state, replacing any existing
@@ -586,7 +589,7 @@ mod tests {
             let imp = impression_from(&turn, &[1]);
             e.observe(&turn, &imp);
         }
-        let json = e.export_user(user).expect("state exists");
+        let json = e.export_user(user).expect("serializable").expect("state exists");
         let before = e.user_state(user).unwrap().model.weights.clone();
 
         // Import into a fresh engine: same learned state, same ranking.
@@ -601,8 +604,8 @@ mod tests {
 
         // Malformed JSON is rejected.
         assert!(e2.import_user(user, "{not json").is_err());
-        // Unknown users export None.
-        assert!(e.export_user(UserId(999)).is_none());
+        // Unknown users export Ok(None).
+        assert!(e.export_user(UserId(999)).expect("no error").is_none());
     }
 
     #[test]

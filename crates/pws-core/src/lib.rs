@@ -35,7 +35,7 @@ pub mod core;
 pub mod engine;
 pub mod state;
 
-pub use crate::core::{EngineCore, SearchTurn};
+pub use crate::core::{CheckpointGate, EngineCore, SearchTurn, StageCheckpoint};
 pub use config::{BlendStrategy, EngineConfig, PairSource, PersonalizationMode};
 pub use engine::PersonalizedSearchEngine;
 pub use state::UserState;

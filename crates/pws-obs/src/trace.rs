@@ -154,6 +154,12 @@ pub struct QueryTrace {
     pub results: Vec<ResultTrace>,
     /// Whether personalization actually re-ranked this turn.
     pub personalized: bool,
+    /// Why the turn was served from the degraded (non-personalized)
+    /// path, as a stable reason label (`None` for healthy turns). The
+    /// serving layer stamps it; the label set is `pws-serve`'s
+    /// `DegradeReason` and the matching `serve.degraded.{reason}`
+    /// counter names.
+    pub degraded: Option<&'static str>,
     /// Serving shard that handled the request (serving layer only).
     pub shard: Option<usize>,
     /// In-flight request depth on that shard at admission.
@@ -176,6 +182,7 @@ impl QueryTrace {
             feature_names: Vec::new(),
             results: Vec::new(),
             personalized: false,
+            degraded: None,
             shard: None,
             queue_depth: None,
             total_nanos: 0,
@@ -231,6 +238,9 @@ impl QueryTrace {
             "  personalized: {}\n",
             if self.personalized { "yes" } else { "no (baseline order kept)" }
         ));
+        if let Some(reason) = self.degraded {
+            out.push_str(&format!("  degraded  : yes [{reason}]\n"));
+        }
         let concepts = |cs: &[ConceptTrace]| -> String {
             if cs.is_empty() {
                 "(none)".to_string()
@@ -283,6 +293,9 @@ impl QueryTrace {
         out.push_str(&format!("{nl}{ind}\"query_text\":{sp}\"{}\",", esc(&self.query_text)));
         out.push_str(&format!("{nl}{ind}\"total_nanos\":{sp}{},", self.total_nanos));
         out.push_str(&format!("{nl}{ind}\"personalized\":{sp}{},", self.personalized));
+        if let Some(reason) = self.degraded {
+            out.push_str(&format!("{nl}{ind}\"degraded\":{sp}\"{}\",", esc(reason)));
+        }
         if let Some(shard) = self.shard {
             out.push_str(&format!("{nl}{ind}\"shard\":{sp}{shard},"));
         }
@@ -395,6 +408,7 @@ mod tests {
             features: vec![0.7, 0.2, 0.9],
         });
         t.personalized = true;
+        t.degraded = Some("deadline_concepts");
         t.shard = Some(2);
         t.queue_depth = Some(1);
         t.total_nanos = 250_000;
@@ -428,6 +442,7 @@ mod tests {
             "base, content, location",
             "↑3",
             "Seafood lakemoor",
+            "degraded  : yes [deadline_concepts]",
         ] {
             assert!(s.contains(needle), "render missing {needle:?} in:\n{s}");
         }
@@ -445,6 +460,7 @@ mod tests {
             "\"rank_delta\":3",
             "\"shard\":2",
             "\"queue_depth\":1",
+            "\"degraded\":\"deadline_concepts\"",
             "\"stages\":[{\"stage\":\"engine.retrieval\",\"nanos\":120000}",
         ] {
             assert!(j.contains(needle), "json missing {needle:?} in:\n{j}");

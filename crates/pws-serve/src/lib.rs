@@ -76,14 +76,52 @@
 //! one request with [`ServingEngine::search_traced`]. Tracing never
 //! changes what a search returns — the replay-equivalence tests below
 //! run with tracing enabled to pin that.
+//!
+//! ## Fault tolerance
+//!
+//! Personalization is best-effort; **base retrieval is the contract**.
+//! The paper's framework always has a safe floor — when personalization
+//! cannot help, ranking degrades to the non-personalized engine — and
+//! the serving layer enforces the same property at runtime:
+//!
+//! * **Deadline budgets** — [`ServingEngine::search_with`] takes a
+//!   [`SearchBudget`]; [`EngineCore`] checks it at stage checkpoints
+//!   (after retrieval / concepts / features) and aborts
+//!   *personalization*, never the query, when the deadline passes.
+//! * **Graceful degradation** — any personalization failure (deadline,
+//!   panic, poisoned state lock) returns the pool-normalized base
+//!   ranking, tagged with a [`DegradeReason`] that flows into the
+//!   query trace and the `serve.degraded.{reason}` counter family.
+//! * **Panic isolation** — per-query engine work runs under
+//!   `catch_unwind`; the shard's user-map guard is held *outside* the
+//!   unwind boundary, so a crashing query can never poison (wedge) its
+//!   shard. A panic on the write path rolls the user's state back to
+//!   the last good snapshot (`serve.state_restored`).
+//! * **Lock recovery** — every lock acquisition recovers from
+//!   poisoning instead of panicking: take `into_inner`-style ownership
+//!   of the last good value, clear the poison flag, count
+//!   `serve.lock_recovered`, and evict the single affected user rather
+//!   than losing the shard.
+//! * **Admission control** — when a shard's queue depth exceeds the
+//!   configured high-water mark ([`ServeConfig::max_queue_depth`] or
+//!   [`SearchBudget::max_queue_depth`]), [`ServingEngine::search_with`]
+//!   sheds the request with [`Overloaded`] and a retry-after hint
+//!   instead of letting the queue grow without bound.
+//!
+//! Faults themselves are injectable behind the [`FaultPlan`] trait
+//! (per-stage panics, artificial latency, forced lock poisoning) —
+//! the deterministic injector and the chaos test-suite proving the
+//! properties above live in the `pws-chaos` crate.
 
 use pws_click::{Impression, UserId};
-use pws_core::{EngineConfig, EngineCore, SearchTurn, UserState};
+use pws_core::{EngineConfig, EngineCore, SearchTurn, StageCheckpoint, UserState};
 use pws_entropy::QueryStats;
 use pws_obs::trace::QueryTrace;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
 
 /// Configuration of the serving layer (the engine's own behavior lives
 /// in [`EngineConfig`]).
@@ -101,12 +139,253 @@ pub struct ServeConfig {
     /// Per-query tracing and the slow-query ring (disabled by default —
     /// a disabled trace costs one branch per search).
     pub trace: TraceConfig,
+    /// Admission-control high-water mark: [`ServingEngine::search_with`]
+    /// sheds a request with [`Overloaded`] when its shard already has
+    /// this many requests in flight. `None` (the default) never sheds.
+    /// A per-request [`SearchBudget::max_queue_depth`] tightens (never
+    /// loosens) this bound. The trusted internal [`ServingEngine::search`]
+    /// path bypasses admission control entirely.
+    pub max_queue_depth: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { shards: 8, stats_refresh_every: 64, trace: TraceConfig::default() }
+        ServeConfig {
+            shards: 8,
+            stats_refresh_every: 64,
+            trace: TraceConfig::default(),
+            max_queue_depth: None,
+        }
     }
+}
+
+/// Per-query execution budget for [`ServingEngine::search_with`].
+///
+/// The default budget is unlimited — identical to plain
+/// [`ServingEngine::search`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchBudget {
+    /// Absolute deadline. Checked at each [`StageCheckpoint`] inside the
+    /// engine: once passed, personalization is abandoned — **not** the
+    /// query — and the turn degrades to the base ranking.
+    pub deadline: Option<Instant>,
+    /// Per-request admission bound: shed with [`Overloaded`] when the
+    /// user's shard already has this many requests in flight. Combines
+    /// with [`ServeConfig::max_queue_depth`] by taking the tighter bound.
+    pub max_queue_depth: Option<u64>,
+}
+
+impl SearchBudget {
+    /// The unlimited budget (never degrades, never sheds).
+    pub fn none() -> Self {
+        SearchBudget::default()
+    }
+
+    /// A budget whose deadline is `timeout` from now.
+    pub fn with_deadline_in(timeout: Duration) -> Self {
+        SearchBudget { deadline: Some(Instant::now() + timeout), ..SearchBudget::default() }
+    }
+
+    /// A budget that is already past its deadline — personalization is
+    /// deterministically aborted at the first checkpoint. Useful for
+    /// tests and for explicitly requesting the degraded path.
+    pub fn already_expired() -> Self {
+        SearchBudget { deadline: Some(Instant::now()), ..SearchBudget::default() }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Why a turn was served from the degraded (non-personalized) path.
+///
+/// Each variant has a matching `serve.degraded.{as_str}` counter in the
+/// global [`pws_obs`] registry and flows into the query trace's
+/// `degraded` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The [`SearchBudget`] deadline passed at the retrieval checkpoint.
+    DeadlineRetrieval,
+    /// The deadline passed at the concept-extraction checkpoint.
+    DeadlineConcepts,
+    /// The deadline passed at the feature-build checkpoint.
+    DeadlineFeatures,
+    /// Personalization panicked; the panic was isolated and the query
+    /// re-served from stateless baseline retrieval.
+    PanicIsolated,
+    /// The user shard's state lock was found poisoned at admission; the
+    /// map was recovered and this query served statelessly.
+    LockPoisoned,
+}
+
+impl DegradeReason {
+    /// Stable label — the `{reason}` segment of the
+    /// `serve.degraded.{reason}` counter name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::DeadlineRetrieval => "deadline_retrieval",
+            DegradeReason::DeadlineConcepts => "deadline_concepts",
+            DegradeReason::DeadlineFeatures => "deadline_features",
+            DegradeReason::PanicIsolated => "panic",
+            DegradeReason::LockPoisoned => "lock_poisoned",
+        }
+    }
+
+    fn from_checkpoint(cp: StageCheckpoint) -> Self {
+        match cp {
+            StageCheckpoint::Retrieval => DegradeReason::DeadlineRetrieval,
+            StageCheckpoint::Concepts => DegradeReason::DeadlineConcepts,
+            StageCheckpoint::Features => DegradeReason::DeadlineFeatures,
+        }
+    }
+}
+
+/// A served query: the ranked turn plus how it was served. `degraded`
+/// is `None` for a fully personalized (healthy) turn.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// The ranked page — always present; degradation never loses the query.
+    pub turn: SearchTurn,
+    /// Why the degraded path served this turn, if it did.
+    pub degraded: Option<DegradeReason>,
+}
+
+impl SearchResponse {
+    /// Was this turn served degraded?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+}
+
+/// Admission-control rejection: the target shard's queue was over its
+/// high-water mark, so the request was shed *before* any engine work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Shard that rejected the request.
+    pub shard: usize,
+    /// In-flight depth observed at admission.
+    pub queue_depth: u64,
+    /// Hint: how long to wait before retrying, estimated from the
+    /// shard's mean search latency times the excess queue depth.
+    pub retry_after: Duration,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} overloaded (queue depth {}); retry after {:?}",
+            self.shard, self.queue_depth, self.retry_after
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// Stages at which a [`FaultPlan`] is consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultStage {
+    /// Request admission, before the shard lock is taken. The only stage
+    /// where [`FaultAction::PoisonLock`] is honored; an injected `Panic`
+    /// here is ignored (it would escape the per-query isolation
+    /// boundary, which is exactly what the fault layer exists to
+    /// prevent).
+    Admission,
+    /// The engine's retrieval checkpoint.
+    Retrieval,
+    /// The engine's concept-extraction checkpoint.
+    Concepts,
+    /// The engine's feature-build checkpoint.
+    Features,
+    /// The write path, inside [`ServingEngine::observe`]'s isolation.
+    Observe,
+}
+
+impl From<StageCheckpoint> for FaultStage {
+    fn from(cp: StageCheckpoint) -> Self {
+        match cp {
+            StageCheckpoint::Retrieval => FaultStage::Retrieval,
+            StageCheckpoint::Concepts => FaultStage::Concepts,
+            StageCheckpoint::Features => FaultStage::Features,
+        }
+    }
+}
+
+/// A fault to inject at a [`FaultStage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic (via [`InjectedFault`]) — exercises panic isolation.
+    Panic,
+    /// Sleep this long — exercises deadline budgets.
+    Delay(Duration),
+    /// Poison the user shard's state lock before the request touches it
+    /// — exercises lock recovery. Only honored at
+    /// [`FaultStage::Admission`].
+    PoisonLock,
+}
+
+/// A deterministic fault injector, compiled into the serving path and
+/// consulted at every stage of every request. `None` everywhere — the
+/// default when no plan is attached — costs one branch per checkpoint;
+/// the replay-equivalence tests run with this layer wired in to pin
+/// that it is inert. The seeded, replay-stable implementation lives in
+/// `pws-chaos`.
+pub trait FaultPlan: Send + Sync {
+    /// The fault to inject for this (user, query, stage) site, if any.
+    fn inject(&self, user: UserId, query_text: &str, stage: FaultStage) -> Option<FaultAction>;
+}
+
+/// Panic payload for injected faults, so the panic hook installed by
+/// [`quiet_injected_panics`] can tell deliberate chaos from real bugs.
+pub struct InjectedFault(pub &'static str);
+
+/// Install (once per process) a panic hook that suppresses the default
+/// "thread panicked" stderr noise for [`InjectedFault`] panics only;
+/// every other panic still reports through the previous hook. Chaos
+/// tests call this so hundreds of injected panics don't drown the test
+/// output.
+pub fn quiet_injected_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Lock a mutex, recovering from poisoning: take ownership of the last
+/// good value, clear the poison flag (so recovery is a per-event cost,
+/// not a permanent tax), and report whether recovery happened so the
+/// caller can count it and judge the guarded state.
+fn lock_or_recover<T>(m: &Mutex<T>) -> (MutexGuard<'_, T>, bool) {
+    match m.lock() {
+        Ok(g) => (g, false),
+        Err(poisoned) => {
+            m.clear_poison();
+            (poisoned.into_inner(), true)
+        }
+    }
+}
+
+/// Deliberately poison `m` from a scoped helper thread (the only way to
+/// poison a `std` mutex is dropping a guard mid-panic). Fault-injection
+/// only.
+fn poison_mutex<T: Send>(m: &Mutex<T>) {
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            let _guard = match m.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            std::panic::panic_any(InjectedFault("forced lock poisoning"));
+        });
+        let _ = handle.join();
+    });
 }
 
 /// Per-query tracing policy for the serving layer.
@@ -165,20 +444,30 @@ impl TraceConfig {
 struct TraceRing {
     slots: Vec<Mutex<Option<QueryTrace>>>,
     cursor: AtomicU64,
+    /// `serve.lock_recovered` handle — a poisoned slot (a thread killed
+    /// mid-push) is recovered, never allowed to wedge the ring.
+    recovered: Arc<pws_obs::StageMetrics>,
 }
 
 impl TraceRing {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, recovered: Arc<pws_obs::StageMetrics>) -> Self {
         TraceRing {
             slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
             cursor: AtomicU64::new(0),
+            recovered,
         }
     }
 
     fn push(&self, trace: QueryTrace) {
         let claimed = self.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = (claimed % self.slots.len() as u64) as usize;
-        *self.slots[slot].lock().expect("trace ring slot poisoned") = Some(trace);
+        let (mut guard, was_poisoned) = lock_or_recover(&self.slots[slot]);
+        if was_poisoned {
+            self.recovered.incr(1);
+        }
+        // Overwriting is the recovery: whatever half-state the dead
+        // writer left behind is replaced wholesale.
+        *guard = Some(trace);
     }
 
     /// Snapshot the ring's contents, oldest first.
@@ -187,7 +476,13 @@ impl TraceRing {
         let n = self.slots.len() as u64;
         (0..n)
             .map(|k| ((cursor + k) % n) as usize)
-            .filter_map(|i| self.slots[i].lock().expect("trace ring slot poisoned").clone())
+            .filter_map(|i| {
+                let (guard, was_poisoned) = lock_or_recover(&self.slots[i]);
+                if was_poisoned {
+                    self.recovered.incr(1);
+                }
+                guard.clone()
+            })
             .collect()
     }
 }
@@ -227,15 +522,20 @@ struct ShardedStats {
     /// Observes since the last snapshot rebuild.
     pending: AtomicU64,
     refresh_every: u64,
+    /// `serve.lock_recovered` handle. Statistics only tune β; a
+    /// recovered shard at worst serves slightly stale entropy values,
+    /// so recovery (count + keep the last good map) is always right.
+    recovered: Arc<pws_obs::StageMetrics>,
 }
 
 impl ShardedStats {
-    fn new(shards: usize, refresh_every: u64) -> Self {
+    fn new(shards: usize, refresh_every: u64, recovered: Arc<pws_obs::StageMetrics>) -> Self {
         ShardedStats {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             snapshot: RwLock::new(Arc::new(HashMap::new())),
             pending: AtomicU64::new(0),
             refresh_every: refresh_every.max(1),
+            recovered,
         }
     }
 
@@ -243,21 +543,47 @@ impl ShardedStats {
         (fnv1a(key) % self.shards.len() as u64) as usize
     }
 
-    /// The current epoch snapshot (an `Arc` clone; cheap).
+    /// The current epoch snapshot (an `Arc` clone; cheap). The snapshot
+    /// `Arc` is swapped atomically under the write lock, so even a
+    /// poisoned `RwLock` always holds a complete, valid snapshot.
     fn read(&self) -> Arc<HashMap<String, QueryStats>> {
-        self.snapshot.read().expect("stats snapshot poisoned").clone()
+        match self.snapshot.read() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => {
+                self.snapshot.clear_poison();
+                self.recovered.incr(1);
+                poisoned.into_inner().clone()
+            }
+        }
+    }
+
+    /// Lock one stats shard, recovering (and counting) poisoning.
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, HashMap<String, QueryStats>> {
+        let (guard, was_poisoned) = lock_or_recover(&self.shards[idx]);
+        if was_poisoned {
+            self.recovered.incr(1);
+        }
+        guard
     }
 
     /// Merge every shard into a fresh snapshot and publish it.
     fn refresh(&self) {
         let mut merged = HashMap::new();
-        for shard in &self.shards {
-            let guard = shard.lock().expect("stats shard poisoned");
+        for idx in 0..self.shards.len() {
+            let guard = self.lock_shard(idx);
             for (k, v) in guard.iter() {
                 merged.insert(k.clone(), v.clone());
             }
         }
-        *self.snapshot.write().expect("stats snapshot poisoned") = Arc::new(merged);
+        let next = Arc::new(merged);
+        match self.snapshot.write() {
+            Ok(mut g) => *g = next,
+            Err(poisoned) => {
+                self.snapshot.clear_poison();
+                self.recovered.incr(1);
+                *poisoned.into_inner() = next;
+            }
+        }
     }
 
     /// Account one observe; refresh the snapshot when the epoch is due.
@@ -268,6 +594,50 @@ impl ShardedStats {
         if pending >= self.refresh_every {
             self.pending.store(0, Ordering::Relaxed);
             self.refresh();
+        }
+    }
+}
+
+/// Pre-resolved handles for the fault-tolerance counter family. All
+/// names are literals (resolved once at engine construction) so the
+/// stage-name registry stays greppable and the hot path never formats
+/// a string.
+struct FaultMetrics {
+    degraded_deadline_retrieval: Arc<pws_obs::StageMetrics>,
+    degraded_deadline_concepts: Arc<pws_obs::StageMetrics>,
+    degraded_deadline_features: Arc<pws_obs::StageMetrics>,
+    degraded_panic: Arc<pws_obs::StageMetrics>,
+    degraded_lock_poisoned: Arc<pws_obs::StageMetrics>,
+    lock_recovered: Arc<pws_obs::StageMetrics>,
+    user_evicted: Arc<pws_obs::StageMetrics>,
+    state_restored: Arc<pws_obs::StageMetrics>,
+    overloaded: Arc<pws_obs::StageMetrics>,
+    state_io_error: Arc<pws_obs::StageMetrics>,
+}
+
+impl FaultMetrics {
+    fn resolve() -> Self {
+        FaultMetrics {
+            degraded_deadline_retrieval: pws_obs::stage("serve.degraded.deadline_retrieval"),
+            degraded_deadline_concepts: pws_obs::stage("serve.degraded.deadline_concepts"),
+            degraded_deadline_features: pws_obs::stage("serve.degraded.deadline_features"),
+            degraded_panic: pws_obs::stage("serve.degraded.panic"),
+            degraded_lock_poisoned: pws_obs::stage("serve.degraded.lock_poisoned"),
+            lock_recovered: pws_obs::stage("serve.lock_recovered"),
+            user_evicted: pws_obs::stage("serve.user_evicted"),
+            state_restored: pws_obs::stage("serve.state_restored"),
+            overloaded: pws_obs::stage("serve.overloaded"),
+            state_io_error: pws_obs::stage("serve.state_io_error"),
+        }
+    }
+
+    fn degraded(&self, reason: DegradeReason) -> &pws_obs::StageMetrics {
+        match reason {
+            DegradeReason::DeadlineRetrieval => &self.degraded_deadline_retrieval,
+            DegradeReason::DeadlineConcepts => &self.degraded_deadline_concepts,
+            DegradeReason::DeadlineFeatures => &self.degraded_deadline_features,
+            DegradeReason::PanicIsolated => &self.degraded_panic,
+            DegradeReason::LockPoisoned => &self.degraded_lock_poisoned,
         }
     }
 }
@@ -320,6 +690,12 @@ pub struct ServingEngine<'a> {
     /// `Some` iff tracing is enabled; the `None` fast path skips trace
     /// allocation entirely.
     ring: Option<TraceRing>,
+    fault: FaultMetrics,
+    /// Fault injector consulted at every request stage; `None` (the
+    /// default) is the zero-fault production configuration.
+    plan: Option<Arc<dyn FaultPlan>>,
+    /// Engine-wide admission high-water mark (see [`ServeConfig`]).
+    max_queue_depth: Option<u64>,
 }
 
 impl<'a> ServingEngine<'a> {
@@ -346,14 +722,24 @@ impl<'a> ServingEngine<'a> {
                 queue,
             })
             .collect();
-        let ring =
-            serve_cfg.trace.enabled.then(|| TraceRing::new(serve_cfg.trace.ring_capacity));
+        let fault = FaultMetrics::resolve();
+        let ring = serve_cfg
+            .trace
+            .enabled
+            .then(|| TraceRing::new(serve_cfg.trace.ring_capacity, fault.lock_recovered.clone()));
         ServingEngine {
             core: EngineCore::new(base, world, cfg),
             shards,
-            stats: ShardedStats::new(n, serve_cfg.stats_refresh_every),
+            stats: ShardedStats::new(
+                n,
+                serve_cfg.stats_refresh_every,
+                fault.lock_recovered.clone(),
+            ),
             trace_cfg: serve_cfg.trace,
             ring,
+            fault,
+            plan: None,
+            max_queue_depth: serve_cfg.max_queue_depth,
         }
     }
 
@@ -361,6 +747,14 @@ impl<'a> ServingEngine<'a> {
     /// [`EngineCore::with_geo`]).
     pub fn with_geo(mut self, coords: &'a pws_geo::WorldCoords, scale_km: f64) -> Self {
         self.core = self.core.with_geo(coords, scale_km);
+        self
+    }
+
+    /// Attach a [`FaultPlan`]; every subsequent request consults it at
+    /// each stage. Chaos testing and fault drills only — serving code
+    /// never needs this.
+    pub fn with_fault_plan(mut self, plan: Arc<dyn FaultPlan>) -> Self {
+        self.plan = Some(plan);
         self
     }
 
@@ -389,14 +783,40 @@ impl<'a> ServingEngine<'a> {
     /// snapshot, so no cross-shard or global lock is ever taken. When
     /// tracing is enabled the turn's trace is offered to the slow-query
     /// ring under the configured admission policy.
+    ///
+    /// This is the trusted internal path: no budget, and admission
+    /// control is bypassed (it can never be shed). External request
+    /// handlers should prefer [`Self::search_with`].
     pub fn search(&self, user: UserId, query_text: &str) -> SearchTurn {
-        let (turn, trace) = self.search_inner(user, query_text, false);
-        if let (Some(trace), Some(ring)) = (trace, &self.ring) {
-            if self.admit(&trace) {
-                ring.push(trace);
-            }
-        }
-        turn
+        let (resp, trace) = self
+            .search_inner(user, query_text, false, SearchBudget::none(), None)
+            .expect("admission control disabled on this path; cannot be shed");
+        self.offer_to_ring(trace);
+        resp.turn
+    }
+
+    /// Execute one search under a [`SearchBudget`], with admission
+    /// control. The three outcomes, from best to worst:
+    ///
+    /// * `Ok` with `degraded: None` — fully personalized.
+    /// * `Ok` with `degraded: Some(reason)` — the base ranking; the
+    ///   budget expired or personalization failed, but the query was
+    ///   still answered.
+    /// * `Err(Overloaded)` — shed before any engine work; the caller
+    ///   should retry after the hinted backoff.
+    pub fn search_with(
+        &self,
+        user: UserId,
+        query_text: &str,
+        budget: SearchBudget,
+    ) -> Result<SearchResponse, Overloaded> {
+        let limit = match (self.max_queue_depth, budget.max_queue_depth) {
+            (Some(engine), Some(request)) => Some(engine.min(request)),
+            (engine, request) => engine.or(request),
+        };
+        let (resp, trace) = self.search_inner(user, query_text, false, budget, limit)?;
+        self.offer_to_ring(trace);
+        Ok(resp)
     }
 
     /// [`search`](Self::search) with a forced trace, regardless of the
@@ -404,21 +824,90 @@ impl<'a> ServingEngine<'a> {
     /// (`pws-trace`). The returned turn is byte-identical to what
     /// `search` would produce; the trace bypasses the slow-query ring.
     pub fn search_traced(&self, user: UserId, query_text: &str) -> (SearchTurn, QueryTrace) {
-        let (turn, trace) = self.search_inner(user, query_text, true);
-        (turn, trace.expect("forced trace is always filled"))
+        let (resp, trace) = self
+            .search_inner(user, query_text, true, SearchBudget::none(), None)
+            .expect("admission control disabled on this path; cannot be shed");
+        (resp.turn, trace.expect("forced trace is always filled"))
+    }
+
+    /// Offer an admitted trace to the slow-query ring.
+    fn offer_to_ring(&self, trace: Option<QueryTrace>) {
+        if let (Some(trace), Some(ring)) = (trace, &self.ring) {
+            if self.admit(&trace) {
+                ring.push(trace);
+            }
+        }
+    }
+
+    /// Lock one shard's user map, recovering from poisoning. Recovery
+    /// counts `serve.lock_recovered`; the caller decides what to do
+    /// with the (last-good but possibly mid-mutation) map.
+    fn lock_users<'s>(
+        &self,
+        shard: &'s UserShard,
+    ) -> (MutexGuard<'s, HashMap<UserId, UserState>>, bool) {
+        let (guard, was_poisoned) = lock_or_recover(&shard.users);
+        if was_poisoned {
+            self.fault.lock_recovered.incr(1);
+        }
+        (guard, was_poisoned)
+    }
+
+    /// Retry-after hint for a shed request: the shard's mean search
+    /// latency times the excess queue depth (how many requests must
+    /// drain before this one would have been admitted), floored at a
+    /// millisecond when the shard has no latency history yet.
+    fn retry_after(&self, shard: &UserShard, depth: u64, limit: u64) -> Duration {
+        let excess = depth.saturating_sub(limit) + 1;
+        let mean_nanos = shard
+            .search
+            .total_nanos()
+            .checked_div(shard.search.count())
+            .map(|m| m.max(1))
+            .unwrap_or(1_000_000); // no history: assume 1ms per queued request
+        Duration::from_nanos(mean_nanos.saturating_mul(excess))
     }
 
     /// The one search implementation: traces iff `force` or tracing is
-    /// enabled, and stamps the trace with the serving-layer context
-    /// (shard, queue depth at admission, end-to-end nanoseconds).
+    /// enabled, stamps the trace with the serving-layer context (shard,
+    /// queue depth at admission, end-to-end nanoseconds, degrade
+    /// reason), enforces the budget at the engine's stage checkpoints,
+    /// and isolates every failure to this one request.
     fn search_inner(
         &self,
         user: UserId,
         query_text: &str,
         force: bool,
-    ) -> (SearchTurn, Option<QueryTrace>) {
+        budget: SearchBudget,
+        limit: Option<u64>,
+    ) -> Result<(SearchResponse, Option<QueryTrace>), Overloaded> {
         let shard_idx = self.shard_of(user);
         let shard = &self.shards[shard_idx];
+        // Admission control: shed before registering, so a shed request
+        // costs nothing but the atomic load.
+        if let Some(limit) = limit {
+            let depth = shard.inflight.load(Ordering::Relaxed);
+            if depth >= limit {
+                self.fault.overloaded.incr(1);
+                return Err(Overloaded {
+                    shard: shard_idx,
+                    queue_depth: depth,
+                    retry_after: self.retry_after(shard, depth, limit),
+                });
+            }
+        }
+        // Admission-stage fault injection, before any lock is taken.
+        // PoisonLock is only honored here (poisoning mid-request would
+        // just deadlock the injector on its own lock); an injected
+        // Panic here is ignored — it would escape the per-query
+        // isolation boundary that begins below.
+        if let Some(plan) = &self.plan {
+            match plan.inject(user, query_text, FaultStage::Admission) {
+                Some(FaultAction::PoisonLock) => poison_mutex(&shard.users),
+                Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                Some(FaultAction::Panic) | None => {}
+            }
+        }
         let depth = shard.inflight.fetch_add(1, Ordering::Relaxed);
         shard.queue.record_value(depth);
         let mut trace = if force || self.ring.is_some() {
@@ -432,17 +921,78 @@ impl<'a> ServingEngine<'a> {
         let span = shard.search.span();
         let snap = self.stats.read();
         let stats = snap.get(&EngineCore::query_key(query_text));
+        let degraded: Option<DegradeReason>;
         let turn = {
-            let mut users = shard.users.lock().expect("user shard poisoned");
-            let state = users.entry(user).or_default();
-            self.core.search_user_traced(user, query_text, state, stats, trace.as_mut())
+            let (mut users, was_poisoned) = self.lock_users(shard);
+            if was_poisoned {
+                // The thread that poisoned this lock died mid-mutation;
+                // only the user it was serving can hold torn state, but
+                // we cannot know which user that was. Evicting *this*
+                // request's user bounds the damage to one profile (it
+                // re-learns from scratch) while every other user on the
+                // shard keeps their state.
+                users.remove(&user);
+                drop(users);
+                self.fault.user_evicted.incr(1);
+                degraded = Some(DegradeReason::LockPoisoned);
+                self.core.degraded_search(user, query_text, stats)
+            } else {
+                let state = users.entry(user).or_default();
+                // The guard lives OUTSIDE the catch_unwind closure:
+                // unwinding stops at this boundary before the guard
+                // would drop, so a panicking query can never poison
+                // its shard.
+                let plan = self.plan.as_deref();
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut gate = |cp: StageCheckpoint| -> bool {
+                        if let Some(plan) = plan {
+                            match plan.inject(user, query_text, cp.into()) {
+                                Some(FaultAction::Panic) => std::panic::panic_any(
+                                    InjectedFault("injected personalization panic"),
+                                ),
+                                Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                                Some(FaultAction::PoisonLock) | None => {}
+                            }
+                        }
+                        budget.expired()
+                    };
+                    self.core.search_user_gated(
+                        user,
+                        query_text,
+                        state,
+                        stats,
+                        trace.as_mut(),
+                        Some(&mut gate),
+                    )
+                }));
+                match caught {
+                    Ok((turn, aborted_at)) => {
+                        degraded = aborted_at.map(DegradeReason::from_checkpoint);
+                        turn
+                    }
+                    Err(_) => {
+                        // `search_user_gated` never mutates user state,
+                        // so the state the panicking call saw is still
+                        // good — no eviction, no rollback. Re-serve
+                        // from the stateless baseline path (off the
+                        // shard lock).
+                        drop(users);
+                        degraded = Some(DegradeReason::PanicIsolated);
+                        self.core.degraded_search(user, query_text, stats)
+                    }
+                }
+            }
         };
         let total_nanos = span.finish();
         shard.inflight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(reason) = degraded {
+            self.fault.degraded(reason).incr(1);
+        }
         if let Some(t) = trace.as_mut() {
             t.total_nanos = total_nanos;
+            t.degraded = degraded.map(DegradeReason::as_str);
         }
-        (turn, trace)
+        Ok((SearchResponse { turn, degraded }, trace))
     }
 
     /// The deterministic-by-sampling / timing-by-threshold admission
@@ -473,6 +1023,11 @@ impl<'a> ServingEngine<'a> {
     /// Lock order: user shard, then query-statistics shard — every
     /// writer acquires in that order, so the pair can never deadlock.
     /// The snapshot refresh runs only after both are released.
+    ///
+    /// The fold runs under panic isolation with rollback: the user's
+    /// state and the query's statistics are snapshotted first, and a
+    /// panic mid-fold restores both (`serve.state_restored`) — a
+    /// half-applied impression never survives.
     pub fn observe(&self, turn: &SearchTurn, impression: &Impression) {
         let shard = &self.shards[self.shard_of(turn.user)];
         let depth = shard.inflight.fetch_add(1, Ordering::Relaxed);
@@ -481,15 +1036,89 @@ impl<'a> ServingEngine<'a> {
             let _span = shard.observe.span();
             let key = EngineCore::query_key(&turn.query_text);
             let stats_idx = self.stats.shard_of(&key);
-            let mut users = shard.users.lock().expect("user shard poisoned");
+            let (mut users, users_poisoned) = self.lock_users(shard);
+            if users_poisoned {
+                // Same single-user eviction as the read path: only this
+                // request's user can be rebuilt from scratch safely.
+                users.remove(&turn.user);
+                self.fault.user_evicted.incr(1);
+            }
+            let user_existed = users.contains_key(&turn.user);
             let state = users.entry(turn.user).or_default();
-            let mut stats_shard =
-                self.stats.shards[stats_idx].lock().expect("stats shard poisoned");
+            let mut stats_shard = self.stats.lock_shard(stats_idx);
+            let stats_existed = stats_shard.contains_key(&key);
             let stats = stats_shard.entry(key).or_default();
-            self.core.observe_user(turn, impression, state, stats);
+            // Rollback snapshots: both maps hold &mut borrows across the
+            // isolation boundary, so a panic mid-fold must restore them
+            // to the pre-impression values before the guards release.
+            let state_before = state.clone();
+            let stats_before = stats.clone();
+            let plan = self.plan.as_deref();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = plan {
+                    match plan.inject(turn.user, &turn.query_text, FaultStage::Observe) {
+                        Some(FaultAction::Panic) => {
+                            std::panic::panic_any(InjectedFault("injected observe panic"))
+                        }
+                        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                        Some(FaultAction::PoisonLock) | None => {}
+                    }
+                }
+                self.core.observe_user(turn, impression, state, stats);
+            }));
+            if caught.is_err() {
+                // Entries `or_default` freshly created are removed, not
+                // just zeroed — rollback must leave the maps exactly as
+                // they were, or a panicked fold would still leak
+                // default-valued entries into the stats snapshot.
+                if user_existed {
+                    *state = state_before;
+                } else {
+                    users.remove(&turn.user);
+                }
+                if stats_existed {
+                    *stats = stats_before;
+                } else {
+                    stats_shard.remove(&EngineCore::query_key(&turn.query_text));
+                }
+                self.fault.state_restored.incr(1);
+            }
         }
         shard.inflight.fetch_sub(1, Ordering::Relaxed);
         self.stats.tick();
+    }
+
+    /// Scatter `requests` across shard worker threads, gather results
+    /// in request order. Shared by [`Self::batch_search`] and
+    /// [`Self::batch_search_with`].
+    fn batch_run<R, F>(&self, requests: &[(UserId, String)], run: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(UserId, &str) -> R + Sync,
+    {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (user, _)) in requests.iter().enumerate() {
+            by_shard[self.shard_of(*user)].push(i);
+        }
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(requests.len()));
+        std::thread::scope(|scope| {
+            for indices in by_shard.into_iter().filter(|v| !v.is_empty()) {
+                let results = &results;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(indices.len());
+                    for i in indices {
+                        let (user, query) = &requests[i];
+                        local.push((i, run(*user, query)));
+                    }
+                    let (mut sink, _) = lock_or_recover(results);
+                    sink.extend(local);
+                });
+            }
+        });
+        let mut results = results.into_inner().unwrap_or_else(|p| p.into_inner());
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
     }
 
     /// Execute a batch of searches, one thread per occupied shard.
@@ -501,28 +1130,20 @@ impl<'a> ServingEngine<'a> {
     /// this is observationally identical to calling [`Self::search`] in
     /// a loop.
     pub fn batch_search(&self, requests: &[(UserId, String)]) -> Vec<SearchTurn> {
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (i, (user, _)) in requests.iter().enumerate() {
-            by_shard[self.shard_of(*user)].push(i);
-        }
-        let results: Mutex<Vec<(usize, SearchTurn)>> =
-            Mutex::new(Vec::with_capacity(requests.len()));
-        std::thread::scope(|scope| {
-            for indices in by_shard.into_iter().filter(|v| !v.is_empty()) {
-                let results = &results;
-                scope.spawn(move || {
-                    let mut local = Vec::with_capacity(indices.len());
-                    for i in indices {
-                        let (user, query) = &requests[i];
-                        local.push((i, self.search(*user, query)));
-                    }
-                    results.lock().expect("batch sink poisoned").extend(local);
-                });
-            }
-        });
-        let mut results = results.into_inner().expect("batch sink poisoned");
-        results.sort_by_key(|(i, _)| *i);
-        results.into_iter().map(|(_, t)| t).collect()
+        self.batch_run(requests, |user, query| self.search(user, query))
+    }
+
+    /// [`Self::batch_search`] under a shared [`SearchBudget`] with
+    /// admission control: each request independently degrades or sheds.
+    /// The deadline is absolute, so it bounds the *batch*, not each
+    /// request — requests admitted after it passes degrade to the base
+    /// ranking rather than extending the tail.
+    pub fn batch_search_with(
+        &self,
+        requests: &[(UserId, String)],
+        budget: SearchBudget,
+    ) -> Vec<Result<SearchResponse, Overloaded>> {
+        self.batch_run(requests, |user, query| self.search_with(user, query, budget))
     }
 
     /// Force an immediate rebuild of the β-statistics snapshot (tests
@@ -534,7 +1155,8 @@ impl<'a> ServingEngine<'a> {
     /// Clone out a user's state (if the user has been seen).
     pub fn user_state(&self, user: UserId) -> Option<UserState> {
         let shard = &self.shards[self.shard_of(user)];
-        shard.users.lock().expect("user shard poisoned").get(&user).cloned()
+        let (users, _) = self.lock_users(shard);
+        users.get(&user).cloned()
     }
 
     /// Accumulated statistics for a query string, as of the last
@@ -545,30 +1167,37 @@ impl<'a> ServingEngine<'a> {
 
     /// Number of distinct users with state, across all shards.
     pub fn user_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.users.lock().expect("user shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| self.lock_users(s).0.len()).sum()
     }
 
     /// Reset one user's learned state.
     pub fn forget_user(&self, user: UserId) {
         let shard = &self.shards[self.shard_of(user)];
-        shard.users.lock().expect("user shard poisoned").remove(&user);
+        self.lock_users(shard).0.remove(&user);
     }
 
     /// Export one user's learned state as JSON (profile portability).
-    pub fn export_user(&self, user: UserId) -> Option<String> {
+    ///
+    /// `Ok(None)` when the user has no state. Serialization failure is
+    /// a `serde_json` invariant violation that previous revisions
+    /// treated as a panic; it now counts `serve.state_io_error` and
+    /// surfaces as `Err` so a state-sync loop degrades to "skip this
+    /// user" instead of killing its serving thread.
+    pub fn export_user(&self, user: UserId) -> Result<Option<String>, serde_json::Error> {
         self.user_state(user)
-            .map(|s| serde_json::to_string(&s).expect("UserState serialization is infallible"))
+            .map(|s| serde_json::to_string(&s))
+            .transpose()
+            .inspect_err(|_| self.fault.state_io_error.incr(1))
     }
 
     /// Import a previously exported user state, replacing any existing
-    /// state for that user id.
+    /// state for that user id. A parse failure counts
+    /// `serve.state_io_error` and leaves existing state untouched.
     pub fn import_user(&self, user: UserId, json: &str) -> Result<(), serde_json::Error> {
-        let state: UserState = serde_json::from_str(json)?;
+        let state: UserState = serde_json::from_str(json)
+            .inspect_err(|_| self.fault.state_io_error.incr(1))?;
         let shard = &self.shards[self.shard_of(user)];
-        shard.users.lock().expect("user shard poisoned").insert(user, state);
+        self.lock_users(shard).0.insert(user, state);
         Ok(())
     }
 }
@@ -702,7 +1331,7 @@ mod tests {
             &idx,
             &w,
             cfg,
-            ServeConfig { shards, stats_refresh_every: 1, trace },
+            ServeConfig { shards, stats_refresh_every: 1, trace, ..ServeConfig::default() },
         );
         type Transcript = Vec<(UserId, Vec<String>)>;
         let transcripts: Vec<Mutex<Transcript>> =
@@ -874,7 +1503,7 @@ mod tests {
             let imp = impression_from(&turn, &click_rule(&turn));
             e.observe(&turn, &imp);
         }
-        let json = e.export_user(user).expect("state exists");
+        let json = e.export_user(user).expect("serializable").expect("state exists");
         let weights = e.user_state(user).unwrap().model.weights.clone();
         e.forget_user(user);
         assert!(e.user_state(user).is_none());
@@ -974,6 +1603,7 @@ mod tests {
                         sample_every: 2,
                         ring_capacity: 64,
                     },
+                    ..ServeConfig::default()
                 },
             );
             for u in 0..8u32 {
@@ -1006,6 +1636,7 @@ mod tests {
                 shards: 4,
                 stats_refresh_every: 1,
                 trace: TraceConfig::sample_all(8),
+                ..ServeConfig::default()
             },
         );
         for u in 0..6u32 {
@@ -1062,6 +1693,300 @@ mod tests {
             "all shards drained: {:?}",
             e.queue_depths()
         );
+    }
+
+    /// Test-only injector: one action at one stage, for queries
+    /// containing a marker substring.
+    struct TargetedPlan {
+        stage: FaultStage,
+        action: FaultAction,
+        query_contains: &'static str,
+    }
+
+    impl FaultPlan for TargetedPlan {
+        fn inject(&self, _user: UserId, q: &str, stage: FaultStage) -> Option<FaultAction> {
+            (stage == self.stage && q.contains(self.query_contains)).then_some(self.action)
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_search_with_matches_search() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        for _ in 0..3 {
+            let turn = e.search(UserId(1), "seafood restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        let resp = e
+            .search_with(UserId(1), "seafood restaurant", SearchBudget::none())
+            .expect("no admission limit configured");
+        assert!(!resp.is_degraded());
+        let plain = e.search(UserId(1), "seafood restaurant");
+        assert_eq!(format!("{:?}", resp.turn), format!("{plain:?}"));
+    }
+
+    #[test]
+    fn expired_budget_degrades_to_baseline_order_never_errors() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        // Warm the user so personalization would actually reorder.
+        for _ in 0..3 {
+            let turn = e.search(UserId(7), "seafood restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        let resp = e
+            .search_with(UserId(7), "seafood restaurant", SearchBudget::already_expired())
+            .expect("deadline expiry degrades, never sheds");
+        assert_eq!(resp.degraded, Some(DegradeReason::DeadlineRetrieval));
+        assert!(!resp.turn.hits.is_empty(), "degraded turn still answers the query");
+        assert!(!resp.turn.personalized);
+        // A degraded turn serves the same *ranking* the stateless
+        // baseline path would (the diagnostic feature matrix may differ:
+        // the checkpoint path computes it against the user's real
+        // profile before aborting, the stateless path against a default
+        // one — but neither re-orders the pool).
+        let baseline = e.core().degraded_search(UserId(7), "seafood restaurant",
+            e.query_stats("seafood restaurant").as_ref());
+        let page = |t: &SearchTurn| -> Vec<(u32, usize, String)> {
+            t.hits.iter().map(|h| (h.doc, h.rank, format!("{:.12}", h.score))).collect()
+        };
+        assert_eq!(page(&resp.turn), page(&baseline));
+        assert_eq!(resp.turn.beta, baseline.beta);
+    }
+
+    #[test]
+    fn admission_control_sheds_with_retry_hint_but_trusted_path_passes() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { max_queue_depth: Some(0), ..ServeConfig::default() },
+        );
+        let err = e
+            .search_with(UserId(0), "restaurant", SearchBudget::none())
+            .expect_err("high-water mark of zero sheds everything");
+        assert!(err.retry_after > Duration::ZERO, "retry hint must be actionable");
+        assert_eq!(err.queue_depth, 0);
+        // The per-request bound sheds even when the engine-wide one is off.
+        let e2 = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        let budget = SearchBudget { max_queue_depth: Some(0), ..SearchBudget::none() };
+        assert!(e2.search_with(UserId(0), "restaurant", budget).is_err());
+        // The trusted internal path bypasses admission control entirely.
+        let turn = e.search(UserId(0), "restaurant");
+        assert!(!turn.hits.is_empty());
+        // batch_search_with reports per-request shedding.
+        let requests = vec![(UserId(0), "restaurant".to_string())];
+        let out = e.batch_search_with(&requests, SearchBudget::none());
+        assert!(out[0].is_err());
+    }
+
+    #[test]
+    fn injected_delay_plus_deadline_degrades_at_the_right_checkpoint() {
+        let idx = index();
+        let w = world();
+        let plan = Arc::new(TargetedPlan {
+            stage: FaultStage::Concepts,
+            action: FaultAction::Delay(Duration::from_millis(50)),
+            query_contains: "slow",
+        });
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default())
+            .with_fault_plan(plan);
+        // Deterministic despite being time-based: the injected 50ms delay
+        // sits *before* the concepts checkpoint, dwarfing the 5ms budget.
+        let resp = e
+            .search_with(UserId(3), "slow seafood restaurant",
+                SearchBudget::with_deadline_in(Duration::from_millis(5)))
+            .expect("deadline degrades, never sheds");
+        assert_eq!(resp.degraded, Some(DegradeReason::DeadlineConcepts));
+        // Un-marked queries see no fault and no degradation.
+        let resp = e
+            .search_with(UserId(3), "seafood restaurant",
+                SearchBudget::with_deadline_in(Duration::from_secs(60)))
+            .expect("no admission limit");
+        assert!(!resp.is_degraded());
+    }
+
+    #[test]
+    fn panic_isolation_answers_the_query_and_preserves_state() {
+        quiet_injected_panics();
+        let idx = index();
+        let w = world();
+        let plan = Arc::new(TargetedPlan {
+            stage: FaultStage::Features,
+            action: FaultAction::Panic,
+            query_contains: "boom",
+        });
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default())
+            .with_fault_plan(plan);
+        for _ in 0..3 {
+            let turn = e.search(UserId(5), "seafood restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        let healthy_before = format!("{:?}", e.search(UserId(5), "seafood restaurant"));
+        let resp = e
+            .search_with(UserId(5), "boom seafood restaurant", SearchBudget::none())
+            .expect("panics degrade, never shed");
+        assert_eq!(resp.degraded, Some(DegradeReason::PanicIsolated));
+        assert!(!resp.turn.hits.is_empty(), "isolated panic still answers the query");
+        // The read path never mutates state, so the user's profile
+        // survives the panic untouched and healthy queries are
+        // byte-identical before and after.
+        assert!(e.user_state(UserId(5)).is_some());
+        let healthy_after = format!("{:?}", e.search(UserId(5), "seafood restaurant"));
+        assert_eq!(healthy_before, healthy_after);
+    }
+
+    #[test]
+    fn observe_panic_rolls_state_back_to_last_good_snapshot() {
+        quiet_injected_panics();
+        let _guard = pws_obs::test_lock();
+        pws_obs::reset();
+        let idx = index();
+        let w = world();
+        let plan = Arc::new(TargetedPlan {
+            stage: FaultStage::Observe,
+            action: FaultAction::Panic,
+            query_contains: "boom",
+        });
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { stats_refresh_every: 1, ..ServeConfig::default() },
+        )
+        .with_fault_plan(plan);
+        let turn = e.search(UserId(2), "seafood restaurant boom");
+        let before = format!("{:?}", e.user_state(UserId(2)));
+        let imp = impression_from(&turn, &click_rule(&turn));
+        e.observe(&turn, &imp);
+        assert_eq!(
+            format!("{:?}", e.user_state(UserId(2))),
+            before,
+            "panicked fold must leave no trace in the profile"
+        );
+        assert!(e.query_stats("seafood restaurant boom").is_none(), "stats rolled back too");
+        let snap = pws_obs::snapshot();
+        let count = |name: &str| {
+            snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+        };
+        assert_eq!(count("serve.state_restored"), 1);
+    }
+
+    #[test]
+    fn poisoned_user_shard_recovers_and_evicts_only_that_user() {
+        let _guard = pws_obs::test_lock();
+        pws_obs::reset();
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { shards: 2, stats_refresh_every: 1, ..ServeConfig::default() },
+        );
+        // Two users on the same shard, both with learned state.
+        let victim = UserId(0);
+        let neighbor = UserId((1..100).find(|&u| {
+            e.shard_of(UserId(u)) == e.shard_of(victim)
+        }).expect("some user shares shard 0's shard"));
+        for user in [victim, neighbor] {
+            let turn = e.search(user, "seafood restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        quiet_injected_panics();
+        poison_mutex(&e.shards[e.shard_of(victim)].users);
+        let resp = e
+            .search_with(victim, "seafood restaurant", SearchBudget::none())
+            .expect("poisoning degrades, never sheds");
+        assert_eq!(resp.degraded, Some(DegradeReason::LockPoisoned));
+        assert!(!resp.turn.hits.is_empty());
+        // The victim was evicted; the neighbor's profile survived.
+        assert!(e.user_state(victim).is_none(), "victim evicted");
+        assert!(e.user_state(neighbor).is_some(), "neighbor untouched");
+        // The shard is healthy again: the next query personalizes.
+        let resp = e
+            .search_with(victim, "seafood restaurant", SearchBudget::none())
+            .expect("recovered shard admits normally");
+        assert!(!resp.is_degraded());
+        let snap = pws_obs::snapshot();
+        let count = |name: &str| {
+            snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+        };
+        assert!(count("serve.lock_recovered") >= 1);
+        assert_eq!(count("serve.user_evicted"), 1);
+        assert_eq!(count("serve.degraded.lock_poisoned"), 1);
+    }
+
+    /// Regression test for the trace ring: a thread killed while holding
+    /// a slot used to poison it permanently, panicking every later push
+    /// and collect. Now both recover.
+    #[test]
+    fn trace_ring_recovers_from_poisoned_slot() {
+        quiet_injected_panics();
+        let ring = TraceRing::new(1, pws_obs::stage("serve.lock_recovered"));
+        ring.push(QueryTrace::new(1, "before"));
+        poison_mutex(&ring.slots[0]);
+        ring.push(QueryTrace::new(2, "after"));
+        let collected = ring.collect();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].query_text, "after");
+    }
+
+    #[test]
+    fn import_parse_failure_counts_state_io_error() {
+        let _guard = pws_obs::test_lock();
+        pws_obs::reset();
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        assert!(e.import_user(UserId(1), "{definitely not json").is_err());
+        let snap = pws_obs::snapshot();
+        let errors = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "serve.state_io_error")
+            .map(|s| s.count)
+            .unwrap_or(0);
+        assert_eq!(errors, 1);
+        assert!(e.user_state(UserId(1)).is_none(), "failed import leaves no state");
+    }
+
+    #[test]
+    fn degraded_turns_are_visible_in_traces_and_counters() {
+        let _guard = pws_obs::test_lock();
+        pws_obs::reset();
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig {
+                trace: TraceConfig::sample_all(8),
+                ..ServeConfig::default()
+            },
+        );
+        e.search_with(UserId(0), "seafood restaurant", SearchBudget::already_expired())
+            .expect("degrades, never sheds");
+        e.search_with(UserId(0), "seafood restaurant", SearchBudget::none())
+            .expect("healthy");
+        let traces = e.slow_queries();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].degraded, Some("deadline_retrieval"));
+        assert_eq!(traces[1].degraded, None);
+        let snap = pws_obs::snapshot();
+        let count = |name: &str| {
+            snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+        };
+        assert_eq!(count("serve.degraded.deadline_retrieval"), 1);
     }
 
     #[test]

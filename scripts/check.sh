@@ -20,6 +20,9 @@ fi
 echo "==> cargo test (workspace, offline)"
 cargo test -q --workspace --offline
 
+echo "==> chaos suite (pws-chaos)"
+cargo test -q -p pws-chaos --offline
+
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
     # Scoped to the crates introduced/authored after the seed; the seed
@@ -62,6 +65,15 @@ for name in $(printf '%s\n' "$stage_names" | sort -u); do
 done
 if [[ $missing -ne 0 ]]; then
     echo "FAIL: undocumented stage names (add them to $registry)"
+    exit 1
+fi
+
+echo "==> lock-poison recovery gate (no .expect(\"…poisoned\") in serve/core)"
+# The serving path must recover from poisoned locks (clear_poison +
+# serve.lock_recovered + targeted eviction), never crash on them. See
+# "Failure modes & degradation" in docs/ARCHITECTURE.md.
+if grep -rn 'expect("[^"]*poisoned' crates/pws-serve crates/pws-core --include='*.rs'; then
+    echo "FAIL: .expect(\"…poisoned\") found — use lock recovery (lock_or_recover) instead"
     exit 1
 fi
 

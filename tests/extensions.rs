@@ -178,7 +178,7 @@ fn exported_profile_transfers_between_engines() {
         let outcome = sim.issue_on_hits(user, qid, intent, &text, &turn.hits);
         engine_a.observe(&turn, &outcome.impression);
     }
-    let exported = engine_a.export_user(user).expect("warm state");
+    let exported = engine_a.export_user(user).expect("serializable").expect("warm state");
 
     let mut engine_b = PersonalizedSearchEngine::new(&w.engine, &w.world, cfg);
     engine_b.import_user(user, &exported).expect("import");
