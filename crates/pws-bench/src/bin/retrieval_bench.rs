@@ -1,0 +1,243 @@
+//! Base-retrieval fast-path benchmark: naive vs heap/MaxScore vs cached.
+//!
+//! ```text
+//! cargo run -p pws-bench --release --bin retrieval_bench             # paper scale
+//! cargo run -p pws-bench --release --bin retrieval_bench -- --smoke  # CI gate
+//! ```
+//!
+//! Three backends answer the same query workload over the same index:
+//!
+//! * **naive** — [`SearchEngine::search_naive`], the retained
+//!   term-at-a-time reference scorer (score every matching document,
+//!   sort everything);
+//! * **fast** — [`SearchEngine::search`], the document-at-a-time
+//!   top-k heap with MaxScore pruning;
+//! * **cached** — the fast path behind `pws-serve`'s
+//!   [`ShardedRetrievalCache`] (analyze once, probe, fall through on
+//!   miss), the configuration the serving layer runs.
+//!
+//! Every query's results are compared across backends first —
+//! **bit-identical scores and identical pages are required**, and any
+//! disagreement exits non-zero (this is the correctness gate
+//! `scripts/check.sh` runs in `--smoke` mode). Then each backend is
+//! timed under the `bench.retrieval.{naive,fast,cached}` stages and the
+//! report (QPS + p50/p95/p99 per backend) goes to stdout and
+//! `results/BENCH_retrieval.json`.
+//!
+//! [`SearchEngine::search`]: pws_index::SearchEngine::search
+//! [`SearchEngine::search_naive`]: pws_index::SearchEngine::search_naive
+
+use pws_core::RetrievalCache;
+use pws_eval::{ExperimentSpec, ExperimentWorld};
+use pws_index::{SearchEngine, SearchHit};
+use pws_serve::ShardedRetrievalCache;
+use std::fs;
+use std::time::Instant;
+
+/// Pool size per query — the serving layer's default rerank pool.
+const POOL_K: usize = 30;
+
+/// Minimum measured queries per backend (rounds are sized to reach it).
+const MIN_MEASURED_QUERIES: usize = 2_000;
+
+type BackendFn<'a> = Box<dyn Fn(&str) -> Vec<SearchHit> + 'a>;
+
+struct Backend<'a> {
+    name: &'static str,
+    stage: &'static str,
+    run: BackendFn<'a>,
+}
+
+fn backends<'a>(
+    engine: &'a SearchEngine,
+    cache: &'a ShardedRetrievalCache,
+) -> Vec<Backend<'a>> {
+    vec![
+        Backend {
+            name: "naive",
+            stage: "bench.retrieval.naive",
+            run: Box::new(move |q| engine.search_naive(q, POOL_K)),
+        },
+        Backend {
+            name: "fast",
+            stage: "bench.retrieval.fast",
+            run: Box::new(move |q| engine.search(q, POOL_K)),
+        },
+        Backend {
+            name: "cached",
+            stage: "bench.retrieval.cached",
+            run: Box::new(move |q| {
+                let tokens = engine.analyze_text(q);
+                if let Some(hits) = cache.get(&tokens, POOL_K) {
+                    hits
+                } else {
+                    let hits = engine.search_tokens(&tokens, POOL_K);
+                    cache.put(&tokens, POOL_K, &hits);
+                    hits
+                }
+            }),
+        },
+    ]
+}
+
+/// Exact equivalence: same page, same ranks, bit-identical scores.
+fn hits_equal(a: &[SearchHit], b: &[SearchHit]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.doc == y.doc
+                && x.rank == y.rank
+                && x.score.to_bits() == y.score.to_bits()
+                && x.url == y.url
+                && x.title == y.title
+                && x.snippet == y.snippet
+        })
+}
+
+fn verify(world: &ExperimentWorld, cache: &ShardedRetrievalCache) -> usize {
+    let mut disagreements = 0;
+    for q in &world.queries {
+        let naive = world.engine.search_naive(&q.text, POOL_K);
+        let fast = world.engine.search(&q.text, POOL_K);
+        if !hits_equal(&naive, &fast) {
+            eprintln!("DISAGREEMENT fast vs naive on query {:?}", q.text);
+            disagreements += 1;
+            continue;
+        }
+        // Cached: probe twice so both the miss (fill) and the hit
+        // (serve from cache) paths are checked against the reference.
+        let tokens = world.engine.analyze_text(&q.text);
+        let miss = match cache.get(&tokens, POOL_K) {
+            Some(hits) => hits,
+            None => {
+                let hits = world.engine.search_tokens(&tokens, POOL_K);
+                cache.put(&tokens, POOL_K, &hits);
+                hits
+            }
+        };
+        let hit = cache.get(&tokens, POOL_K).expect("just inserted");
+        if !hits_equal(&naive, &miss) || !hits_equal(&naive, &hit) {
+            eprintln!("DISAGREEMENT cached vs naive on query {:?}", q.text);
+            disagreements += 1;
+        }
+    }
+    disagreements
+}
+
+#[derive(serde::Serialize)]
+struct BackendReport {
+    backend: String,
+    queries: u64,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    scale: String,
+    num_docs: usize,
+    num_query_templates: usize,
+    pool_k: usize,
+    backends: Vec<BackendReport>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let (scale, spec) = if smoke {
+        ("smoke", ExperimentSpec::small())
+    } else {
+        ("paper", ExperimentSpec::default_paper())
+    };
+    eprintln!("building {scale} world…");
+    let world = ExperimentWorld::build(spec);
+
+    // ── Correctness gate ─────────────────────────────────────────────
+    let verify_cache = ShardedRetrievalCache::new(4096);
+    let disagreements = verify(&world, &verify_cache);
+    if disagreements > 0 {
+        eprintln!(
+            "FAIL: {disagreements} of {} queries disagree between backends",
+            world.queries.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "correctness: fast path and cache bit-identical to naive scorer \
+         on all {} queries",
+        world.queries.len()
+    );
+    if smoke {
+        // The gate is the point of smoke mode; skip the timing runs so
+        // check.sh stays fast.
+        return;
+    }
+
+    // ── Timing ───────────────────────────────────────────────────────
+    let rounds = MIN_MEASURED_QUERIES.div_ceil(world.queries.len()).max(1);
+    let bench_cache = ShardedRetrievalCache::new(4096);
+    let mut reports = Vec::new();
+    for b in backends(&world.engine, &bench_cache) {
+        // Warmup round: page in postings, fill the cache (so the cached
+        // backend's measured numbers reflect steady-state hit traffic —
+        // the regime the serving layer runs in).
+        for q in &world.queries {
+            std::hint::black_box((b.run)(&q.text));
+        }
+        let stage = pws_obs::stage(b.stage);
+        let mut samples: Vec<u64> = Vec::with_capacity(rounds * world.queries.len());
+        let wall = Instant::now();
+        for _ in 0..rounds {
+            for q in &world.queries {
+                let span = stage.span();
+                std::hint::black_box((b.run)(&q.text));
+                samples.push(span.finish());
+            }
+        }
+        let elapsed = wall.elapsed().as_secs_f64();
+        // Exact percentiles from the raw samples — the registry's log₂
+        // histogram buckets are too coarse to separate the backends.
+        samples.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+            samples[idx] as f64 / 1_000.0
+        };
+        let report = BackendReport {
+            backend: b.name.to_string(),
+            queries: samples.len() as u64,
+            qps: samples.len() as f64 / elapsed,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            mean_us: samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1_000.0,
+        };
+        println!(
+            "{:<8} {:>7} queries  {:>10.0} qps  p50 {:>8.1}µs  p95 {:>8.1}µs  p99 {:>8.1}µs",
+            report.backend, report.queries, report.qps, report.p50_us, report.p95_us,
+            report.p99_us
+        );
+        reports.push(report);
+    }
+
+    let report = Report {
+        scale: scale.to_string(),
+        num_docs: world.corpus.len(),
+        num_query_templates: world.queries.len(),
+        pool_k: POOL_K,
+        backends: reports,
+    };
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = fs::write("results/BENCH_retrieval.json", json) {
+                eprintln!("warn: could not write results/BENCH_retrieval.json: {e}");
+            } else {
+                eprintln!("wrote results/BENCH_retrieval.json");
+            }
+        }
+        Err(e) => eprintln!("warn: could not serialize report: {e}"),
+    }
+}

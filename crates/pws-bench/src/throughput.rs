@@ -139,8 +139,8 @@ fn top_click_impression(turn: &SearchTurn, qid: QueryId) -> Impression {
             .map(|h| ShownResult {
                 doc: h.doc,
                 rank: h.rank,
-                url: h.url.clone(),
-                title: h.title.clone(),
+                url: h.url.to_string(),
+                title: h.title.to_string(),
                 snippet: h.snippet.clone(),
             })
             .collect(),

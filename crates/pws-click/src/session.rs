@@ -180,8 +180,8 @@ impl<'a> SessionSimulator<'a> {
             .map(|(i, h)| ShownResult {
                 doc: h.doc,
                 rank: i + 1,
-                url: h.url.clone(),
-                title: h.title.clone(),
+                url: h.url.to_string(),
+                title: h.title.to_string(),
                 snippet: h.snippet.clone(),
             })
             .collect();

@@ -32,9 +32,11 @@
 pub mod content;
 pub mod graph;
 pub mod location;
+pub mod memo;
 pub mod ontology;
 
 pub use content::{extract_content, ConceptConfig, ContentConcept};
 pub use graph::{ConceptGraph, ConceptRelation};
 pub use location::{extract_locations, LocationConcept, LocationConceptConfig};
+pub use memo::ConceptMemo;
 pub use ontology::QueryConceptOntology;

@@ -1,0 +1,36 @@
+//! Base-retrieval caching.
+//!
+//! Base retrieval — BM25 over the shared index — is *user-independent*:
+//! every user issuing the same (analyzed) query gets the same candidate
+//! pool, and personalization happens strictly downstream of it. That makes
+//! the pool safely shareable across users and turns. [`RetrievalCache`] is
+//! the hook [`crate::EngineCore`] consults before touching the index; the
+//! serving layer provides the production implementation (sharded, bounded
+//! LRU with epoch invalidation — see `pws-serve`).
+//!
+//! The key is the **analyzed token sequence** plus the pool size `k`:
+//! surface forms that analyze identically ("Seafood  Restaurant!" vs
+//! "seafood restaurant") share one entry, and tokens are produced once per
+//! request via [`pws_index::SearchEngine::analyze_text`] /
+//! [`pws_index::SearchEngine::search_tokens`].
+//!
+//! Correctness contract: `get` must return exactly what `put` stored for
+//! the same `(tokens, k)` under the current index epoch — hits are cheap
+//! to clone (`Arc<str>` url/title), so implementations store them
+//! directly. Budget checkpoints, degraded paths, and chaos faults all
+//! still apply to cached turns: the cache only replaces the index scan,
+//! never the rest of the pipeline.
+
+use pws_index::SearchHit;
+
+/// A shared cache for base-retrieval results, keyed on analyzed query
+/// tokens and the requested pool size.
+///
+/// Implementations must be `Send + Sync`; `get`/`put` take `&self`.
+pub trait RetrievalCache: Send + Sync {
+    /// Cached hits for `(tokens, k)`, or `None` on a miss.
+    fn get(&self, tokens: &[String], k: usize) -> Option<Vec<SearchHit>>;
+
+    /// Store the hits computed for `(tokens, k)`.
+    fn put(&self, tokens: &[String], k: usize, hits: &[SearchHit]);
+}

@@ -15,10 +15,11 @@
 //! Because both frontends call the same `search_user`/`observe_user`, a
 //! request replayed through either produces the same [`SearchTurn`].
 
+use crate::cache::RetrievalCache;
 use crate::config::{BlendStrategy, EngineConfig, PersonalizationMode};
 use crate::state::UserState;
 use pws_click::{Impression, UserId};
-use pws_concepts::QueryConceptOntology;
+use pws_concepts::{ConceptMemo, QueryConceptOntology};
 use pws_entropy::{Effectiveness, QueryStats};
 use pws_geo::{LocationMatcher, LocationOntology};
 use pws_index::{SearchEngine, SearchHit};
@@ -87,6 +88,8 @@ pub struct SearchTurn {
 struct EngineMetrics {
     retrieval: std::sync::Arc<pws_obs::StageMetrics>,
     concepts: std::sync::Arc<pws_obs::StageMetrics>,
+    concept_memo_hit: std::sync::Arc<pws_obs::StageMetrics>,
+    concept_memo_miss: std::sync::Arc<pws_obs::StageMetrics>,
     features: std::sync::Arc<pws_obs::StageMetrics>,
     beta: std::sync::Arc<pws_obs::StageMetrics>,
     rerank: std::sync::Arc<pws_obs::StageMetrics>,
@@ -98,6 +101,8 @@ impl EngineMetrics {
         EngineMetrics {
             retrieval: pws_obs::stage("engine.retrieval"),
             concepts: pws_obs::stage("engine.concepts"),
+            concept_memo_hit: pws_obs::stage("engine.concepts.memo_hit"),
+            concept_memo_miss: pws_obs::stage("engine.concepts.memo_miss"),
             features: pws_obs::stage("engine.features"),
             beta: pws_obs::stage("engine.beta"),
             rerank: pws_obs::stage("engine.rerank"),
@@ -105,6 +110,9 @@ impl EngineMetrics {
         }
     }
 }
+
+/// Default bound on memoized concept extractions held by one core.
+const CONCEPT_MEMO_CAPACITY: usize = 512;
 
 /// The immutable shared read side of the personalized search engine.
 ///
@@ -122,6 +130,11 @@ pub struct EngineCore<'a> {
     geo: Option<(&'a pws_geo::WorldCoords, f64)>,
     analyzer: Analyzer,
     metrics: EngineMetrics,
+    /// Memoized concept extraction (pool and page ontologies). Extraction
+    /// is deterministic, so memoization never changes a turn's bytes.
+    concept_memo: ConceptMemo,
+    /// Optional shared base-retrieval cache (see [`RetrievalCache`]).
+    retrieval_cache: Option<std::sync::Arc<dyn RetrievalCache>>,
 }
 
 impl<'a> EngineCore<'a> {
@@ -140,6 +153,8 @@ impl<'a> EngineCore<'a> {
             // names a city, so no stopword removal / stemming here.
             analyzer: Analyzer::verbatim(),
             metrics: EngineMetrics::resolve(),
+            concept_memo: ConceptMemo::new(CONCEPT_MEMO_CAPACITY),
+            retrieval_cache: None,
         }
     }
 
@@ -149,6 +164,58 @@ impl<'a> EngineCore<'a> {
     pub fn with_geo(mut self, coords: &'a pws_geo::WorldCoords, scale_km: f64) -> Self {
         self.geo = Some((coords, scale_km));
         self
+    }
+
+    /// Attach a shared base-retrieval cache. Base retrieval is
+    /// user-independent, so cached pools are byte-identical to fresh ones;
+    /// budget checkpoints and degradation still apply to cached turns.
+    pub fn with_retrieval_cache(
+        mut self,
+        cache: std::sync::Arc<dyn RetrievalCache>,
+    ) -> Self {
+        self.retrieval_cache = Some(cache);
+        self
+    }
+
+    /// Base retrieval for `query_text` with the configured pool size,
+    /// consulting the retrieval cache when one is attached. Returns the
+    /// hits plus `Some(hit?)` when a cache was consulted (`None` without
+    /// a cache) for the trace stamp.
+    fn retrieve_base(&self, query_text: &str) -> (Vec<SearchHit>, Option<bool>) {
+        let k = self.cfg.rerank_pool;
+        match &self.retrieval_cache {
+            None => (self.base.search(query_text, k), None),
+            Some(cache) => {
+                let tokens = self.base.analyze_text(query_text);
+                if let Some(hits) = cache.get(&tokens, k) {
+                    (hits, Some(true))
+                } else {
+                    let hits = self.base.search_tokens(&tokens, k);
+                    cache.put(&tokens, k, &hits);
+                    (hits, Some(false))
+                }
+            }
+        }
+    }
+
+    /// Memoized concept extraction over `snippets` (the engine's matcher,
+    /// world, and configs are fixed, so `(query_text, snippets)` determines
+    /// the result). Counts hits/misses under `engine.concepts.memo_*`.
+    fn extract_concepts(&self, query_text: &str, snippets: &[String]) -> QueryConceptOntology {
+        let (onto, hit) = self.concept_memo.get_or_extract(
+            query_text,
+            snippets,
+            &self.matcher,
+            self.world,
+            &self.cfg.concept_cfg,
+            &self.cfg.location_cfg,
+        );
+        if hit {
+            self.metrics.concept_memo_hit.incr(1);
+        } else {
+            self.metrics.concept_memo_miss.incr(1);
+        }
+        onto
     }
 
     /// The active configuration.
@@ -292,7 +359,10 @@ impl<'a> EngineCore<'a> {
     ) -> (SearchTurn, Option<StageCheckpoint>) {
         // ── Candidate pool ────────────────────────────────────────────────
         let retrieval_span = self.metrics.retrieval.span();
-        let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
+        let (base_hits, cache_hit) = self.retrieve_base(query_text);
+        if let Some(t) = trace.as_deref_mut() {
+            t.cache_hit = cache_hit;
+        }
         let mut candidates = normalize_pool(&base_hits);
 
         // Location-aware query augmentation: also retrieve for
@@ -306,7 +376,7 @@ impl<'a> EngineCore<'a> {
                 let city_name = self.world.name(city);
                 if !self.query_mentions_city(query_text, city_name) {
                     let aug = format!("{query_text} {city_name}");
-                    let aug_hits = self.base.search(&aug, self.cfg.rerank_pool);
+                    let (aug_hits, _) = self.retrieve_base(&aug);
                     let new_hits: Vec<SearchHit> = aug_hits
                         .into_iter()
                         .filter(|h| !candidates.iter().any(|(c, _)| c.doc == h.doc))
@@ -349,14 +419,7 @@ impl<'a> EngineCore<'a> {
         let concepts_span = self.metrics.concepts.span();
         let pool_snippets: Vec<String> =
             candidates.iter().map(|(h, _)| h.snippet.clone()).collect();
-        let pool_onto = QueryConceptOntology::extract(
-            query_text,
-            &pool_snippets,
-            &self.matcher,
-            self.world,
-            &self.cfg.concept_cfg,
-            &self.cfg.location_cfg,
-        );
+        let pool_onto = self.extract_concepts(query_text, &pool_snippets);
         finish_span(concepts_span, &mut trace, "engine.concepts");
         if gate_fires(&mut gate, StageCheckpoint::Concepts) {
             return (
@@ -447,7 +510,7 @@ impl<'a> EngineCore<'a> {
                     let (h, norm) = &candidates[idx];
                     ResultTrace {
                         doc: h.doc,
-                        title: h.title.clone(),
+                        title: h.title.to_string(),
                         base_rank: idx + 1,
                         final_rank: final_pos + 1,
                         on_page: final_pos < self.cfg.top_k,
@@ -509,7 +572,7 @@ impl<'a> EngineCore<'a> {
         stats: Option<&QueryStats>,
     ) -> SearchTurn {
         let retrieval_span = self.metrics.retrieval.span();
-        let base_hits = self.base.search(query_text, self.cfg.rerank_pool);
+        let (base_hits, _) = self.retrieve_base(query_text);
         let candidates = normalize_pool(&base_hits);
         drop(retrieval_span);
         let state = UserState::default();
@@ -532,14 +595,7 @@ impl<'a> EngineCore<'a> {
     ) -> SearchTurn {
         let concepts_span = self.metrics.concepts.span();
         let page_snippets: Vec<String> = page.iter().map(|(h, _)| h.snippet.clone()).collect();
-        let ontology = QueryConceptOntology::extract(
-            query_text,
-            &page_snippets,
-            &self.matcher,
-            self.world,
-            &self.cfg.concept_cfg,
-            &self.cfg.location_cfg,
-        );
+        let ontology = self.extract_concepts(query_text, &page_snippets);
         finish_span(concepts_span, &mut trace, "engine.concepts");
         let inputs: Vec<ResultFeatureInput> =
             page.iter().map(|(h, norm)| feature_input(h, *norm, h.rank)).collect();
@@ -584,7 +640,7 @@ impl<'a> EngineCore<'a> {
                     .zip(&features)
                     .map(|((h, norm), f)| ResultTrace {
                         doc: h.doc,
-                        title: h.title.clone(),
+                        title: h.title.to_string(),
                         base_rank: h.rank,
                         final_rank: h.rank,
                         on_page: true,
@@ -708,8 +764,8 @@ fn feature_input(hit: &SearchHit, norm: f64, rank: usize) -> ResultFeatureInput 
         doc: hit.doc,
         rank,
         base_score: norm,
-        url: hit.url.clone(),
-        title: hit.title.clone(),
+        url: hit.url.to_string(),
+        title: hit.title.to_string(),
     }
 }
 

@@ -210,8 +210,8 @@ mod tests {
                 .map(|h| ShownResult {
                     doc: h.doc,
                     rank: h.rank,
-                    url: h.url.clone(),
-                    title: h.title.clone(),
+                    url: h.url.to_string(),
+                    title: h.title.to_string(),
                     snippet: h.snippet.clone(),
                 })
                 .collect(),
@@ -641,7 +641,7 @@ mod tests {
             doc,
             score,
             rank: 1,
-            url: format!("u{doc}"),
+            url: format!("u{doc}").into(),
             title: "t".into(),
             snippet: "s".into(),
         };
@@ -658,7 +658,7 @@ mod tests {
             doc,
             score,
             rank: 1,
-            url: format!("u{doc}"),
+            url: format!("u{doc}").into(),
             title: "t".into(),
             snippet: "s".into(),
         };

@@ -30,12 +30,14 @@
 //! did). [`config::PersonalizationMode`] selects the evaluation variants:
 //! baseline / content-only / location-only / combined.
 
+pub mod cache;
 pub mod config;
 pub mod core;
 pub mod engine;
 pub mod state;
 
 pub use crate::core::{CheckpointGate, EngineCore, SearchTurn, StageCheckpoint};
+pub use cache::RetrievalCache;
 pub use config::{BlendStrategy, EngineConfig, PairSource, PersonalizationMode};
 pub use engine::PersonalizedSearchEngine;
 pub use state::UserState;

@@ -52,6 +52,18 @@ pub fn encode_deltas(values: &[u32], out: &mut Vec<u8>) {
     }
 }
 
+/// Skip `count` delta-encoded varints without materializing them.
+///
+/// Used by the tf-only posting decoder: positions must still be parsed to
+/// find the next posting, but no `Vec` is allocated for them.
+#[inline]
+pub fn skip_deltas(buf: &mut &[u8], count: usize) -> Option<()> {
+    for _ in 0..count {
+        read_varint(buf)?;
+    }
+    Some(())
+}
+
 /// Decode `count` delta-encoded varints back into absolute values.
 pub fn decode_deltas(buf: &mut &[u8], count: usize) -> Option<Vec<u32>> {
     let mut out = Vec::with_capacity(count);

@@ -35,7 +35,7 @@ pub mod search;
 pub mod snippet;
 
 pub use builder::IndexBuilder;
-pub use postings::{Posting, PostingList};
+pub use postings::{DocTfIter, Posting, PostingList};
 pub use persist::PersistError;
 pub use query::{parse_query, ParseError, QueryExpr};
 pub use score::Bm25Params;

@@ -161,7 +161,7 @@ impl SearchEngine {
             let url = read_str(&mut buf)?;
             let title = read_str(&mut buf)?;
             let body = read_str(&mut buf)?;
-            docs.push(StoredDoc { id, url, title, body });
+            docs.push(StoredDoc { id, url: url.into(), title: title.into(), body });
         }
         let mut doc_lens = Vec::with_capacity(doc_count);
         for _ in 0..doc_count {

@@ -114,6 +114,13 @@ impl PostingList {
     pub fn iter(&self) -> PostingIter<'_> {
         PostingIter { buf: &self.bytes, remaining: self.doc_count, prev_doc: 0, first: true }
     }
+
+    /// Iterate `(doc, tf)` pairs lazily, skipping position payloads without
+    /// allocating. This is the scoring hot path: BM25 needs only tf, and
+    /// decoding positions into a `Vec` per posting dominates decode cost.
+    pub fn iter_doc_tf(&self) -> DocTfIter<'_> {
+        DocTfIter { buf: &self.bytes, remaining: self.doc_count, prev_doc: 0, first: true }
+    }
 }
 
 /// Lazy decoder over an encoded posting list.
@@ -140,6 +147,37 @@ impl Iterator for PostingIter<'_> {
         let positions = decode_deltas(&mut self.buf, tf as usize)?;
         self.remaining -= 1;
         Some(Posting { doc, tf, positions })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// Lazy `(doc, tf)` decoder that skips position payloads (no allocation).
+#[derive(Debug)]
+pub struct DocTfIter<'a> {
+    buf: &'a [u8],
+    remaining: u32,
+    prev_doc: u32,
+    first: bool,
+}
+
+impl Iterator for DocTfIter<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let delta = read_varint(&mut self.buf)?;
+        let doc = if self.first { delta } else { self.prev_doc + delta };
+        self.first = false;
+        self.prev_doc = doc;
+        let tf = read_varint(&mut self.buf)?;
+        crate::codec::skip_deltas(&mut self.buf, tf as usize)?;
+        self.remaining -= 1;
+        Some((doc, tf))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -215,7 +215,11 @@ impl SearchEngine {
     /// Evaluate a structured query and return the top `k` hits.
     ///
     /// Returns `Err` on malformed query strings.
+    ///
+    /// Records the `index.search` stage, like [`SearchEngine::search`], so
+    /// both entry points report consistently.
     pub fn search_expr(&self, query: &str, k: usize) -> Result<Vec<SearchHit>, ParseError> {
+        let _span = self.metrics_search().span();
         let expr = parse_query(query, |s| self.analyze_text(s))?;
         let scores = self.eval_expr(&expr);
         let mut cands: Vec<(u32, f64)> = scores.into_iter().collect();

@@ -1,26 +1,37 @@
 //! Query execution.
 //!
-//! Term-at-a-time BM25 accumulation with a bounded top-K heap. The result
-//! carries everything the personalization layer needs downstream: the doc
-//! id, the BM25 score, and a snippet built from the document's stored text.
+//! The default `search()` path is document-at-a-time BM25 scoring with a
+//! bounded top-k min-heap and MaxScore-style early termination driven by
+//! per-term max impacts computed at build time (see [`SearchEngine::search`]).
+//! The original exhaustive term-at-a-time scorer is retained as
+//! [`SearchEngine::search_naive`] — it is the correctness reference the fast
+//! path is gated against (property tests, `retrieval_bench --smoke`).
+//!
+//! The result carries everything the personalization layer needs downstream:
+//! the doc id, the BM25 score, and a snippet built from the document's
+//! stored text.
 
 use crate::postings::PostingList;
 use crate::score::{bm25_term, idf, Bm25Params};
 use crate::snippet::extract_snippet;
 use pws_text::{Analyzer, Interner};
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// A document as stored by the engine (what a web index would keep: URL,
 /// title, and enough text to render snippets).
+///
+/// `url` and `title` are shared `Arc<str>`s: every [`SearchHit`] that
+/// materializes this document clones the handle, not the bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredDoc {
     /// Dense id assigned by the caller; must match insertion order.
     pub id: u32,
     /// URL shown on the result page.
-    pub url: String,
+    pub url: Arc<str>,
     /// Title shown on the result page.
-    pub title: String,
+    pub title: Arc<str>,
     /// Body text; snippets are windows of this.
     pub body: String,
 }
@@ -39,6 +50,10 @@ impl StoredDoc {
 }
 
 /// One search result.
+///
+/// `url`/`title` share the stored document's `Arc<str>`s, so cloning a hit
+/// (pool normalization, pool merging, retrieval caching) bumps two refcounts
+/// instead of copying strings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchHit {
     /// Document id.
@@ -48,11 +63,77 @@ pub struct SearchHit {
     /// Rank in the returned list, 1-based (rank 1 = best).
     pub rank: usize,
     /// Result URL.
-    pub url: String,
+    pub url: Arc<str>,
     /// Result title.
-    pub title: String,
+    pub title: Arc<str>,
     /// Query-biased snippet.
     pub snippet: String,
+}
+
+/// Relative slack applied to upper bounds before pruning against the heap
+/// threshold. Float sums accumulated in different orders can differ by a few
+/// ulps (relative error ≤ ~m·ε ≈ 1e-14 for realistic query lengths m), so a
+/// bound computed as a sum of per-term maxima could round *below* a doc's
+/// actual accumulated score. Inflating bounds by 1e-9 ≫ m·ε before the
+/// `≤ θ` comparison makes a false prune impossible; the cost is only that a
+/// vanishingly thin band of docs gets scored unnecessarily.
+const UB_SLACK: f64 = 1.0 + 1e-9;
+
+/// Min-heap entry for bounded top-k selection. Ordered so that the heap's
+/// maximum (`peek`) is the *worst* kept hit: lower score is "greater", and
+/// on score ties the larger doc id is "greater" (final ranking prefers
+/// ascending doc ids).
+#[derive(Debug)]
+struct HeapEntry {
+    score: f64,
+    doc: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.doc == other.doc && self.score == other.score
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BM25 scores are always finite; partial_cmp cannot fail here.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+/// Per-term scoring cursor for document-at-a-time traversal. Borrows the
+/// engine's build-time decoded postings — a query allocates no posting
+/// storage and decodes no varints.
+struct TermCursor<'a> {
+    /// Decoded `(doc, tf)` pairs, ascending by doc.
+    postings: &'a [(u32, u32)],
+    /// Current position in `postings`.
+    pos: usize,
+    /// Hoisted idf for this term.
+    idf: f64,
+    /// Upper bound on this term's total contribution to any single doc:
+    /// build-time max impact × query multiplicity.
+    ub: f64,
+}
+
+impl TermCursor<'_> {
+    #[inline]
+    fn current(&self) -> Option<u32> {
+        self.postings.get(self.pos).map(|&(d, _)| d)
+    }
 }
 
 /// Immutable inverted index + document store.
@@ -65,6 +146,21 @@ pub struct SearchEngine {
     doc_lens: Vec<u32>,
     total_len: u64,
     params: Bm25Params,
+    /// Average doc length, cached at build time (satellite: previously
+    /// recomputed per posting in every scoring loop).
+    avg_len: f64,
+    /// Per-term max impact: the largest BM25 contribution the term makes to
+    /// any document under the current `params`. Indexed by `Sym::index()`,
+    /// parallel to `postings`. Derived data — recomputed on load and on
+    /// `set_params`, never persisted.
+    max_impacts: Vec<f64>,
+    /// Per-term decoded `(doc, tf)` pairs, ascending by doc id — the
+    /// postings with positions stripped, materialized once at build/load
+    /// so the scoring paths never decode varints per query. Indexed by
+    /// `Sym::index()`, parallel to `postings`. Derived data, never
+    /// persisted (the compressed lists stay the storage format; this
+    /// trades memory for query speed in the serving process).
+    doc_tfs: Vec<Vec<(u32, u32)>>,
 }
 
 impl SearchEngine {
@@ -76,7 +172,7 @@ impl SearchEngine {
         doc_lens: Vec<u32>,
         total_len: u64,
     ) -> Self {
-        SearchEngine {
+        let mut e = SearchEngine {
             analyzer,
             interner,
             postings,
@@ -84,12 +180,56 @@ impl SearchEngine {
             doc_lens,
             total_len,
             params: Bm25Params::default(),
-        }
+            avg_len: 0.0,
+            max_impacts: Vec::new(),
+            doc_tfs: Vec::new(),
+        };
+        e.recompute_derived();
+        e
     }
 
-    /// Override the BM25 parameters.
+    /// Recompute `avg_len`, the decoded `(doc, tf)` lists, and the
+    /// per-term max impacts. Called from `from_parts` (covers both build
+    /// and deserialize) and `set_params` (which skips re-decoding — the
+    /// postings themselves haven't changed).
+    fn recompute_derived(&mut self) {
+        self.avg_len = if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.docs.len() as f64
+        };
+        if self.doc_tfs.len() != self.postings.len() {
+            self.doc_tfs =
+                self.postings.iter().map(|list| list.iter_doc_tf().collect()).collect();
+        }
+        let n = self.docs.len() as u32;
+        let (params, avg_len, doc_lens) = (self.params, self.avg_len, &self.doc_lens);
+        self.max_impacts = self
+            .postings
+            .iter()
+            .zip(&self.doc_tfs)
+            .map(|(list, pairs)| {
+                if list.doc_count() == 0 {
+                    return 0.0;
+                }
+                let term_idf = idf(n, list.doc_count());
+                let mut max = 0.0f64;
+                for &(doc, tf) in pairs {
+                    let s = bm25_term(params, term_idf, tf, doc_lens[doc as usize], avg_len);
+                    if s > max {
+                        max = s;
+                    }
+                }
+                max
+            })
+            .collect();
+    }
+
+    /// Override the BM25 parameters. Per-term max impacts depend on the
+    /// parameters, so they are recomputed here.
     pub fn set_params(&mut self, params: Bm25Params) {
         self.params = params;
+        self.recompute_derived();
     }
 
     /// Number of indexed documents.
@@ -97,13 +237,9 @@ impl SearchEngine {
         self.docs.len() as u32
     }
 
-    /// Average indexed document length in tokens.
+    /// Average indexed document length in tokens (cached at build time).
     pub fn avg_doc_len(&self) -> f64 {
-        if self.docs.is_empty() {
-            0.0
-        } else {
-            self.total_len as f64 / self.docs.len() as f64
-        }
+        self.avg_len
     }
 
     /// Document frequency of an (analyzed) term. The input is analyzed with
@@ -161,9 +297,9 @@ impl SearchEngine {
             return out;
         }
         let term_idf = idf(self.doc_count(), list.doc_count());
-        for p in list.iter() {
-            let len = self.doc_lens[p.doc as usize];
-            out.insert(p.doc, bm25_term(self.params, term_idf, p.tf, len, self.avg_doc_len()));
+        for (doc, tf) in list.iter_doc_tf() {
+            let len = self.doc_lens[doc as usize];
+            out.insert(doc, bm25_term(self.params, term_idf, tf, len, self.avg_len));
         }
         out
     }
@@ -221,7 +357,7 @@ impl SearchEngine {
                     .zip(&idfs)
                     .map(|(l, &term_idf)| {
                         let tf = l.iter().find(|q| q.doc == doc).map(|q| q.tf).unwrap_or(1);
-                        bm25_term(self.params, term_idf, tf, len, self.avg_doc_len())
+                        bm25_term(self.params, term_idf, tf, len, self.avg_len)
                     })
                     .sum();
                 out.insert(doc, score);
@@ -257,14 +393,22 @@ impl SearchEngine {
     /// doc matching no query term). Used by the personalization layer to
     /// re-score externally sourced candidates (e.g. from an augmented
     /// query) against the *original* query, so pools stay comparable.
+    ///
+    /// Implemented as a sorted-slice two-pointer merge against each posting
+    /// list (both sides ascend by doc id) — no per-call `HashMap`.
     pub fn score_docs(&self, query: &str, docs: &[u32]) -> Vec<f64> {
         let q_tokens = self.analyzer.analyze(query);
-        let wanted: HashMap<u32, usize> =
-            docs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
         let mut scores = vec![0.0; docs.len()];
-        if q_tokens.is_empty() || self.docs.is_empty() {
+        if q_tokens.is_empty() || self.docs.is_empty() || docs.is_empty() {
             return scores;
         }
+        // Sorted (doc, original index). A duplicated doc id credits only its
+        // last occurrence (the historical HashMap behaviour): sort ties by
+        // descending index, keep the first of each run.
+        let mut wanted: Vec<(u32, usize)> =
+            docs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        wanted.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        wanted.dedup_by_key(|e| e.0);
         let n = self.doc_count();
         for tok in &q_tokens {
             let Some(sym) = self.interner.get(tok) else { continue };
@@ -273,10 +417,18 @@ impl SearchEngine {
                 continue;
             }
             let term_idf = idf(n, list.doc_count());
-            for p in list.iter() {
-                if let Some(&i) = wanted.get(&p.doc) {
-                    let len = self.doc_lens[p.doc as usize];
-                    scores[i] += bm25_term(self.params, term_idf, p.tf, len, self.avg_doc_len());
+            let mut w = 0;
+            for &(doc, tf) in &self.doc_tfs[sym.index()] {
+                while w < wanted.len() && wanted[w].0 < doc {
+                    w += 1;
+                }
+                if w == wanted.len() {
+                    break;
+                }
+                if wanted[w].0 == doc {
+                    let len = self.doc_lens[doc as usize];
+                    scores[wanted[w].1] +=
+                        bm25_term(self.params, term_idf, tf, len, self.avg_len);
                 }
             }
         }
@@ -284,7 +436,7 @@ impl SearchEngine {
     }
 
     /// Process-wide handle to the `index.search` stage, resolved once.
-    fn metrics_search(&self) -> &pws_obs::StageMetrics {
+    pub(crate) fn metrics_search(&self) -> &pws_obs::StageMetrics {
         static STAGE: std::sync::OnceLock<std::sync::Arc<pws_obs::StageMetrics>> =
             std::sync::OnceLock::new();
         STAGE.get_or_init(|| pws_obs::stage("index.search"))
@@ -293,10 +445,201 @@ impl SearchEngine {
     /// Execute `query`, returning the top `k` hits ranked by BM25
     /// descending, ties broken by ascending doc id (deterministic).
     ///
+    /// This is the fast path: document-at-a-time traversal with a bounded
+    /// top-k min-heap and MaxScore pruning (see [`SearchEngine::search_tokens`]).
+    /// It returns byte-identical results to [`SearchEngine::search_naive`].
+    ///
     /// Each call records its latency under the `index.search` stage in
     /// the global [`pws_obs`] registry.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
         let _span = self.metrics_search().span();
+        self.search_tokens_inner(&self.analyzer.analyze(query), k)
+    }
+
+    /// [`SearchEngine::search`] over pre-analyzed query tokens. Exposed so
+    /// callers that key caches on analyzed tokens (the serving layer's
+    /// base-retrieval cache) analyze exactly once.
+    ///
+    /// Records the same `index.search` stage as [`SearchEngine::search`].
+    pub fn search_tokens(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        let _span = self.metrics_search().span();
+        self.search_tokens_inner(q_tokens, k)
+    }
+
+    fn search_tokens_inner(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.docs.is_empty() || q_tokens.is_empty() {
+            return Vec::new();
+        }
+        let cands = self.top_k_daat(q_tokens, k);
+        self.hits_from_scored(&cands, q_tokens)
+    }
+
+    /// Document-at-a-time top-k scoring with MaxScore early termination.
+    ///
+    /// Pruning invariant: a doc is skipped (or never surfaced) only when an
+    /// upper bound on its total score — the sum of the matching terms' max
+    /// impacts, inflated by [`UB_SLACK`] — cannot strictly beat the heap
+    /// threshold θ. Since the final order breaks score ties by ascending doc
+    /// id and docs are visited in ascending id order, a doc tying θ can
+    /// never displace an incumbent, so `bound ≤ θ ⇒ skip` is exact.
+    ///
+    /// Determinism invariant: a surviving doc's score is accumulated in
+    /// query-token order (duplicates included; non-matching terms add an
+    /// exact `+0.0`), reproducing the naive scorer's f64 sums bit for bit.
+    fn top_k_daat(&self, q_tokens: &[String], k: usize) -> Vec<(u32, f64)> {
+        // Resolve tokens to unique terms, preserving first-appearance order.
+        // `slots[i]` maps the i-th *resolvable* token occurrence to its
+        // unique-term index — the accumulation order of the naive scorer.
+        let mut term_postings: Vec<usize> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for tok in q_tokens {
+            if let Some(sym) = self.interner.get(tok) {
+                let pi = sym.index();
+                if self.postings[pi].doc_count() == 0 {
+                    continue;
+                }
+                let t = match term_postings.iter().position(|&p| p == pi) {
+                    Some(t) => t,
+                    None => {
+                        term_postings.push(pi);
+                        term_postings.len() - 1
+                    }
+                };
+                slots.push(t);
+            }
+        }
+        let m = term_postings.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let n = self.doc_count();
+        let mut mult = vec![0u32; m];
+        for &t in &slots {
+            mult[t] += 1;
+        }
+        let mut cursors: Vec<TermCursor<'_>> = term_postings
+            .iter()
+            .zip(&mult)
+            .map(|(&pi, &mu)| TermCursor {
+                postings: &self.doc_tfs[pi],
+                pos: 0,
+                idf: idf(n, self.postings[pi].doc_count()),
+                ub: self.max_impacts[pi] * f64::from(mu),
+            })
+            .collect();
+
+        // Terms ordered by ascending upper bound; prefix[j] = Σ ub of the j
+        // cheapest terms. The first `boundary` terms are "non-essential":
+        // a doc matching only those cannot beat θ.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            cursors[a]
+                .ub
+                .partial_cmp(&cursors[b].ub)
+                .unwrap_or(Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut prefix = vec![0.0f64; m + 1];
+        for (j, &t) in order.iter().enumerate() {
+            prefix[j + 1] = prefix[j] + cursors[t].ub;
+        }
+
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut theta = f64::NEG_INFINITY;
+        let mut contrib = vec![0.0f64; m];
+
+        loop {
+            // Non-essential boundary under the current θ.
+            let mut boundary = 0;
+            while boundary < m && prefix[boundary + 1] * UB_SLACK <= theta {
+                boundary += 1;
+            }
+            if boundary == m {
+                break; // even all terms together cannot beat θ
+            }
+            // Next candidate: the smallest current doc among essential terms.
+            let mut next: Option<u32> = None;
+            for &t in &order[boundary..] {
+                if let Some(doc) = cursors[t].current() {
+                    next = Some(match next {
+                        Some(d) => d.min(doc),
+                        None => doc,
+                    });
+                }
+            }
+            let Some(d) = next else { break };
+            if theta > f64::NEG_INFINITY {
+                // Cheap bound: matching essential terms + every non-essential.
+                let mut ub = prefix[boundary];
+                for &t in &order[boundary..] {
+                    if cursors[t].current() == Some(d) {
+                        ub += cursors[t].ub;
+                    }
+                }
+                if ub * UB_SLACK <= theta {
+                    for &t in &order[boundary..] {
+                        let c = &mut cursors[t];
+                        if c.current() == Some(d) {
+                            c.pos += 1;
+                        }
+                    }
+                    continue;
+                }
+            }
+            // Full score: seek every cursor to ≥ d, then accumulate in
+            // query-token order (bitwise-identical to the naive scorer).
+            let len = self.doc_lens[d as usize];
+            for (t, c) in cursors.iter_mut().enumerate() {
+                while c.pos < c.postings.len() && c.postings[c.pos].0 < d {
+                    c.pos += 1;
+                }
+                contrib[t] = match c.postings.get(c.pos) {
+                    Some(&(doc, tf)) if doc == d => {
+                        bm25_term(self.params, c.idf, tf, len, self.avg_len)
+                    }
+                    _ => 0.0,
+                };
+            }
+            let mut score = 0.0f64;
+            for &t in &slots {
+                score += contrib[t];
+            }
+            for c in cursors.iter_mut() {
+                if c.current() == Some(d) {
+                    c.pos += 1;
+                }
+            }
+            if heap.len() < k {
+                heap.push(HeapEntry { score, doc: d });
+                if heap.len() == k {
+                    theta = heap.peek().expect("nonempty heap").score;
+                }
+            } else if score > theta {
+                heap.pop();
+                heap.push(HeapEntry { score, doc: d });
+                theta = heap.peek().expect("nonempty heap").score;
+            }
+        }
+
+        let mut cands: Vec<(u32, f64)> =
+            heap.into_iter().map(|e| (e.doc, e.score)).collect();
+        cands.sort_unstable_by(|a, b| {
+            match b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal) {
+                Ordering::Equal => a.0.cmp(&b.0),
+                o => o,
+            }
+        });
+        cands
+    }
+
+    /// The original exhaustive scorer: term-at-a-time `HashMap` accumulation
+    /// over the full candidate union, then a full sort. Kept as the
+    /// correctness reference for the fast path (`retrieval_bench` compares
+    /// the two and `--smoke` mode fails on any disagreement) and as the
+    /// "naive" baseline in `results/BENCH_retrieval.json`.
+    ///
+    /// Does not record `index.search` metrics — it never serves traffic.
+    pub fn search_naive(&self, query: &str, k: usize) -> Vec<SearchHit> {
         if k == 0 || self.docs.is_empty() {
             return Vec::new();
         }
@@ -316,42 +659,25 @@ impl SearchEngine {
                 continue;
             }
             let term_idf = idf(n, list.doc_count());
-            for p in list.iter() {
-                let len = self.doc_lens[p.doc as usize];
-                let s = bm25_term(self.params, term_idf, p.tf, len, self.avg_doc_len());
-                *acc.entry(p.doc).or_insert(0.0) += s;
+            for (doc, tf) in list.iter_doc_tf() {
+                let len = self.doc_lens[doc as usize];
+                let s = bm25_term(self.params, term_idf, tf, len, self.avg_len);
+                *acc.entry(doc).or_insert(0.0) += s;
             }
         }
         if acc.is_empty() {
             return Vec::new();
         }
 
-        // Top-k selection: collect and partially sort. For the corpus sizes
-        // here a full sort of the candidate set is both simple and fast; the
-        // candidate set is bounded by the union of posting lists.
         let mut cands: Vec<(u32, f64)> = acc.into_iter().collect();
-        cands.sort_unstable_by(|a, b| match b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal) {
-            Ordering::Equal => a.0.cmp(&b.0),
-            o => o,
+        cands.sort_unstable_by(|a, b| {
+            match b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal) {
+                Ordering::Equal => a.0.cmp(&b.0),
+                o => o,
+            }
         });
         cands.truncate(k);
-
-        cands
-            .into_iter()
-            .enumerate()
-            .map(|(i, (doc, score))| {
-                let d = &self.docs[doc as usize];
-                let snippet = extract_snippet(&d.body, &q_tokens, 24);
-                SearchHit {
-                    doc,
-                    score,
-                    rank: i + 1,
-                    url: d.url.clone(),
-                    title: d.title.clone(),
-                    snippet,
-                }
-            })
-            .collect()
+        self.hits_from_scored(&cands, &q_tokens)
     }
 }
 
@@ -447,6 +773,39 @@ mod tests {
     }
 
     #[test]
+    fn tie_break_with_bounded_k_keeps_smallest_ids() {
+        let mut b = IndexBuilder::new();
+        for id in 0..6 {
+            b.add(StoredDoc::new(id, "u", "same", "identical content here"));
+        }
+        let e = b.build();
+        // All six docs tie; the heap must keep (and order) the lowest ids.
+        let hits = e.search("identical", 3);
+        let ids: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let naive = e.search_naive("identical", 3);
+        assert_eq!(hits, naive);
+    }
+
+    #[test]
+    fn fast_path_matches_naive_on_fixture() {
+        let e = engine();
+        for q in ["seafood lobster", "seafood", "hotel booking", "camera",
+                  "seafood seafood lobster", "crab harbor sushi phone"] {
+            for k in [1, 2, 3, 10] {
+                assert_eq!(e.search(q, k), e.search_naive(q, k), "q={q:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_tokens_matches_search() {
+        let e = engine();
+        let toks = e.analyze_text("seafood lobster");
+        assert_eq!(e.search_tokens(&toks, 10), e.search("seafood lobster", 10));
+    }
+
+    #[test]
     fn df_accessor() {
         let e = engine();
         assert_eq!(e.doc_frequency("seafood"), 3);
@@ -473,6 +832,48 @@ mod tests {
         assert_eq!(scores, vec![0.0]);
         assert_eq!(e.score_docs("", &[0, 1]), vec![0.0, 0.0]);
         assert!(e.score_docs("seafood", &[]).is_empty());
+    }
+
+    #[test]
+    fn score_docs_unsorted_input_and_duplicates() {
+        let e = engine();
+        // Unsorted doc ids score the same as sorted ones.
+        let unsorted = e.score_docs("seafood lobster", &[3, 0, 2]);
+        let sorted = e.score_docs("seafood lobster", &[0, 2, 3]);
+        assert_eq!(unsorted[0], sorted[2]);
+        assert_eq!(unsorted[1], sorted[0]);
+        assert_eq!(unsorted[2], sorted[1]);
+        // A duplicated doc id credits only its last occurrence (historical
+        // HashMap behaviour, pinned).
+        let dup = e.score_docs("seafood", &[0, 0]);
+        assert_eq!(dup[0], 0.0);
+        assert!(dup[1] > 0.0);
+    }
+
+    #[test]
+    fn max_impacts_bound_every_posting() {
+        let e = engine();
+        let n = e.doc_count();
+        for (pi, list) in e.postings.iter().enumerate() {
+            if list.doc_count() == 0 {
+                continue;
+            }
+            let term_idf = idf(n, list.doc_count());
+            for (doc, tf) in list.iter_doc_tf() {
+                let s = bm25_term(e.params, term_idf, tf, e.doc_lens[doc as usize], e.avg_len);
+                assert!(s <= e.max_impacts[pi], "impact above stored max");
+            }
+        }
+    }
+
+    #[test]
+    fn set_params_recomputes_max_impacts() {
+        let mut e = engine();
+        let before = e.max_impacts.clone();
+        e.set_params(Bm25Params { k1: 2.0, b: 0.1 });
+        assert_ne!(before, e.max_impacts);
+        // Fast path still agrees with the naive scorer under the new params.
+        assert_eq!(e.search("seafood lobster", 3), e.search_naive("seafood lobster", 3));
     }
 
     #[test]

@@ -21,23 +21,47 @@ pub fn extract_snippet(body: &str, q_tokens: &[String], window: usize) -> String
 
     // Match on stemmed forms so the snippet window aligns with BM25's view
     // of the document.
-    let stemmed: Vec<String> = raw_tokens.iter().map(|t| porter_stem(t)).collect();
-    let is_query_term: Vec<Option<usize>> = stemmed
+    let is_query_term: Vec<Option<usize>> = raw_tokens
         .iter()
-        .map(|s| q_tokens.iter().position(|q| q == s))
+        .map(|t| {
+            let s = porter_stem(t);
+            q_tokens.iter().position(|q| q == &s)
+        })
         .collect();
 
+    // Incremental sliding window: per-term occurrence counts, with
+    // `distinct`/`total` maintained as tokens enter and leave. Windows are
+    // visited in the same order with the same strict-`>` comparisons as
+    // the quadratic rescan this replaces, so the selected window (and the
+    // snippet bytes) are identical.
+    let mut counts = vec![0usize; q_tokens.len()];
+    let mut distinct = 0usize;
+    let mut total = 0usize;
+    for qi in is_query_term[..window].iter().flatten() {
+        if counts[*qi] == 0 {
+            distinct += 1;
+        }
+        counts[*qi] += 1;
+        total += 1;
+    }
     let mut best_start = 0usize;
-    let mut best_distinct = 0usize;
-    let mut best_total = 0usize;
-    for start in 0..=(raw_tokens.len() - window) {
-        let mut seen = vec![false; q_tokens.len()];
-        let mut total = 0usize;
-        for qi in is_query_term[start..start + window].iter().flatten() {
-            seen[*qi] = true;
+    let mut best_distinct = distinct;
+    let mut best_total = total;
+    for start in 1..=(raw_tokens.len() - window) {
+        if let Some(qi) = is_query_term[start - 1] {
+            counts[qi] -= 1;
+            if counts[qi] == 0 {
+                distinct -= 1;
+            }
+            total -= 1;
+        }
+        if let Some(qi) = is_query_term[start + window - 1] {
+            if counts[qi] == 0 {
+                distinct += 1;
+            }
+            counts[qi] += 1;
             total += 1;
         }
-        let distinct = seen.iter().filter(|&&s| s).count();
         if distinct > best_distinct || (distinct == best_distinct && total > best_total) {
             best_distinct = distinct;
             best_total = total;

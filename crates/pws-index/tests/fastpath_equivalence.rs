@@ -1,0 +1,129 @@
+//! Property tests gating the retrieval fast path.
+//!
+//! `SearchEngine::search` (document-at-a-time, bounded top-k heap, MaxScore
+//! pruning) must return *exactly* what the exhaustive reference scorer
+//! `SearchEngine::search_naive` returns on any corpus and query: same docs,
+//! same order, same ranks, bitwise-equal scores. This includes score ties
+//! (broken by ascending doc id) interacting with the heap bound `k`.
+
+use proptest::prelude::*;
+use pws_index::{IndexBuilder, SearchEngine, StoredDoc};
+use std::collections::HashMap;
+
+/// Non-stopword vocabulary; stems are distinct so analysis keeps them apart.
+const VOCAB: &[&str] = &[
+    "lobster", "seafood", "harbor", "android", "battery", "camera", "hotel",
+    "booking", "oyster", "sushi", "guide", "menu", "special", "fresh",
+    "downtown", "airport", "museum", "garden", "bridge", "festival",
+    "market", "station", "library", "castle", "river",
+];
+
+/// Tiny vocabulary: with few distinct words and short docs, duplicate
+/// documents — and therefore exact BM25 score ties — are common.
+const TIE_VOCAB: &[&str] = &["lobster", "seafood", "harbor", "android"];
+
+fn build(doc_words: &[Vec<&str>]) -> SearchEngine {
+    let mut b = IndexBuilder::new();
+    for (i, words) in doc_words.iter().enumerate() {
+        let body = words.join(" ");
+        b.add(StoredDoc::new(i as u32, &format!("http://t.test/{i}"), "doc", &body));
+    }
+    b.build()
+}
+
+fn assert_fast_matches_naive(e: &SearchEngine, query: &str, k: usize) {
+    let fast = e.search(query, k);
+    let naive = e.search_naive(query, k);
+    assert_eq!(fast.len(), naive.len(), "length mismatch for {query:?} k={k}");
+    for (f, n) in fast.iter().zip(&naive) {
+        assert_eq!(f.doc, n.doc, "doc order mismatch for {query:?} k={k}");
+        assert_eq!(
+            f.score.to_bits(),
+            n.score.to_bits(),
+            "score not bitwise equal for {query:?} k={k} doc={}",
+            f.doc
+        );
+        assert_eq!(f.rank, n.rank);
+        assert_eq!(f.url, n.url);
+        assert_eq!(f.title, n.title);
+        assert_eq!(f.snippet, n.snippet);
+    }
+}
+
+fn vocab_strategy(
+    vocab: &'static [&'static str],
+    max_doc_words: usize,
+    max_docs: usize,
+) -> impl Strategy<Value = Vec<Vec<&'static str>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::sample::select(vocab.to_vec()), 1..max_doc_words),
+        1..max_docs,
+    )
+}
+
+proptest! {
+    #[test]
+    fn heap_topk_equals_exhaustive_topk(
+        doc_words in vocab_strategy(VOCAB, 30, 50),
+        query_words in proptest::collection::vec(proptest::sample::select(VOCAB.to_vec()), 1..6),
+        k in 1usize..20,
+    ) {
+        let e = build(&doc_words);
+        let query = query_words.join(" ");
+        assert_fast_matches_naive(&e, &query, k);
+        // Also at k = 1 and an effectively unbounded k (no pruning).
+        assert_fast_matches_naive(&e, &query, 1);
+        assert_fast_matches_naive(&e, &query, doc_words.len() + 5);
+    }
+
+    #[test]
+    fn heap_topk_handles_ties_on_score(
+        doc_words in vocab_strategy(TIE_VOCAB, 4, 40),
+        query_words in proptest::collection::vec(proptest::sample::select(TIE_VOCAB.to_vec()), 1..4),
+        k in 1usize..8,
+    ) {
+        // Many duplicate docs → many exact ties; the heap must keep the
+        // ascending-doc-id prefix of each tied group exactly like the
+        // exhaustive sort does.
+        let e = build(&doc_words);
+        let query = query_words.join(" ");
+        assert_fast_matches_naive(&e, &query, k);
+    }
+
+    #[test]
+    fn duplicate_query_terms_and_unknowns_match(
+        doc_words in vocab_strategy(VOCAB, 20, 30),
+        base in proptest::sample::select(VOCAB.to_vec()),
+        extra in proptest::sample::select(VOCAB.to_vec()),
+        k in 1usize..12,
+    ) {
+        let e = build(&doc_words);
+        // Duplicated terms (each occurrence contributes) and an unindexed
+        // term (must be ignored identically by both paths).
+        let query = format!("{base} {extra} {base} zzzunknownzzz {base}");
+        assert_fast_matches_naive(&e, &query, k);
+    }
+
+    #[test]
+    fn score_docs_merge_matches_naive_accumulation(
+        doc_words in vocab_strategy(VOCAB, 20, 30),
+        query_words in proptest::collection::vec(proptest::sample::select(VOCAB.to_vec()), 1..5),
+        k in 1usize..12,
+    ) {
+        let e = build(&doc_words);
+        let query = query_words.join(" ");
+        // Reference: per-doc scores from the exhaustive scorer's full result.
+        let all = e.search_naive(&query, doc_words.len() + 5);
+        let by_doc: HashMap<u32, f64> = all.iter().map(|h| (h.doc, h.score)).collect();
+        let asked: Vec<u32> = (0..doc_words.len() as u32).rev().take(k).collect();
+        let scores = e.score_docs(&query, &asked);
+        for (d, s) in asked.iter().zip(&scores) {
+            let expect = by_doc.get(d).copied().unwrap_or(0.0);
+            prop_assert_eq!(
+                s.to_bits(),
+                expect.to_bits(),
+                "score_docs mismatch for doc {} on {:?}", d, &query
+            );
+        }
+    }
+}

@@ -160,6 +160,10 @@ pub struct QueryTrace {
     /// `DegradeReason` and the matching `serve.degraded.{reason}`
     /// counter names.
     pub degraded: Option<&'static str>,
+    /// Whether base retrieval was served from the shared retrieval cache
+    /// (`None` when no cache is configured). Personalization always runs
+    /// on top — a cache hit only skips re-scoring the index.
+    pub cache_hit: Option<bool>,
     /// Serving shard that handled the request (serving layer only).
     pub shard: Option<usize>,
     /// In-flight request depth on that shard at admission.
@@ -183,6 +187,7 @@ impl QueryTrace {
             results: Vec::new(),
             personalized: false,
             degraded: None,
+            cache_hit: None,
             shard: None,
             queue_depth: None,
             total_nanos: 0,
@@ -241,6 +246,9 @@ impl QueryTrace {
         if let Some(reason) = self.degraded {
             out.push_str(&format!("  degraded  : yes [{reason}]\n"));
         }
+        if let Some(hit) = self.cache_hit {
+            out.push_str(&format!("  retrieval cache: {}\n", if hit { "hit" } else { "miss" }));
+        }
         let concepts = |cs: &[ConceptTrace]| -> String {
             if cs.is_empty() {
                 "(none)".to_string()
@@ -295,6 +303,9 @@ impl QueryTrace {
         out.push_str(&format!("{nl}{ind}\"personalized\":{sp}{},", self.personalized));
         if let Some(reason) = self.degraded {
             out.push_str(&format!("{nl}{ind}\"degraded\":{sp}\"{}\",", esc(reason)));
+        }
+        if let Some(hit) = self.cache_hit {
+            out.push_str(&format!("{nl}{ind}\"cache_hit\":{sp}{hit},"));
         }
         if let Some(shard) = self.shard {
             out.push_str(&format!("{nl}{ind}\"shard\":{sp}{shard},"));

@@ -20,7 +20,7 @@ use pws_text::Analyzer;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// SpyNB parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,7 +45,13 @@ impl Default for SpyNbConfig {
 }
 
 /// A bag-of-terms document for the NB classifier.
-type TermSet = HashSet<String>;
+///
+/// A `BTreeSet` so [`NaiveBayes::posterior`] accumulates the per-term
+/// log-probabilities in sorted term order — with a `HashSet` the f64 sum
+/// depends on per-process-random iteration order, which can flip a
+/// doc across the reliable-negative threshold and make experiment
+/// output differ between runs of the same binary.
+type TermSet = BTreeSet<String>;
 
 /// Binary naive-Bayes over term presence.
 #[derive(Debug)]

@@ -114,7 +114,8 @@
 //! properties above live in the `pws-chaos` crate.
 
 use pws_click::{Impression, UserId};
-use pws_core::{EngineConfig, EngineCore, SearchTurn, StageCheckpoint, UserState};
+use pws_core::{EngineConfig, EngineCore, RetrievalCache, SearchTurn, StageCheckpoint, UserState};
+use pws_index::SearchHit;
 use pws_entropy::QueryStats;
 use pws_obs::trace::QueryTrace;
 use std::collections::HashMap;
@@ -146,6 +147,13 @@ pub struct ServeConfig {
     /// loosens) this bound. The trusted internal [`ServingEngine::search`]
     /// path bypasses admission control entirely.
     pub max_queue_depth: Option<u64>,
+    /// Capacity (entries) of the shared base-retrieval cache
+    /// ([`ShardedRetrievalCache`]). Base retrieval is user-independent,
+    /// so the cache is shared across every user and shard; `0` disables
+    /// caching entirely (the engine core goes straight to the index).
+    /// Caching never changes what a turn contains — the
+    /// replay-equivalence tests run with it on to pin that.
+    pub retrieval_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +163,7 @@ impl Default for ServeConfig {
             stats_refresh_every: 64,
             trace: TraceConfig::default(),
             max_queue_depth: None,
+            retrieval_cache_capacity: 1024,
         }
     }
 }
@@ -498,6 +507,187 @@ fn fnv1a(key: &str) -> u64 {
     h
 }
 
+/// Number of lock shards in the base-retrieval cache. Fixed: cache
+/// contention is per-query-string, independent of the user shard count.
+const CACHE_SHARDS: usize = 8;
+
+/// One cached base-retrieval pool.
+struct CacheEntry {
+    /// The exact key, kept for collision rejection (the map is keyed by
+    /// the 64-bit fingerprint; a colliding probe must miss, not alias).
+    tokens: Vec<String>,
+    k: usize,
+    /// Index epoch this entry was computed under; a stale entry is
+    /// dropped on probe.
+    epoch: u64,
+    /// Shard-local LRU clock value of the last touch.
+    tick: u64,
+    hits: Vec<SearchHit>,
+}
+
+/// One lock shard of the retrieval cache: fingerprint-keyed entries plus
+/// the shard's LRU clock.
+struct CacheShard {
+    map: HashMap<u64, CacheEntry>,
+    tick: u64,
+}
+
+/// The serving layer's [`RetrievalCache`]: sharded, bounded LRU, with
+/// epoch-based invalidation.
+///
+/// * **Sharded** — `CACHE_SHARDS` mutexes, entries routed by an FNV-1a
+///   fingerprint of `(tokens, k)`, so concurrent queries for different
+///   strings rarely contend.
+/// * **Bounded** — each shard holds at most `⌈capacity / shards⌉`
+///   entries; inserting past that evicts the shard's least-recently
+///   touched entry (`serve.cache.evict`).
+/// * **Epoch invalidation** — [`invalidate`](Self::invalidate) bumps an
+///   atomic epoch; entries stamped with an older epoch miss (and are
+///   dropped) on their next probe, so invalidation is O(1) and never
+///   takes a lock. Probes concurrent with the bump may still serve the
+///   old epoch; callers needing a strict barrier drain in-flight
+///   requests first.
+///
+/// Every probe counts exactly one of `serve.cache.hit` /
+/// `serve.cache.miss`, so `hit + miss` equals the number of base
+/// retrievals that consulted the cache.
+pub struct ShardedRetrievalCache {
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard_capacity: usize,
+    epoch: AtomicU64,
+    hit: Arc<pws_obs::StageMetrics>,
+    miss: Arc<pws_obs::StageMetrics>,
+    evict: Arc<pws_obs::StageMetrics>,
+    /// `serve.lock_recovered` handle — a poisoned cache shard is
+    /// recovered (worst case: a torn entry is overwritten or evicted),
+    /// never allowed to wedge retrieval.
+    recovered: Arc<pws_obs::StageMetrics>,
+}
+
+/// FNV-1a over the cache key. Token boundaries are delimited (so
+/// `["ab","c"]` ≠ `["a","bc"]`) and the pool size is folded in last.
+fn cache_fingerprint(tokens: &[String], k: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for t in tokens {
+        for &b in t.as_bytes() {
+            eat(b);
+        }
+        eat(0xff);
+    }
+    for b in (k as u64).to_le_bytes() {
+        eat(b);
+    }
+    h
+}
+
+impl ShardedRetrievalCache {
+    /// A cache holding at most `capacity` pools (rounded up to a
+    /// multiple of the shard count).
+    pub fn new(capacity: usize) -> Self {
+        ShardedRetrievalCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(CacheShard { map: HashMap::new(), tick: 0 }))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            epoch: AtomicU64::new(0),
+            hit: pws_obs::stage("serve.cache.hit"),
+            miss: pws_obs::stage("serve.cache.miss"),
+            evict: pws_obs::stage("serve.cache.evict"),
+            recovered: pws_obs::stage("serve.lock_recovered"),
+        }
+    }
+
+    fn lock_shard(&self, fp: u64) -> MutexGuard<'_, CacheShard> {
+        let idx = (fp % CACHE_SHARDS as u64) as usize;
+        let (guard, was_poisoned) = lock_or_recover(&self.shards[idx]);
+        if was_poisoned {
+            self.recovered.incr(1);
+        }
+        guard
+    }
+
+    /// Drop every cached pool at once (O(1)): entries stamped with an
+    /// older epoch miss on their next probe. Call after anything that
+    /// changes what base retrieval would return (index swap, BM25
+    /// parameter change).
+    pub fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of currently resident entries (stale-epoch entries still
+    /// count until their next probe drops them).
+    pub fn len(&self) -> usize {
+        (0..CACHE_SHARDS as u64).map(|i| self.lock_shard(i).map.len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl RetrievalCache for ShardedRetrievalCache {
+    fn get(&self, tokens: &[String], k: usize) -> Option<Vec<SearchHit>> {
+        let fp = cache_fingerprint(tokens, k);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut shard = self.lock_shard(fp);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&fp) {
+            Some(e) if e.epoch == epoch && e.k == k && e.tokens == tokens => {
+                e.tick = tick;
+                let hits = e.hits.clone();
+                drop(shard);
+                self.hit.incr(1);
+                Some(hits)
+            }
+            Some(e) if e.epoch != epoch && e.k == k && e.tokens == tokens => {
+                // Stale epoch: drop eagerly so dead pools don't occupy
+                // capacity until LRU pressure finds them.
+                shard.map.remove(&fp);
+                drop(shard);
+                self.miss.incr(1);
+                None
+            }
+            _ => {
+                drop(shard);
+                self.miss.incr(1);
+                None
+            }
+        }
+    }
+
+    fn put(&self, tokens: &[String], k: usize, hits: &[SearchHit]) {
+        let fp = cache_fingerprint(tokens, k);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut shard = self.lock_shard(fp);
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&fp) && shard.map.len() >= self.per_shard_capacity {
+            if let Some(&victim) =
+                shard.map.iter().min_by_key(|(_, e)| e.tick).map(|(fp, _)| fp)
+            {
+                shard.map.remove(&victim);
+                self.evict.incr(1);
+            }
+        }
+        shard.map.insert(
+            fp,
+            CacheEntry {
+                tokens: tokens.to_vec(),
+                k,
+                epoch,
+                tick,
+                hits: hits.to_vec(),
+            },
+        );
+    }
+}
+
 /// One user shard: the mutable per-user state for every user hashing
 /// here, plus this shard's metric handles.
 struct UserShard {
@@ -696,6 +886,9 @@ pub struct ServingEngine<'a> {
     plan: Option<Arc<dyn FaultPlan>>,
     /// Engine-wide admission high-water mark (see [`ServeConfig`]).
     max_queue_depth: Option<u64>,
+    /// Shared base-retrieval cache; `None` when
+    /// [`ServeConfig::retrieval_cache_capacity`] is `0`.
+    cache: Option<Arc<ShardedRetrievalCache>>,
 }
 
 impl<'a> ServingEngine<'a> {
@@ -727,8 +920,14 @@ impl<'a> ServingEngine<'a> {
             .trace
             .enabled
             .then(|| TraceRing::new(serve_cfg.trace.ring_capacity, fault.lock_recovered.clone()));
+        let cache = (serve_cfg.retrieval_cache_capacity > 0)
+            .then(|| Arc::new(ShardedRetrievalCache::new(serve_cfg.retrieval_cache_capacity)));
+        let mut core = EngineCore::new(base, world, cfg);
+        if let Some(c) = &cache {
+            core = core.with_retrieval_cache(c.clone() as Arc<dyn RetrievalCache>);
+        }
         ServingEngine {
-            core: EngineCore::new(base, world, cfg),
+            core,
             shards,
             stats: ShardedStats::new(
                 n,
@@ -740,6 +939,21 @@ impl<'a> ServingEngine<'a> {
             fault,
             plan: None,
             max_queue_depth: serve_cfg.max_queue_depth,
+            cache,
+        }
+    }
+
+    /// The shared base-retrieval cache, if one is configured.
+    pub fn retrieval_cache(&self) -> Option<&ShardedRetrievalCache> {
+        self.cache.as_deref()
+    }
+
+    /// Invalidate every cached base-retrieval pool (no-op without a
+    /// cache). Call after anything that would change what the index
+    /// returns.
+    pub fn invalidate_retrieval_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.invalidate();
         }
     }
 
@@ -1256,8 +1470,8 @@ mod tests {
                 .map(|h| ShownResult {
                     doc: h.doc,
                     rank: h.rank,
-                    url: h.url.clone(),
-                    title: h.title.clone(),
+                    url: h.url.to_string(),
+                    title: h.title.to_string(),
                     snippet: h.snippet.clone(),
                 })
                 .collect(),
@@ -1987,6 +2201,137 @@ mod tests {
             snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
         };
         assert_eq!(count("serve.degraded.deadline_retrieval"), 1);
+    }
+
+    /// Satellite of the retrieval fast path: with the shared retrieval
+    /// cache on (the default), N threads over M shards replay
+    /// byte-identically to the serial engine (which has no cache), and
+    /// `serve.cache.hit + serve.cache.miss` reconciles exactly with the
+    /// number of searches issued.
+    #[test]
+    fn retrieval_cache_replay_is_byte_identical_and_counters_reconcile() {
+        let _guard = pws_obs::test_lock();
+        pws_obs::reset();
+        // Augmentation off so every search performs exactly one base
+        // retrieval (the augmented query would add a second, history-
+        // dependent probe and break exact reconciliation).
+        let cfg = EngineConfig { query_augmentation: false, ..EngineConfig::default() };
+        let queries = |u: u32| -> Vec<String> {
+            vec![
+                format!("seafood restaurant u{u}"),
+                format!("restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+                format!("sushi restaurant u{u}"),
+            ]
+        };
+        let log = session_log(&queries, 6);
+        let serial = replay_serial(&log, cfg.clone());
+        let total_searches: u64 = log.iter().map(|(_, qs)| qs.len() as u64).sum();
+        for (shards, threads) in [(1usize, 1usize), (3, 4), (8, 4)] {
+            pws_obs::reset();
+            let sharded = replay_sharded(&log, cfg.clone(), shards, threads);
+            assert_equivalent(
+                &serial,
+                &sharded,
+                &format!("cache on, {shards} shards / {threads} threads"),
+            );
+            let snap = pws_obs::snapshot();
+            let count = |name: &str| {
+                snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+            };
+            let hits = count("serve.cache.hit");
+            let misses = count("serve.cache.miss");
+            assert_eq!(
+                hits + misses,
+                total_searches,
+                "every search probes the cache exactly once \
+                 ({shards} shards / {threads} threads)"
+            );
+            // Each user repeats "seafood restaurant u{u}" once, so at
+            // least one probe per user must hit (the repeat), even
+            // under maximal racing.
+            assert!(hits >= 1, "repeated queries must produce cache hits");
+        }
+    }
+
+    /// The cache is observable per query: the first retrieval of a
+    /// token sequence misses, the second hits, and the trace records
+    /// which one happened. Without a cache the stamp stays `None`.
+    #[test]
+    fn trace_stamps_retrieval_cache_hit() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        let (turn_miss, t1) = e.search_traced(UserId(0), "seafood restaurant");
+        assert_eq!(t1.cache_hit, Some(false), "cold cache: first probe misses");
+        let (turn_hit, t2) = e.search_traced(UserId(1), "seafood restaurant");
+        assert_eq!(t2.cache_hit, Some(true), "second identical query hits");
+        // Analysis-equivalent surface forms share one entry.
+        let (_, t3) = e.search_traced(UserId(2), "Seafood  RESTAURANT");
+        assert_eq!(t3.cache_hit, Some(true), "key is the analyzed token sequence");
+        // A cached turn is byte-identical to the uncached one apart
+        // from user id (different users, same query, no learned state).
+        let page = |t: &SearchTurn| -> Vec<(u32, usize, String)> {
+            t.hits.iter().map(|h| (h.doc, h.rank, format!("{:.17e}", h.score))).collect()
+        };
+        assert_eq!(page(&turn_miss), page(&turn_hit));
+        let e2 = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { retrieval_cache_capacity: 0, ..ServeConfig::default() },
+        );
+        let (_, t4) = e2.search_traced(UserId(0), "seafood restaurant");
+        assert_eq!(t4.cache_hit, None, "no cache configured → no stamp");
+    }
+
+    #[test]
+    fn cache_invalidation_forces_fresh_retrieval() {
+        let _guard = pws_obs::test_lock();
+        pws_obs::reset();
+        let idx = index();
+        let w = world();
+        let cfg = EngineConfig { query_augmentation: false, ..EngineConfig::default() };
+        let e = ServingEngine::new(&idx, &w, cfg, ServeConfig::default());
+        e.search(UserId(0), "seafood restaurant"); // miss
+        e.search(UserId(1), "seafood restaurant"); // hit
+        e.invalidate_retrieval_cache();
+        e.search(UserId(2), "seafood restaurant"); // stale epoch → miss
+        e.search(UserId(3), "seafood restaurant"); // re-populated → hit
+        let snap = pws_obs::snapshot();
+        let count = |name: &str| {
+            snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+        };
+        assert_eq!(count("serve.cache.miss"), 2);
+        assert_eq!(count("serve.cache.hit"), 2);
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicts_lru() {
+        let _guard = pws_obs::test_lock();
+        pws_obs::reset();
+        let cache = ShardedRetrievalCache::new(8); // 1 entry per lock shard
+        for i in 0..100u32 {
+            let tokens = vec![format!("term{i}")];
+            cache.put(&tokens, 10, &[]);
+            assert!(
+                cache.get(&tokens, 10).is_some(),
+                "just-inserted entry must be resident"
+            );
+        }
+        assert!(cache.len() <= 8, "capacity bound violated: {}", cache.len());
+        let snap = pws_obs::snapshot();
+        let evictions = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "serve.cache.evict")
+            .map(|s| s.count)
+            .unwrap_or(0);
+        assert!(evictions >= 92, "100 inserts into 8 slots evict at least 92");
+        // Pool size is part of the key: same tokens, different k, miss.
+        let tokens = vec!["term99".to_string()];
+        assert!(cache.get(&tokens, 10).is_some());
+        assert!(cache.get(&tokens, 20).is_none());
     }
 
     #[test]

@@ -50,8 +50,8 @@ fn main() {
                 .map(|h| ShownResult {
                     doc: h.doc,
                     rank: h.rank,
-                    url: h.url.clone(),
-                    title: h.title.clone(),
+                    url: h.url.to_string(),
+                    title: h.title.to_string(),
                     snippet: h.snippet.clone(),
                 })
                 .collect(),

@@ -42,6 +42,16 @@ fi
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 
+echo "==> retrieval fast-path correctness gate (retrieval_bench --smoke)"
+# The DAAT/MaxScore fast path and the serving layer's retrieval cache
+# must return bit-identical results to the naive reference scorer on the
+# smoke experiment world; any disagreement exits non-zero.
+if [[ $fast -eq 0 ]]; then
+    cargo run -q --release -p pws-bench --bin retrieval_bench --offline -- --smoke
+else
+    cargo run -q -p pws-bench --bin retrieval_bench --offline -- --smoke
+fi
+
 echo "==> stage-name registry gate (docs/ARCHITECTURE.md)"
 # Every stage name used in production code must be documented in the
 # registry table. Names under test./docs. are reserved for tests and
