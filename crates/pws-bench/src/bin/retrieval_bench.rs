@@ -1,11 +1,14 @@
-//! Base-retrieval fast-path benchmark: naive vs heap/MaxScore vs cached.
+//! Base-retrieval benchmark: naive vs heap/MaxScore vs cached vs the
+//! segmented on-disk index (Block-Max WAND).
 //!
 //! ```text
-//! cargo run -p pws-bench --release --bin retrieval_bench             # paper scale
-//! cargo run -p pws-bench --release --bin retrieval_bench -- --smoke  # CI gate
+//! cargo run -p pws-bench --release --bin retrieval_bench                  # paper scale (8k docs)
+//! cargo run -p pws-bench --release --bin retrieval_bench -- --scale large # 1M docs, on-disk segments
+//! cargo run -p pws-bench --release --bin retrieval_bench -- --smoke      # CI gate
 //! ```
 //!
-//! Three backends answer the same query workload over the same index:
+//! At paper scale, four backends answer the same query workload over the
+//! same corpus:
 //!
 //! * **naive** — [`SearchEngine::search_naive`], the retained
 //!   term-at-a-time reference scorer (score every matching document,
@@ -14,24 +17,37 @@
 //!   top-k heap with MaxScore pruning;
 //! * **cached** — the fast path behind `pws-serve`'s
 //!   [`ShardedRetrievalCache`] (analyze once, probe, fall through on
-//!   miss), the configuration the serving layer runs.
+//!   miss), the configuration the serving layer runs;
+//! * **segmented** — [`SegmentedIndex`] over on-disk segment files
+//!   (written, then re-opened), answering with Block-Max WAND.
 //!
 //! Every query's results are compared across backends first —
 //! **bit-identical scores and identical pages are required**, and any
 //! disagreement exits non-zero (this is the correctness gate
-//! `scripts/check.sh` runs in `--smoke` mode). Then each backend is
-//! timed under the `bench.retrieval.{naive,fast,cached}` stages and the
-//! report (QPS + p50/p95/p99 per backend) goes to stdout and
-//! `results/BENCH_retrieval.json`.
+//! `scripts/check.sh` runs in `--smoke` mode; smoke mode also exercises
+//! the full segment write → load → search round trip and checks that a
+//! corrupted segment file fails with a typed error). Then each backend
+//! is timed under the `bench.retrieval.*` stages.
+//!
+//! `--scale large` builds a ≥1M-document corpus into on-disk segments
+//! (parallel, thread-count-invariant), records build time and index
+//! size, verifies Block-Max WAND against exhaustive scoring on every
+//! fixture query, and measures QPS/p50/p95/p99 through the segmented
+//! backend. All scales merge into `results/BENCH_retrieval.json` under
+//! a `scales` array keyed by scale name.
 //!
 //! [`SearchEngine::search`]: pws_index::SearchEngine::search
 //! [`SearchEngine::search_naive`]: pws_index::SearchEngine::search_naive
+//! [`SegmentedIndex`]: pws_index::SegmentedIndex
 
 use pws_core::RetrievalCache;
+use pws_corpus::{CorpusGen, CorpusSpec, Query, QueryGen, QuerySpec};
 use pws_eval::{ExperimentSpec, ExperimentWorld};
-use pws_index::{SearchEngine, SearchHit};
+use pws_geo::{WorldGen, WorldSpec};
+use pws_index::{Segment, SegmentBuilder, SearchEngine, SearchHit, SegmentedIndex};
 use pws_serve::ShardedRetrievalCache;
 use std::fs;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Pool size per query — the serving layer's default rerank pool.
@@ -39,6 +55,9 @@ const POOL_K: usize = 30;
 
 /// Minimum measured queries per backend (rounds are sized to reach it).
 const MIN_MEASURED_QUERIES: usize = 2_000;
+
+/// Documents per segment at the large tier: 1M docs → 16 segments.
+const LARGE_DOCS_PER_SEGMENT: usize = 65_536;
 
 type BackendFn<'a> = Box<dyn Fn(&str) -> Vec<SearchHit> + 'a>;
 
@@ -51,6 +70,7 @@ struct Backend<'a> {
 fn backends<'a>(
     engine: &'a SearchEngine,
     cache: &'a ShardedRetrievalCache,
+    segmented: &'a SegmentedIndex,
 ) -> Vec<Backend<'a>> {
     vec![
         Backend {
@@ -77,6 +97,11 @@ fn backends<'a>(
                 }
             }),
         },
+        Backend {
+            name: "segmented",
+            stage: "bench.retrieval.segmented",
+            run: Box::new(move |q| segmented.search(q, POOL_K)),
+        },
     ]
 }
 
@@ -93,7 +118,66 @@ fn hits_equal(a: &[SearchHit], b: &[SearchHit]) -> bool {
         })
 }
 
-fn verify(world: &ExperimentWorld, cache: &ShardedRetrievalCache) -> usize {
+/// Split the world's corpus into on-disk segments, re-open them from
+/// their files, and assemble a [`SegmentedIndex`] — so everything the
+/// segmented backend serves has round-tripped through the format.
+fn segmented_from_disk(
+    world: &ExperimentWorld,
+    dir: &Path,
+    num_segments: usize,
+) -> (SegmentedIndex, f64) {
+    let build_start = Instant::now();
+    let _ = fs::remove_dir_all(dir);
+    fs::create_dir_all(dir).expect("create segment dir");
+    let per = world.corpus.len().div_ceil(num_segments.max(1)).max(1);
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for (s, chunk) in world.corpus.docs.chunks(per).enumerate() {
+        let mut b = SegmentBuilder::new(Default::default());
+        for d in chunk {
+            b.add(&d.url, &d.title, &d.body);
+        }
+        let seg = b.finish_segment().expect("segment build");
+        let path = dir.join(format!("seg{s:03}.pws"));
+        seg.write_file(&path).expect("segment write");
+        paths.push(path);
+    }
+    let segments: Vec<Segment> =
+        paths.iter().map(|p| Segment::open(p).expect("segment open")).collect();
+    let idx = SegmentedIndex::from_segments(segments).expect("assemble segmented index");
+    (idx, build_start.elapsed().as_secs_f64())
+}
+
+/// Corrupting or truncating a segment file must produce a typed load
+/// error, never a panic and never a successful load.
+fn check_corruption_detection(dir: &Path) -> Result<(), String> {
+    let path = fs::read_dir(dir)
+        .map_err(|e| e.to_string())?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "pws"))
+        .ok_or("no segment file to corrupt")?;
+    let bytes = fs::read(&path).map_err(|e| e.to_string())?;
+    // Flip one byte near the middle (inside some section payload).
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    if Segment::load_bytes(bad).is_ok() {
+        return Err("corrupted segment loaded successfully".into());
+    }
+    // Truncations at every prefix of the header plus a payload cut.
+    for cut in [0, 4, 9, 17, bytes.len() / 3, bytes.len() - 1] {
+        if Segment::load_bytes(bytes[..cut.min(bytes.len())].to_vec()).is_ok() {
+            return Err(format!("truncated segment (at {cut}) loaded successfully"));
+        }
+    }
+    Ok(())
+}
+
+fn verify(
+    world: &ExperimentWorld,
+    cache: &ShardedRetrievalCache,
+    segmented: &SegmentedIndex,
+) -> usize {
     let mut disagreements = 0;
     for q in &world.queries {
         let naive = world.engine.search_naive(&q.text, POOL_K);
@@ -118,12 +202,25 @@ fn verify(world: &ExperimentWorld, cache: &ShardedRetrievalCache) -> usize {
         if !hits_equal(&naive, &miss) || !hits_equal(&naive, &hit) {
             eprintln!("DISAGREEMENT cached vs naive on query {:?}", q.text);
             disagreements += 1;
+            continue;
+        }
+        // Segmented (from disk): Block-Max WAND must match both the
+        // in-memory naive reference and its own exhaustive scorer.
+        let seg = segmented.search(&q.text, POOL_K);
+        if !hits_equal(&naive, &seg) {
+            eprintln!("DISAGREEMENT segmented vs naive on query {:?}", q.text);
+            disagreements += 1;
+            continue;
+        }
+        if !hits_equal(&seg, &segmented.search_exhaustive(&q.text, POOL_K)) {
+            eprintln!("DISAGREEMENT segmented BMW vs exhaustive on query {:?}", q.text);
+            disagreements += 1;
         }
     }
     disagreements
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct BackendReport {
     backend: String,
     queries: u64,
@@ -134,30 +231,116 @@ struct BackendReport {
     mean_us: f64,
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct IndexReport {
+    segments: usize,
+    build_secs: f64,
+    index_bytes: u64,
+    vocab_terms: usize,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
 struct Report {
     scale: String,
     num_docs: usize,
     num_query_templates: usize,
     pool_k: usize,
+    /// Segmented-index build/size stats (`null` in legacy entries).
+    index: Option<IndexReport>,
     backends: Vec<BackendReport>,
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+/// The on-disk shape of `results/BENCH_retrieval.json`: one entry per
+/// benchmark scale, accumulated across runs.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ScalesFile {
+    scales: Vec<Report>,
+}
 
-    let (scale, spec) = if smoke {
-        ("smoke", ExperimentSpec::small())
-    } else {
-        ("paper", ExperimentSpec::default_paper())
+/// Time one backend over `rounds` passes of the workload.
+fn time_backend(
+    name: &'static str,
+    stage_name: &'static str,
+    queries: &[Query],
+    rounds: usize,
+    run: &dyn Fn(&str) -> Vec<SearchHit>,
+) -> BackendReport {
+    // Warmup round: page in postings, fill caches (so cached backends'
+    // measured numbers reflect steady-state hit traffic).
+    for q in queries {
+        std::hint::black_box(run(&q.text));
+    }
+    let stage = pws_obs::stage(stage_name);
+    let mut samples: Vec<u64> = Vec::with_capacity(rounds * queries.len());
+    let wall = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            let span = stage.span();
+            std::hint::black_box(run(&q.text));
+            samples.push(span.finish());
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    // Exact percentiles from the raw samples — the registry's log₂
+    // histogram buckets are too coarse to separate the backends.
+    samples.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+        samples[idx] as f64 / 1_000.0
     };
+    let report = BackendReport {
+        backend: name.to_string(),
+        queries: samples.len() as u64,
+        qps: samples.len() as f64 / elapsed,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_us: samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1_000.0,
+    };
+    println!(
+        "{:<10} {:>7} queries  {:>10.0} qps  p50 {:>8.1}µs  p95 {:>8.1}µs  p99 {:>8.1}µs",
+        report.backend, report.queries, report.qps, report.p50_us, report.p95_us, report.p99_us
+    );
+    report
+}
+
+/// Merge `report` into `results/BENCH_retrieval.json`, replacing any
+/// existing entry for the same scale and preserving the others (so the
+/// paper and large tiers accumulate into one file).
+fn write_report(report: Report) {
+    let path = "results/BENCH_retrieval.json";
+    let mut scales: Vec<Report> = fs::read_to_string(path)
+        .ok()
+        .and_then(|old| serde_json::from_str::<ScalesFile>(&old).ok())
+        .map(|f| f.scales)
+        .unwrap_or_default();
+    scales.retain(|s| s.scale != report.scale);
+    scales.push(report);
+    scales.sort_by(|a, b| a.scale.cmp(&b.scale));
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(&ScalesFile { scales }) {
+        Ok(json) => {
+            if let Err(e) = fs::write(path, json) {
+                eprintln!("warn: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("warn: could not serialize report: {e}"),
+    }
+}
+
+/// The paper-scale (and smoke) flow: in-memory world + disk-round-trip
+/// segmented index, full cross-backend verification, then timing.
+fn run_world_scale(scale: &'static str, spec: ExperimentSpec, smoke: bool) {
     eprintln!("building {scale} world…");
     let world = ExperimentWorld::build(spec);
+    let seg_dir = std::env::temp_dir().join(format!("pws_retrieval_bench_{scale}"));
+    let (segmented, build_secs) = segmented_from_disk(&world, &seg_dir, 4);
 
     // ── Correctness gate ─────────────────────────────────────────────
     let verify_cache = ShardedRetrievalCache::new(4096);
-    let disagreements = verify(&world, &verify_cache);
+    let disagreements = verify(&world, &verify_cache, &segmented);
     if disagreements > 0 {
         eprintln!(
             "FAIL: {disagreements} of {} queries disagree between backends",
@@ -166,13 +349,19 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "correctness: fast path and cache bit-identical to naive scorer \
-         on all {} queries",
+        "correctness: fast path, cache, and on-disk segmented index (BMW) \
+         bit-identical to naive scorer on all {} queries",
         world.queries.len()
     );
+    if let Err(e) = check_corruption_detection(&seg_dir) {
+        eprintln!("FAIL: segment corruption not detected: {e}");
+        std::process::exit(1);
+    }
+    println!("correctness: corrupted/truncated segment files fail load with typed errors");
     if smoke {
-        // The gate is the point of smoke mode; skip the timing runs so
+        // The gates are the point of smoke mode; skip the timing runs so
         // check.sh stays fast.
+        let _ = fs::remove_dir_all(&seg_dir);
         return;
     }
 
@@ -180,64 +369,162 @@ fn main() {
     let rounds = MIN_MEASURED_QUERIES.div_ceil(world.queries.len()).max(1);
     let bench_cache = ShardedRetrievalCache::new(4096);
     let mut reports = Vec::new();
-    for b in backends(&world.engine, &bench_cache) {
-        // Warmup round: page in postings, fill the cache (so the cached
-        // backend's measured numbers reflect steady-state hit traffic —
-        // the regime the serving layer runs in).
-        for q in &world.queries {
-            std::hint::black_box((b.run)(&q.text));
-        }
-        let stage = pws_obs::stage(b.stage);
-        let mut samples: Vec<u64> = Vec::with_capacity(rounds * world.queries.len());
-        let wall = Instant::now();
-        for _ in 0..rounds {
-            for q in &world.queries {
-                let span = stage.span();
-                std::hint::black_box((b.run)(&q.text));
-                samples.push(span.finish());
-            }
-        }
-        let elapsed = wall.elapsed().as_secs_f64();
-        // Exact percentiles from the raw samples — the registry's log₂
-        // histogram buckets are too coarse to separate the backends.
-        samples.sort_unstable();
-        let pct = |q: f64| -> f64 {
-            let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
-            samples[idx] as f64 / 1_000.0
-        };
-        let report = BackendReport {
-            backend: b.name.to_string(),
-            queries: samples.len() as u64,
-            qps: samples.len() as f64 / elapsed,
-            p50_us: pct(0.50),
-            p95_us: pct(0.95),
-            p99_us: pct(0.99),
-            mean_us: samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1_000.0,
-        };
-        println!(
-            "{:<8} {:>7} queries  {:>10.0} qps  p50 {:>8.1}µs  p95 {:>8.1}µs  p99 {:>8.1}µs",
-            report.backend, report.queries, report.qps, report.p50_us, report.p95_us,
-            report.p99_us
-        );
-        reports.push(report);
+    for b in backends(&world.engine, &bench_cache, &segmented) {
+        reports.push(time_backend(b.name, b.stage, &world.queries, rounds, &b.run));
     }
+    let _ = fs::remove_dir_all(&seg_dir);
 
-    let report = Report {
+    write_report(Report {
         scale: scale.to_string(),
         num_docs: world.corpus.len(),
         num_query_templates: world.queries.len(),
         pool_k: POOL_K,
+        index: Some(IndexReport {
+            segments: segmented.num_segments(),
+            build_secs,
+            index_bytes: segmented.index_bytes() as u64,
+            vocab_terms: segmented.vocab_size(),
+        }),
         backends: reports,
-    };
-    let _ = fs::create_dir_all("results");
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
-            if let Err(e) = fs::write("results/BENCH_retrieval.json", json) {
-                eprintln!("warn: could not write results/BENCH_retrieval.json: {e}");
-            } else {
-                eprintln!("wrote results/BENCH_retrieval.json");
-            }
+    });
+}
+
+/// The large tier: stream a ≥1M-document corpus straight into parallel
+/// segment builds (never holding the corpus in memory), persist every
+/// segment, re-open from disk, verify BMW vs exhaustive on the fixture
+/// workload, then measure the segmented backend.
+fn run_large() {
+    let spec = CorpusSpec::large();
+    let num_docs = spec.num_docs;
+    let seed = 42u64;
+    eprintln!("building large world ({num_docs} docs)…");
+    let ontology = WorldGen::new(seed).generate(&WorldSpec::default_world());
+    let docs = CorpusGen::new(seed.wrapping_add(1)).doc_gen(spec, &ontology);
+    let queries = QueryGen::new(seed.wrapping_add(3)).generate(&QuerySpec::default_workload());
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let build_start = Instant::now();
+    let built = SegmentedIndex::build_parallel(
+        Default::default(),
+        num_docs,
+        LARGE_DOCS_PER_SEGMENT,
+        threads,
+        |i| {
+            let d = docs.doc(i);
+            (d.url, d.title, d.body)
+        },
+    )
+    .expect("large segmented build");
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    // Persist every segment and re-open from disk — the benchmark runs
+    // against files, not against the build's in-memory byte buffers.
+    let seg_dir = std::env::temp_dir().join("pws_retrieval_bench_large");
+    let _ = fs::remove_dir_all(&seg_dir);
+    fs::create_dir_all(&seg_dir).expect("create segment dir");
+    let mut paths = Vec::new();
+    for (s, seg) in built.segments().iter().enumerate() {
+        let path = seg_dir.join(format!("seg{s:03}.pws"));
+        seg.write_file(&path).expect("segment write");
+        paths.push(path);
+    }
+    drop(built);
+    let load_start = Instant::now();
+    let segments: Vec<Segment> =
+        paths.iter().map(|p| Segment::open(p).expect("segment open")).collect();
+    let segmented = SegmentedIndex::from_segments(segments).expect("assemble");
+    let load_secs = load_start.elapsed().as_secs_f64();
+    let index_bytes = segmented.index_bytes() as u64;
+    eprintln!(
+        "built {} segments over {} docs in {build_secs:.1}s \
+         ({:.1} MB on disk, loaded in {load_secs:.2}s)",
+        segmented.num_segments(),
+        segmented.doc_count(),
+        index_bytes as f64 / 1e6
+    );
+
+    // ── Correctness gate: BMW vs exhaustive on every fixture query ───
+    let mut disagreements = 0;
+    for q in &queries {
+        let bmw = segmented.search(&q.text, POOL_K);
+        let full = segmented.search_exhaustive(&q.text, POOL_K);
+        if !hits_equal(&bmw, &full) {
+            eprintln!("DISAGREEMENT BMW vs exhaustive on query {:?}", q.text);
+            disagreements += 1;
         }
-        Err(e) => eprintln!("warn: could not serialize report: {e}"),
+    }
+    if disagreements > 0 {
+        eprintln!("FAIL: {disagreements} of {} queries disagree", queries.len());
+        std::process::exit(1);
+    }
+    println!(
+        "correctness: Block-Max WAND bit-identical to exhaustive scoring \
+         on all {} queries at {} docs",
+        queries.len(),
+        segmented.doc_count()
+    );
+
+    // ── Timing ───────────────────────────────────────────────────────
+    let rounds = MIN_MEASURED_QUERIES.div_ceil(queries.len()).max(1);
+    let bench_cache = ShardedRetrievalCache::new(4096);
+    let mut reports = Vec::new();
+    reports.push(time_backend(
+        "segmented",
+        "bench.retrieval.segmented",
+        &queries,
+        rounds,
+        &|q| segmented.search(q, POOL_K),
+    ));
+    reports.push(time_backend(
+        "seg+cache",
+        "bench.retrieval.segcached",
+        &queries,
+        rounds,
+        &|q| {
+            let tokens = segmented.analyze_text(q);
+            if let Some(hits) = bench_cache.get(&tokens, POOL_K) {
+                hits
+            } else {
+                let hits = segmented.search_tokens(&tokens, POOL_K);
+                bench_cache.put(&tokens, POOL_K, &hits);
+                hits
+            }
+        },
+    ));
+    let _ = fs::remove_dir_all(&seg_dir);
+
+    write_report(Report {
+        scale: "large".to_string(),
+        num_docs,
+        num_query_templates: queries.len(),
+        pool_k: POOL_K,
+        index: Some(IndexReport {
+            segments: segmented.num_segments(),
+            build_secs,
+            index_bytes,
+            vocab_terms: segmented.vocab_size(),
+        }),
+        backends: reports,
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if smoke { "smoke" } else { "paper" });
+
+    match scale {
+        "smoke" => run_world_scale("smoke", ExperimentSpec::small(), true),
+        "paper" => run_world_scale("paper", ExperimentSpec::default_paper(), smoke),
+        "large" => run_large(),
+        other => {
+            eprintln!("unknown --scale {other:?} (expected smoke | paper | large)");
+            std::process::exit(2);
+        }
     }
 }

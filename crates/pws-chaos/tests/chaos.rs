@@ -254,6 +254,71 @@ fn inert_plan_is_byte_identical_to_no_plan() {
     assert_eq!(inert.counts(), pws_chaos::ChaosCounts::default());
 }
 
+/// The same six documents as [`index`], as a two-segment on-disk index
+/// (docs 0–2 / 3–5 — global ids identical, so transcripts compare).
+fn segmented_index() -> pws_index::SegmentedIndex {
+    let docs: [(&str, &str, &str); 6] = [
+        ("http://a.test/0", "Seafood guide",
+            "seafood restaurant guide with lobster in alden harbor area"),
+        ("http://b.test/1", "Seafood lakemoor",
+            "seafood restaurant in lakemoor with fresh oysters"),
+        ("http://c.test/2", "Sushi place",
+            "sushi restaurant downtown with omakase menu in alden"),
+        ("http://d.test/3", "Steak house",
+            "steak restaurant grill with ribeye specials"),
+        ("http://e.test/4", "Pizza lakemoor",
+            "pizza restaurant in lakemoor stone oven margherita"),
+        ("http://f.test/5", "Noodle bar",
+            "noodle restaurant with ramen and broth in alden"),
+    ];
+    let mut segments = Vec::new();
+    for chunk in docs.chunks(3) {
+        let mut b = pws_index::SegmentBuilder::new(Default::default());
+        for (url, title, body) in chunk {
+            b.add(url, title, body);
+        }
+        segments.push(b.finish_segment().expect("segment"));
+    }
+    pws_index::SegmentedIndex::from_segments(segments).expect("segmented index")
+}
+
+/// Enabling the segmented on-disk backend changes nothing the chaos
+/// suite can observe: fault-free replays are byte-identical to the
+/// in-memory backend's, and under an injected fault plan the healthy
+/// users still rank byte-identically to the fault-free baseline.
+#[test]
+fn chaos_suite_is_byte_identical_on_segmented_backend() {
+    quiet_injected_panics();
+    let idx = index();
+    let seg = segmented_index();
+    let w = world();
+    let users = 24u32;
+    let serve_cfg =
+        || ServeConfig { shards: 4, stats_refresh_every: 1, ..ServeConfig::default() };
+    let mem = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg());
+    let baseline = replay(&mem, users);
+    let on_seg = ServingEngine::new(&seg, &w, EngineConfig::default(), serve_cfg());
+    assert_eq!(
+        baseline,
+        replay(&on_seg, users),
+        "fault-free replay must not depend on the backend"
+    );
+    let plan = Arc::new(
+        ChaosSpec::parse("seed=42,panic=16,delay=24:100us,poison=32").unwrap().build(),
+    );
+    let chaotic = ServingEngine::new(&seg, &w, EngineConfig::default(), serve_cfg())
+        .with_fault_plan(plan.clone());
+    let chaotic = replay(&chaotic, users);
+    let faulted = plan.faulted_users();
+    assert!(!faulted.is_empty(), "plan must touch someone");
+    for u in (0..users).filter(|u| !faulted.contains(u)) {
+        assert_eq!(
+            baseline[&u], chaotic[&u],
+            "untouched user {u} diverged on the segmented backend"
+        );
+    }
+}
+
 /// Injected latency plus a deadline budget: every delayed query
 /// degrades at a deadline checkpoint — deterministically, because the
 /// injected delay (50ms) dwarfs the budget (5ms) — and still ranks.

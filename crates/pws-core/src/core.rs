@@ -22,7 +22,7 @@ use pws_click::{Impression, UserId};
 use pws_concepts::{ConceptMemo, QueryConceptOntology};
 use pws_entropy::{Effectiveness, QueryStats};
 use pws_geo::{LocationMatcher, LocationOntology};
-use pws_index::{SearchEngine, SearchHit};
+use pws_index::{RetrievalBackend, SearchHit};
 use pws_obs::trace::{BetaProvenance, BetaTrace, ConceptTrace, QueryTrace, ResultTrace};
 use pws_profile::{mine_pairs, FeatureExtractor, GeoContext, ResultFeatureInput};
 use pws_ranksvm::PairwiseTrainer;
@@ -122,7 +122,7 @@ const CONCEPT_MEMO_CAPACITY: usize = 512;
 /// `&self`, so one `EngineCore` can serve any number of concurrent
 /// requests as long as each request brings its own [`UserState`].
 pub struct EngineCore<'a> {
-    base: &'a SearchEngine,
+    base: &'a dyn RetrievalBackend,
     world: &'a LocationOntology,
     matcher: LocationMatcher,
     cfg: EngineConfig,
@@ -139,7 +139,11 @@ pub struct EngineCore<'a> {
 
 impl<'a> EngineCore<'a> {
     /// Build the shared core over an already-built baseline index.
-    pub fn new(base: &'a SearchEngine, world: &'a LocationOntology, cfg: EngineConfig) -> Self {
+    pub fn new(
+        base: &'a dyn RetrievalBackend,
+        world: &'a LocationOntology,
+        cfg: EngineConfig,
+    ) -> Self {
         let matcher = LocationMatcher::build(world);
         let trainer = PairwiseTrainer::new(cfg.train_cfg);
         EngineCore {

@@ -18,7 +18,9 @@ use std::collections::HashMap;
 
 /// The engine: baseline retrieval + per-user personalization state.
 ///
-/// Borrows an immutable baseline [`pws_index::SearchEngine`] and location
+/// Borrows an immutable baseline retrieval backend (the in-memory
+/// [`pws_index::SearchEngine`] or the segmented on-disk
+/// [`pws_index::SegmentedIndex`], via [`pws_index::RetrievalBackend`]) and location
 /// ontology; owns all per-user learned state. Every
 /// [`search`](Self::search) / [`observe`](Self::observe) stage records
 /// wall-clock latency into the process-global [`pws_obs`] registry under
@@ -55,7 +57,7 @@ pub struct PersonalizedSearchEngine<'a> {
 impl<'a> PersonalizedSearchEngine<'a> {
     /// Build an engine over an already-built baseline index.
     pub fn new(
-        base: &'a pws_index::SearchEngine,
+        base: &'a dyn pws_index::RetrievalBackend,
         world: &'a pws_geo::LocationOntology,
         cfg: EngineConfig,
     ) -> Self {

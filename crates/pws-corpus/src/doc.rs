@@ -16,7 +16,7 @@ impl DocId {
 }
 
 /// One synthetic web document.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Document {
     /// Dense id, equal to the document's position in [`Corpus::docs`].
     pub id: DocId,

@@ -54,6 +54,22 @@ impl CorpusSpec {
         }
     }
 
+    /// Large corpus tier: one million documents for the segmented
+    /// on-disk index benchmarks (`retrieval_bench --scale large`).
+    /// Bodies are shorter than the default tier so the stored-document
+    /// sections stay disk-friendly at this scale; everything else keeps
+    /// the default shape.
+    pub fn large() -> Self {
+        CorpusSpec {
+            num_docs: 1_000_000,
+            num_topics: 12,
+            localized_prob: 0.55,
+            body_len: (40, 100),
+            topical_density: 0.45,
+            topic_skew: 0.7,
+        }
+    }
+
     /// Small corpus for tests/doc examples.
     pub fn small() -> Self {
         CorpusSpec {
@@ -123,6 +139,43 @@ impl CorpusGen {
             docs.push(doc);
         }
         Corpus { docs, seed: self.seed }
+    }
+
+    /// A random-access view of the corpus this generator would produce:
+    /// any document can be generated independently by index, so corpus
+    /// shards can be built in parallel (or streamed without ever holding
+    /// the whole corpus in memory).
+    ///
+    /// Note the two entry points are distinct deterministic corpora:
+    /// [`CorpusGen::generate`] threads one RNG through all documents,
+    /// while [`DocGen`] seeds a fresh RNG per document — same shape,
+    /// different bytes. Experiments pin whichever they were run with.
+    pub fn doc_gen<'w>(&self, spec: CorpusSpec, world: &'w LocationOntology) -> DocGen<'w> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let topics = Topics::first(spec.num_topics);
+        let cities: Vec<LocId> = world.cities().collect();
+        assert!(!cities.is_empty(), "world has no cities");
+        let weights: Vec<f64> =
+            (0..topics.len()).map(|k| 1.0 / ((k + 1) as f64).powf(spec.topic_skew)).collect();
+        let total_w: f64 = weights.iter().sum();
+        let domains: Vec<Vec<String>> = topics
+            .ids()
+            .map(|t| {
+                (0..6)
+                    .map(|i| format!("{}-{}{}.test", topics.name(t), word(&mut rng), i))
+                    .collect()
+            })
+            .collect();
+        DocGen {
+            gen: CorpusGen { seed: self.seed },
+            spec,
+            world,
+            topics,
+            cities,
+            weights,
+            total_w,
+            domains,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -214,6 +267,71 @@ impl CorpusGen {
 
         Document { id, url, domain, title, body, topic, subtopic, city }
     }
+}
+
+/// Random-access corpus view: document `i` is a pure function of
+/// `(seed, spec, world, i)`, generated from its own per-document RNG.
+/// Two calls to [`DocGen::doc`] with the same index — from any thread,
+/// in any order — produce identical documents, which is what makes
+/// parallel segment building thread-count-invariant.
+#[derive(Debug)]
+pub struct DocGen<'w> {
+    gen: CorpusGen,
+    spec: CorpusSpec,
+    world: &'w LocationOntology,
+    topics: Topics,
+    cities: Vec<LocId>,
+    weights: Vec<f64>,
+    total_w: f64,
+    domains: Vec<Vec<String>>,
+}
+
+impl DocGen<'_> {
+    /// Number of documents in the corpus (`spec.num_docs`).
+    pub fn len(&self) -> usize {
+        self.spec.num_docs
+    }
+
+    /// Is the corpus empty?
+    pub fn is_empty(&self) -> bool {
+        self.spec.num_docs == 0
+    }
+
+    /// The corpus shape.
+    pub fn spec(&self) -> &CorpusSpec {
+        &self.spec
+    }
+
+    /// Generate document `i` (0-based; `i < len()`).
+    pub fn doc(&self, i: usize) -> Document {
+        assert!(i < self.spec.num_docs, "doc index {i} out of range");
+        let mut rng = StdRng::seed_from_u64(splitmix64(self.gen.seed ^ (i as u64)));
+        let topic = sample_topic(&mut rng, &self.weights, self.total_w);
+        let city = if rng.gen_bool(self.spec.localized_prob) {
+            Some(self.cities[rng.gen_range(0..self.cities.len())])
+        } else {
+            None
+        };
+        self.gen.generate_doc(
+            &mut rng,
+            DocId(i as u32),
+            topic,
+            city,
+            &self.spec,
+            &self.topics,
+            self.world,
+            &self.domains[topic.index()],
+        )
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive per-document seeds so
+/// neighbouring documents don't share RNG streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Sample a topic index from the weight table.
@@ -319,6 +437,54 @@ mod tests {
             assert!(d.url.contains(&d.domain));
             assert!(urls.insert(d.url.clone()), "dup url {}", d.url);
         }
+    }
+
+    #[test]
+    fn doc_gen_is_order_and_repeat_invariant() {
+        let w = small_world();
+        let g = CorpusGen::new(5).doc_gen(CorpusSpec::small(), &w);
+        assert_eq!(g.len(), CorpusSpec::small().num_docs);
+        // Out-of-order and repeated access produce identical documents.
+        let d7 = g.doc(7);
+        let d3 = g.doc(3);
+        assert_eq!(g.doc(7), d7);
+        assert_eq!(g.doc(3), d3);
+        assert_eq!(d7.id, DocId(7));
+        // A second generator with the same seed agrees doc-for-doc.
+        let g2 = CorpusGen::new(5).doc_gen(CorpusSpec::small(), &w);
+        for i in [0, 1, 42, 299] {
+            assert_eq!(g.doc(i), g2.doc(i));
+        }
+        // A different seed differs.
+        let g3 = CorpusGen::new(6).doc_gen(CorpusSpec::small(), &w);
+        assert!((0..20).any(|i| g.doc(i).body != g3.doc(i).body));
+    }
+
+    #[test]
+    fn doc_gen_docs_are_well_formed() {
+        let w = small_world();
+        let spec = CorpusSpec::small();
+        let g = CorpusGen::new(5).doc_gen(spec.clone(), &w);
+        let mut urls = std::collections::HashSet::new();
+        for i in 0..g.len() {
+            let d = g.doc(i);
+            assert_eq!(d.id, DocId(i as u32));
+            assert!(d.url.starts_with("http://"));
+            assert!(urls.insert(d.url.clone()), "dup url {}", d.url);
+            let n = d.body.split_whitespace().count();
+            // Up to 4 city mentions + 1 ancestor mention, each of which
+            // may be a two-word name.
+            assert!(n >= spec.body_len.0 && n <= spec.body_len.1 + 10, "len {n}");
+            if let Some(c) = d.city {
+                assert!(d.full_text().contains(w.name(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn large_spec_is_million_docs() {
+        let spec = CorpusSpec::large();
+        assert!(spec.num_docs >= 1_000_000);
     }
 
     #[test]

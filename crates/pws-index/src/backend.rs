@@ -1,0 +1,105 @@
+//! The retrieval abstraction the personalization layer builds on.
+//!
+//! [`RetrievalBackend`] is the exact surface `pws-core`'s `EngineCore`
+//! consumes from base retrieval: analyze text the way the index does,
+//! run a top-k query (raw or pre-analyzed), and re-score specific
+//! documents against a query. Both the in-memory
+//! [`crate::SearchEngine`] and the on-disk
+//! [`crate::segmented::SegmentedIndex`] implement it with **identical
+//! ranking semantics** (bit-identical scores, ordering, and snippets
+//! over the same corpus), so the serving stack can swap the segmented
+//! backend in without perturbing replay-equivalence or chaos suites.
+
+use crate::search::{SearchEngine, SearchHit};
+use crate::segmented::SegmentedIndex;
+
+/// Base-retrieval operations required by the personalization layer.
+///
+/// Contract (shared by all implementations, and what the equivalence
+/// suites assert): results are ranked by BM25 descending with ties
+/// broken by ascending doc id; `search_tokens(analyze_text(q), k)`
+/// equals `search(q, k)`; `score_docs` returns exactly 0.0 for docs
+/// matching no query term and credits only the last occurrence of a
+/// duplicated doc id.
+pub trait RetrievalBackend: Send + Sync {
+    /// Run the index's analyzer over arbitrary text.
+    fn analyze_text(&self, text: &str) -> Vec<String>;
+
+    /// Top-k query over raw query text.
+    fn search(&self, query: &str, k: usize) -> Vec<SearchHit>;
+
+    /// Top-k query over pre-analyzed tokens (callers that key caches on
+    /// analyzed tokens analyze exactly once).
+    fn search_tokens(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit>;
+
+    /// BM25 scores of `query` for specific doc ids (0.0 for docs
+    /// matching no query term).
+    fn score_docs(&self, query: &str, docs: &[u32]) -> Vec<f64>;
+}
+
+impl RetrievalBackend for SearchEngine {
+    fn analyze_text(&self, text: &str) -> Vec<String> {
+        SearchEngine::analyze_text(self, text)
+    }
+
+    fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        SearchEngine::search(self, query, k)
+    }
+
+    fn search_tokens(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        SearchEngine::search_tokens(self, q_tokens, k)
+    }
+
+    fn score_docs(&self, query: &str, docs: &[u32]) -> Vec<f64> {
+        SearchEngine::score_docs(self, query, docs)
+    }
+}
+
+impl RetrievalBackend for SegmentedIndex {
+    fn analyze_text(&self, text: &str) -> Vec<String> {
+        SegmentedIndex::analyze_text(self, text)
+    }
+
+    fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        SegmentedIndex::search(self, query, k)
+    }
+
+    fn search_tokens(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        SegmentedIndex::search_tokens(self, q_tokens, k)
+    }
+
+    fn score_docs(&self, query: &str, docs: &[u32]) -> Vec<f64> {
+        SegmentedIndex::score_docs(self, query, docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::search::StoredDoc;
+
+    #[test]
+    fn engine_usable_as_dyn_backend() {
+        let mut b = IndexBuilder::new();
+        b.add(StoredDoc::new(0, "u0", "Crab shack", "fresh seafood lobster daily"));
+        let eng = b.build();
+        let backend: &dyn RetrievalBackend = &eng;
+        let hits = backend.search("seafood", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits, backend.search_tokens(&backend.analyze_text("seafood"), 10));
+        assert!(backend.score_docs("seafood", &[0])[0] > 0.0);
+    }
+
+    #[test]
+    fn segmented_usable_as_dyn_backend() {
+        let mut b = crate::segment::SegmentBuilder::new(Default::default());
+        b.add("u0", "Crab shack", "fresh seafood lobster daily");
+        let idx =
+            SegmentedIndex::from_segments(vec![b.finish_segment().expect("seg")]).expect("idx");
+        let backend: &dyn RetrievalBackend = &idx;
+        let hits = backend.search("seafood", 10);
+        assert_eq!(hits.len(), 1);
+        assert!(backend.score_docs("seafood", &[0])[0] > 0.0);
+    }
+}

@@ -1,18 +1,25 @@
-//! # pws-index — in-memory search-engine substrate
+//! # pws-index — search-engine substrate (in-memory and segmented on-disk)
 //!
 //! The paper's personalization layer sits *on top of* a conventional search
 //! engine: it takes the engine's top-K results (with snippets) and re-ranks
 //! them. Offline we have no commercial backend, so this crate is that
-//! backend: a compact but complete in-memory search engine —
+//! backend — two interchangeable implementations behind one
+//! [`backend::RetrievalBackend`] trait:
 //!
-//! * [`builder::IndexBuilder`] — tokenizes documents (via [`pws_text`]) and
-//!   builds an inverted index;
-//! * [`postings`] + [`codec`] — delta- and varint-encoded posting lists with
-//!   term frequencies and positions (positions feed snippet extraction);
-//! * [`score`] — Okapi BM25;
-//! * [`search::SearchEngine`] — top-K query execution over the index, with
-//!   [`snippet`] extraction, producing exactly the `(url, title, snippet)`
-//!   result lists the personalization layer consumes.
+//! * [`search::SearchEngine`] — the original fully in-memory engine:
+//!   [`builder::IndexBuilder`] tokenizes documents (via [`pws_text`]) and
+//!   builds an inverted index; [`postings`] + [`codec`] hold delta- and
+//!   varint-encoded posting lists with term frequencies and positions
+//!   (positions feed snippet extraction); [`score`] is Okapi BM25; queries
+//!   run document-at-a-time with MaxScore pruning.
+//! * [`segmented::SegmentedIndex`] — the scale path: immutable on-disk
+//!   [`segment::Segment`]s in the checksummed, versioned file format of
+//!   [`segfile`] (spec: `docs/INDEX_FORMAT.md`), block-compressed postings
+//!   with per-block maxima, and **Block-Max WAND** top-k pruning that is
+//!   bit-identical to exhaustive scoring.
+//!
+//! Both produce exactly the `(url, title, snippet)` result lists the
+//! personalization layer consumes, with identical ranking semantics.
 //!
 //! ```
 //! use pws_index::{IndexBuilder, StoredDoc};
@@ -25,6 +32,7 @@
 //! assert_eq!(hits[0].doc, 0);
 //! ```
 
+pub mod backend;
 pub mod builder;
 pub mod codec;
 pub mod persist;
@@ -32,12 +40,20 @@ pub mod postings;
 pub mod query;
 pub mod score;
 pub mod search;
+pub mod segfile;
+pub mod segment;
+pub mod segmented;
 pub mod snippet;
 
+pub use backend::RetrievalBackend;
+pub use pws_text::Analyzer;
 pub use builder::IndexBuilder;
 pub use postings::{DocTfIter, Posting, PostingList};
 pub use persist::PersistError;
 pub use query::{parse_query, ParseError, QueryExpr};
 pub use score::Bm25Params;
 pub use search::{SearchEngine, SearchHit, StoredDoc};
+pub use segfile::{SectionId, SegmentError, FORMAT_VERSION, SEGMENT_MAGIC};
+pub use segment::{Segment, SegmentBuilder, BLOCK_SIZE};
+pub use segmented::SegmentedIndex;
 pub use snippet::extract_snippet;

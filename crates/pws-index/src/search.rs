@@ -77,16 +77,17 @@ pub struct SearchHit {
 /// actual accumulated score. Inflating bounds by 1e-9 ≫ m·ε before the
 /// `≤ θ` comparison makes a false prune impossible; the cost is only that a
 /// vanishingly thin band of docs gets scored unnecessarily.
-const UB_SLACK: f64 = 1.0 + 1e-9;
+pub(crate) const UB_SLACK: f64 = 1.0 + 1e-9;
 
 /// Min-heap entry for bounded top-k selection. Ordered so that the heap's
 /// maximum (`peek`) is the *worst* kept hit: lower score is "greater", and
 /// on score ties the larger doc id is "greater" (final ranking prefers
-/// ascending doc ids).
+/// ascending doc ids). Shared with the segmented Block-Max WAND executor
+/// ([`crate::segmented`]), which must select the identical top-k.
 #[derive(Debug)]
-struct HeapEntry {
-    score: f64,
-    doc: u32,
+pub(crate) struct HeapEntry {
+    pub(crate) score: f64,
+    pub(crate) doc: u32,
 }
 
 impl PartialEq for HeapEntry {

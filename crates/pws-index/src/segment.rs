@@ -1,0 +1,748 @@
+//! Immutable index segments: offline build, lazy load, merge.
+//!
+//! A [`Segment`] is the unit of on-disk index storage: an inverted index
+//! over a contiguous slice of the corpus, written once by
+//! [`SegmentBuilder`] and never mutated. Postings are stored as
+//! **block-compressed** runs of up to [`BLOCK_SIZE`] `(doc, tf)` pairs;
+//! each block carries its last doc id, its maximum term frequency, and
+//! the minimum document length among its docs. Those three numbers are
+//! collection-statistics-independent, so a loader can derive a correct
+//! BM25 **block-max impact bound** under *any* global statistics (which
+//! change when segments are added or merged) without touching payloads —
+//! the foundation of the Block-Max WAND pruning in
+//! [`crate::segmented::SegmentedIndex`].
+//!
+//! Loading parses and checksums the section table ([`crate::segfile`]),
+//! decodes the term dictionary, the block tables, and the doc lengths,
+//! and leaves postings payloads and the document store **encoded in
+//! place** — a load is O(dictionary + block table), not O(index).
+//!
+//! A segment is cheaply cloneable (`Arc` inside), so live publication
+//! can snapshot segment sets without copying index data.
+
+use crate::codec::{read_varint, write_varint};
+use crate::search::StoredDoc;
+use crate::segfile::{parse_sections, read_u64le, SectionId, SectionWriter, SegmentError};
+use pws_text::{Analyzer, Interner};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum `(doc, tf)` pairs per postings block. 128 keeps block decode
+/// cheap (fits a cache line budget) while making block skipping
+/// worthwhile on million-doc posting lists.
+pub const BLOCK_SIZE: usize = 128;
+
+/// One postings block's table entry (decoded from the `BlockMax`
+/// section). `payload_off` is derived at load time from the running sum
+/// of payload lengths — blocks are laid out contiguously in `(term,
+/// block)` order inside the `Postings` section.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockMeta {
+    /// Last (largest) doc id in the block — the block-skip key.
+    pub last_doc: u32,
+    /// Number of postings in the block (1..=BLOCK_SIZE).
+    pub doc_count: u32,
+    /// Maximum term frequency within the block.
+    pub max_tf: u32,
+    /// Minimum document length among the block's docs. Together with
+    /// `max_tf` this upper-bounds the block's BM25 impact under any
+    /// global statistics (BM25 is increasing in tf, decreasing in len).
+    pub min_dlen: u32,
+    /// Payload byte offset within the `Postings` section.
+    pub payload_off: usize,
+    /// Payload byte length.
+    pub payload_len: usize,
+}
+
+/// Per-term metadata: document frequency plus the term's block range and
+/// segment-wide tf/len extremes (for whole-term impact bounds).
+#[derive(Debug, Clone)]
+pub(crate) struct TermMeta {
+    /// Document frequency within this segment.
+    pub df: u32,
+    /// Range into the segment's flat block table.
+    pub blocks: std::ops::Range<usize>,
+    /// Max `max_tf` over the term's blocks.
+    pub max_tf: u32,
+    /// Min `min_dlen` over the term's blocks.
+    pub min_dlen: u32,
+}
+
+#[derive(Debug)]
+struct SegmentInner {
+    bytes: Arc<[u8]>,
+    analyzer: Analyzer,
+    dict: HashMap<String, u32>,
+    /// Term strings in ord order (dictionary order of the builder).
+    terms: Vec<String>,
+    term_meta: Vec<TermMeta>,
+    blocks: Vec<BlockMeta>,
+    doc_lens: Vec<u32>,
+    doc_count: u32,
+    total_len: u64,
+    /// Absolute offset of the `Postings` section payload.
+    postings_off: usize,
+    /// Absolute offset + length of the `DocIndex` section.
+    doc_index_off: usize,
+    /// Absolute offset + length of the `Docs` section.
+    docs_off: usize,
+    docs_len: usize,
+}
+
+/// An immutable, on-disk-backed index segment. Cloning shares the
+/// underlying file bytes and decoded tables (`Arc`).
+#[derive(Debug, Clone)]
+pub struct Segment {
+    inner: Arc<SegmentInner>,
+}
+
+impl Segment {
+    /// Load a segment from an in-memory copy of its file bytes,
+    /// validating magic, version, section table, and checksums. Postings
+    /// payloads and document records stay encoded (lazy).
+    pub fn load_bytes(bytes: impl Into<Arc<[u8]>>) -> Result<Segment, SegmentError> {
+        let _span = metrics_load().span();
+        let bytes: Arc<[u8]> = bytes.into();
+        let sections = parse_sections(&bytes)?;
+        let [meta_s, terms_s, blockmax_s, postings_s, doc_index_s, docs_s, doc_lens_s] =
+            sections[..]
+        else {
+            return Err(SegmentError::Malformed("section count"));
+        };
+
+        // ── Meta ─────────────────────────────────────────────────────
+        let mut m = meta_s.slice(&bytes);
+        let doc_count =
+            read_varint(&mut m).ok_or(SegmentError::Truncated("Meta.doc_count"))?;
+        let hi = read_varint(&mut m).ok_or(SegmentError::Truncated("Meta.total_len"))?;
+        let lo = read_varint(&mut m).ok_or(SegmentError::Truncated("Meta.total_len"))?;
+        let total_len = (u64::from(hi) << 32) | u64::from(lo);
+        if m.len() < 2 {
+            return Err(SegmentError::Truncated("Meta.analyzer"));
+        }
+        let (remove_stopwords, stem) = (m[0] != 0, m[1] != 0);
+        m = &m[2..];
+        let min_token_len =
+            read_varint(&mut m).ok_or(SegmentError::Truncated("Meta.analyzer"))? as usize;
+        let max_token_len =
+            read_varint(&mut m).ok_or(SegmentError::Truncated("Meta.analyzer"))? as usize;
+        if !m.is_empty() {
+            return Err(SegmentError::Malformed("trailing bytes in Meta"));
+        }
+        let analyzer = Analyzer { remove_stopwords, stem, min_token_len, max_token_len };
+
+        // ── Terms ────────────────────────────────────────────────────
+        let mut t = terms_s.slice(&bytes);
+        let n_terms =
+            read_varint(&mut t).ok_or(SegmentError::Truncated("Terms.count"))? as usize;
+        let mut dict = HashMap::with_capacity(n_terms);
+        let mut terms = Vec::with_capacity(n_terms);
+        for ord in 0..n_terms {
+            let len =
+                read_varint(&mut t).ok_or(SegmentError::Truncated("Terms.len"))? as usize;
+            if t.len() < len {
+                return Err(SegmentError::Truncated("Terms.bytes"));
+            }
+            let s = std::str::from_utf8(&t[..len])
+                .map_err(|_| SegmentError::Malformed("non-utf8 term"))?;
+            t = &t[len..];
+            if dict.insert(s.to_string(), ord as u32).is_some() {
+                return Err(SegmentError::Malformed("duplicate term"));
+            }
+            terms.push(s.to_string());
+        }
+        if !t.is_empty() {
+            return Err(SegmentError::Malformed("trailing bytes in Terms"));
+        }
+
+        // ── BlockMax table ───────────────────────────────────────────
+        let mut b = blockmax_s.slice(&bytes);
+        let mut term_meta = Vec::with_capacity(n_terms);
+        let mut blocks: Vec<BlockMeta> = Vec::new();
+        let mut payload_off = 0usize;
+        for _ in 0..n_terms {
+            let n_blocks =
+                read_varint(&mut b).ok_or(SegmentError::Truncated("BlockMax.count"))?;
+            let start = blocks.len();
+            let (mut df, mut t_max_tf, mut t_min_dlen) = (0u64, 0u32, u32::MAX);
+            let mut prev_last = None::<u32>;
+            for _ in 0..n_blocks {
+                let last_doc =
+                    read_varint(&mut b).ok_or(SegmentError::Truncated("BlockMax.entry"))?;
+                let bdc =
+                    read_varint(&mut b).ok_or(SegmentError::Truncated("BlockMax.entry"))?;
+                let max_tf =
+                    read_varint(&mut b).ok_or(SegmentError::Truncated("BlockMax.entry"))?;
+                let min_dlen =
+                    read_varint(&mut b).ok_or(SegmentError::Truncated("BlockMax.entry"))?;
+                let payload_len =
+                    read_varint(&mut b).ok_or(SegmentError::Truncated("BlockMax.entry"))?
+                        as usize;
+                if bdc == 0 || bdc as usize > BLOCK_SIZE {
+                    return Err(SegmentError::Malformed("block doc_count out of range"));
+                }
+                if last_doc >= doc_count {
+                    return Err(SegmentError::Malformed("block last_doc out of range"));
+                }
+                if prev_last.is_some_and(|p| last_doc <= p) {
+                    return Err(SegmentError::Malformed("blocks not ascending"));
+                }
+                prev_last = Some(last_doc);
+                df += u64::from(bdc);
+                t_max_tf = t_max_tf.max(max_tf);
+                t_min_dlen = t_min_dlen.min(min_dlen);
+                blocks.push(BlockMeta {
+                    last_doc,
+                    doc_count: bdc,
+                    max_tf,
+                    min_dlen,
+                    payload_off,
+                    payload_len,
+                });
+                payload_off = payload_off
+                    .checked_add(payload_len)
+                    .ok_or(SegmentError::Malformed("postings offset overflow"))?;
+            }
+            let df = u32::try_from(df).map_err(|_| SegmentError::Malformed("df overflow"))?;
+            term_meta.push(TermMeta {
+                df,
+                blocks: start..blocks.len(),
+                max_tf: t_max_tf,
+                min_dlen: if t_min_dlen == u32::MAX { 0 } else { t_min_dlen },
+            });
+        }
+        if !b.is_empty() {
+            return Err(SegmentError::Malformed("trailing bytes in BlockMax"));
+        }
+        if payload_off != postings_s.len {
+            return Err(SegmentError::Malformed("postings length mismatch"));
+        }
+
+        // ── DocIndex: monotone offsets into Docs ─────────────────────
+        let di = doc_index_s.slice(&bytes);
+        if di.len() != doc_count as usize * 8 {
+            return Err(SegmentError::Malformed("doc index length mismatch"));
+        }
+        let mut prev = 0u64;
+        for i in 0..doc_count as usize {
+            let off = read_u64le(&di[i * 8..]);
+            if off > docs_s.len as u64 || (i > 0 && off < prev) {
+                return Err(SegmentError::Malformed("doc index offsets out of range"));
+            }
+            prev = off;
+        }
+
+        // ── DocLens ──────────────────────────────────────────────────
+        let mut dl = doc_lens_s.slice(&bytes);
+        let mut doc_lens = Vec::with_capacity(doc_count as usize);
+        for _ in 0..doc_count {
+            doc_lens.push(read_varint(&mut dl).ok_or(SegmentError::Truncated("DocLens"))?);
+        }
+        if !dl.is_empty() {
+            return Err(SegmentError::Malformed("trailing bytes in DocLens"));
+        }
+
+        Ok(Segment {
+            inner: Arc::new(SegmentInner {
+                analyzer,
+                dict,
+                terms,
+                term_meta,
+                blocks,
+                doc_lens,
+                doc_count,
+                total_len,
+                postings_off: postings_s.offset,
+                doc_index_off: doc_index_s.offset,
+                docs_off: docs_s.offset,
+                docs_len: docs_s.len,
+                bytes,
+            }),
+        })
+    }
+
+    /// Read and load a segment file from disk.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Segment, SegmentError> {
+        let bytes =
+            std::fs::read(path.as_ref()).map_err(|e| SegmentError::Io(e.to_string()))?;
+        Segment::load_bytes(bytes)
+    }
+
+    /// Write this segment's exact file bytes to disk.
+    pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), SegmentError> {
+        std::fs::write(path.as_ref(), &self.inner.bytes)
+            .map_err(|e| SegmentError::Io(e.to_string()))
+    }
+
+    /// The segment's complete file bytes.
+    pub fn file_bytes(&self) -> &[u8] {
+        &self.inner.bytes
+    }
+
+    /// Number of documents in the segment.
+    pub fn doc_count(&self) -> u32 {
+        self.inner.doc_count
+    }
+
+    /// Total indexed token count (for global average doc length).
+    pub fn total_len(&self) -> u64 {
+        self.inner.total_len
+    }
+
+    /// The analyzer the segment was built with.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.inner.analyzer
+    }
+
+    /// Terms in ord order, with their document frequencies.
+    pub fn term_dfs(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.inner
+            .terms
+            .iter()
+            .zip(&self.inner.term_meta)
+            .map(|(t, m)| (t.as_str(), m.df))
+    }
+
+    /// Segment-local ord of `term` (already analyzed), if present.
+    pub fn term_ord(&self, term: &str) -> Option<u32> {
+        self.inner.dict.get(term).copied()
+    }
+
+    /// Per-term metadata (crate-internal: query execution).
+    pub(crate) fn term_meta(&self, ord: u32) -> &TermMeta {
+        &self.inner.term_meta[ord as usize]
+    }
+
+    /// The term's block table slice.
+    pub(crate) fn term_blocks(&self, ord: u32) -> &[BlockMeta] {
+        &self.inner.blocks[self.inner.term_meta[ord as usize].blocks.clone()]
+    }
+
+    /// Document lengths (segment-local ids).
+    pub(crate) fn doc_lens(&self) -> &[u32] {
+        &self.inner.doc_lens
+    }
+
+    /// Decode one postings block into `out` as absolute `(doc, tf)`
+    /// pairs. Returns `false` (leaving `out` truncated) on a payload
+    /// inconsistency — unreachable after a checksummed load, but the
+    /// query path degrades to "skip block" rather than panicking.
+    pub(crate) fn decode_block(&self, b: &BlockMeta, out: &mut Vec<(u32, u32)>) -> bool {
+        out.clear();
+        let inner = &self.inner;
+        let start = inner.postings_off + b.payload_off;
+        let Some(payload) = inner.bytes.get(start..start + b.payload_len) else {
+            return false;
+        };
+        let mut p = payload;
+        let mut doc = 0u32;
+        for i in 0..b.doc_count {
+            let Some(delta) = read_varint(&mut p) else { return false };
+            doc = if i == 0 { delta } else { doc.wrapping_add(delta) };
+            out.push((doc, 0));
+        }
+        for entry in out.iter_mut().take(b.doc_count as usize) {
+            let Some(tf) = read_varint(&mut p) else { return false };
+            entry.1 = tf;
+        }
+        p.is_empty()
+    }
+
+    /// Materialize one stored document (segment-local id) from the doc
+    /// store. Decoding is on demand; a load never touches doc payloads.
+    ///
+    /// # Panics
+    /// Panics if `local_id >= doc_count()` — an engine-level id-mapping
+    /// bug, not a file-format condition (file structure was validated at
+    /// load).
+    pub fn doc(&self, local_id: u32) -> StoredDoc {
+        let inner = &self.inner;
+        assert!(local_id < inner.doc_count, "doc id {local_id} out of range");
+        let di = &inner.bytes[inner.doc_index_off..];
+        let start = read_u64le(&di[local_id as usize * 8..]) as usize;
+        let mut rec = &inner.bytes[inner.docs_off + start..inner.docs_off + inner.docs_len];
+        let mut read_str = || -> String {
+            let len = read_varint(&mut rec).map_or(0, |l| l as usize).min(rec.len());
+            let s = String::from_utf8_lossy(&rec[..len]).into_owned();
+            rec = &rec[len..];
+            s
+        };
+        let url = read_str();
+        let title = read_str();
+        let body = read_str();
+        StoredDoc { id: local_id, url: url.into(), title: title.into(), body }
+    }
+
+    /// Raw byte range of one doc record in the `Docs` section
+    /// (crate-internal: merge copies records without decoding them).
+    pub(crate) fn doc_record_bytes(&self, local_id: u32) -> &[u8] {
+        let inner = &self.inner;
+        let di = &inner.bytes[inner.doc_index_off..];
+        let start = read_u64le(&di[local_id as usize * 8..]) as usize;
+        let end = if local_id + 1 < inner.doc_count {
+            read_u64le(&di[(local_id as usize + 1) * 8..]) as usize
+        } else {
+            inner.docs_len
+        };
+        &inner.bytes[inner.docs_off + start..inner.docs_off + end]
+    }
+
+    /// Merge segments into one. Documents are renumbered contiguously in
+    /// segment order (the same global ids a [`crate::SegmentedIndex`]
+    /// over the inputs would expose), doc records are copied byte-wise
+    /// without decoding, and postings are re-blocked at [`BLOCK_SIZE`].
+    ///
+    /// All inputs must share one analyzer configuration.
+    pub fn merge(segments: &[&Segment]) -> Result<Segment, SegmentError> {
+        if segments.is_empty() {
+            return SegmentBuilder::new(Analyzer::default()).finish_segment();
+        }
+        let analyzer = segments[0].analyzer().clone();
+        if segments.iter().any(|s| *s.analyzer() != analyzer) {
+            return Err(SegmentError::Mismatch("analyzer config"));
+        }
+
+        // Union term list: first-appearance order across segments.
+        let mut interner = Interner::new();
+        for s in segments {
+            for term in &s.inner.terms {
+                interner.intern(term);
+            }
+        }
+
+        // Doc id bases per input segment.
+        let mut bases = Vec::with_capacity(segments.len());
+        let mut base = 0u64;
+        for s in segments {
+            bases.push(base as u32);
+            base += u64::from(s.doc_count());
+        }
+        let doc_count = u32::try_from(base)
+            .map_err(|_| SegmentError::Malformed("merged doc count overflows u32"))?;
+
+        // Re-emit postings per union term, re-blocked.
+        let mut postings_by_term: Vec<Vec<(u32, u32)>> = vec![Vec::new(); interner.len()];
+        let mut buf = Vec::with_capacity(BLOCK_SIZE);
+        for (s, &b) in segments.iter().zip(&bases) {
+            for (ord, term) in s.inner.terms.iter().enumerate() {
+                let sym = interner.get(term).expect("interned above");
+                let dst = &mut postings_by_term[sym.index()];
+                for blk in s.term_blocks(ord as u32) {
+                    if s.decode_block(blk, &mut buf) {
+                        dst.extend(buf.iter().map(|&(d, tf)| (d + b, tf)));
+                    }
+                }
+            }
+        }
+
+        let mut out = SegmentBuilder::new(analyzer);
+        out.interner = interner;
+        out.postings = postings_by_term;
+        for (s, _) in segments.iter().zip(&bases) {
+            for local in 0..s.doc_count() {
+                out.doc_offsets.push(out.doc_payload.len() as u64);
+                out.doc_payload.extend_from_slice(s.doc_record_bytes(local));
+            }
+            out.doc_lens.extend_from_slice(s.doc_lens());
+            out.total_len += s.total_len();
+        }
+        debug_assert_eq!(out.doc_lens.len(), doc_count as usize);
+        out.finish_segment()
+    }
+}
+
+/// Process-wide `segment.load` stage handle.
+fn metrics_load() -> &'static pws_obs::StageMetrics {
+    static STAGE: std::sync::OnceLock<std::sync::Arc<pws_obs::StageMetrics>> =
+        std::sync::OnceLock::new();
+    STAGE.get_or_init(|| pws_obs::stage("segment.load"))
+}
+
+/// Builds one immutable segment: feed documents in order, then
+/// [`SegmentBuilder::finish`] to produce the on-disk bytes (or
+/// [`SegmentBuilder::finish_segment`] to get a loaded [`Segment`] —
+/// build always round-trips through the file format, so every segment
+/// in existence is proof the format decodes).
+#[derive(Debug)]
+pub struct SegmentBuilder {
+    analyzer: Analyzer,
+    interner: Interner,
+    /// Per-term uncompressed `(local doc, tf)` pairs, ascending by doc.
+    postings: Vec<Vec<(u32, u32)>>,
+    doc_lens: Vec<u32>,
+    total_len: u64,
+    /// Encoded doc records (url/title/body, varint-length-prefixed).
+    doc_payload: Vec<u8>,
+    /// Byte offset of each record within `doc_payload`.
+    doc_offsets: Vec<u64>,
+}
+
+impl SegmentBuilder {
+    /// Empty builder over `analyzer`.
+    pub fn new(analyzer: Analyzer) -> Self {
+        SegmentBuilder {
+            analyzer,
+            interner: Interner::new(),
+            postings: Vec::new(),
+            doc_lens: Vec::new(),
+            total_len: 0,
+            doc_payload: Vec::new(),
+            doc_offsets: Vec::new(),
+        }
+    }
+
+    /// Number of documents added so far (== the next local doc id).
+    pub fn len(&self) -> usize {
+        self.doc_offsets.len()
+    }
+
+    /// True before the first [`SegmentBuilder::add`].
+    pub fn is_empty(&self) -> bool {
+        self.doc_offsets.is_empty()
+    }
+
+    /// Add one document; returns its segment-local id. Indexes
+    /// `title + body` (titles count toward BM25, as in
+    /// [`StoredDoc::indexable_text`]).
+    pub fn add(&mut self, url: &str, title: &str, body: &str) -> u32 {
+        let local = self.doc_offsets.len() as u32;
+        let tokens = self.analyzer.analyze(&format!("{title} {body}"));
+        self.doc_lens.push(tokens.len() as u32);
+        self.total_len += tokens.len() as u64;
+
+        // tf per term for this doc.
+        let mut tfs: HashMap<pws_text::Sym, u32> = HashMap::new();
+        for tok in &tokens {
+            *tfs.entry(self.interner.intern(tok)).or_insert(0) += 1;
+        }
+        if self.interner.len() > self.postings.len() {
+            self.postings.resize_with(self.interner.len(), Vec::new);
+        }
+        let mut entries: Vec<(pws_text::Sym, u32)> = tfs.into_iter().collect();
+        entries.sort_unstable_by_key(|(s, _)| *s);
+        for (sym, tf) in entries {
+            self.postings[sym.index()].push((local, tf));
+        }
+
+        self.doc_offsets.push(self.doc_payload.len() as u64);
+        write_str(&mut self.doc_payload, url);
+        write_str(&mut self.doc_payload, title);
+        write_str(&mut self.doc_payload, body);
+        local
+    }
+
+    /// Emit the segment file bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let _span = metrics_build().span();
+        let mut meta = Vec::new();
+        write_varint(&mut meta, self.doc_offsets.len() as u32);
+        write_varint(&mut meta, (self.total_len >> 32) as u32);
+        write_varint(&mut meta, (self.total_len & 0xFFFF_FFFF) as u32);
+        meta.push(u8::from(self.analyzer.remove_stopwords));
+        meta.push(u8::from(self.analyzer.stem));
+        write_varint(&mut meta, self.analyzer.min_token_len as u32);
+        write_varint(&mut meta, self.analyzer.max_token_len as u32);
+
+        let mut terms = Vec::new();
+        write_varint(&mut terms, self.interner.len() as u32);
+        for (_, s) in self.interner.iter() {
+            write_str(&mut terms, s);
+        }
+
+        // Block tables + payloads, in term-ord order.
+        let mut blockmax = Vec::new();
+        let mut payloads = Vec::new();
+        for pairs in &self.postings {
+            let n_blocks = pairs.chunks(BLOCK_SIZE).count();
+            write_varint(&mut blockmax, n_blocks as u32);
+            for chunk in pairs.chunks(BLOCK_SIZE) {
+                let last_doc = chunk.last().expect("nonempty chunk").0;
+                let max_tf = chunk.iter().map(|&(_, tf)| tf).max().unwrap_or(0);
+                let min_dlen = chunk
+                    .iter()
+                    .map(|&(d, _)| self.doc_lens[d as usize])
+                    .min()
+                    .unwrap_or(0);
+                let start = payloads.len();
+                let mut prev = 0u32;
+                for (i, &(d, _)) in chunk.iter().enumerate() {
+                    write_varint(&mut payloads, if i == 0 { d } else { d - prev });
+                    prev = d;
+                }
+                for &(_, tf) in chunk {
+                    write_varint(&mut payloads, tf);
+                }
+                write_varint(&mut blockmax, last_doc);
+                write_varint(&mut blockmax, chunk.len() as u32);
+                write_varint(&mut blockmax, max_tf);
+                write_varint(&mut blockmax, min_dlen);
+                write_varint(&mut blockmax, (payloads.len() - start) as u32);
+            }
+        }
+        let mut doc_index = Vec::with_capacity(self.doc_offsets.len() * 8);
+        for off in &self.doc_offsets {
+            doc_index.extend_from_slice(&off.to_le_bytes());
+        }
+
+        let mut doc_lens = Vec::new();
+        for &l in &self.doc_lens {
+            write_varint(&mut doc_lens, l);
+        }
+
+        let mut w = SectionWriter::new();
+        w.add(SectionId::Meta, meta);
+        w.add(SectionId::Terms, terms);
+        w.add(SectionId::BlockMax, blockmax);
+        w.add(SectionId::Postings, payloads);
+        w.add(SectionId::DocIndex, doc_index);
+        w.add(SectionId::Docs, self.doc_payload);
+        w.add(SectionId::DocLens, doc_lens);
+        w.finish()
+    }
+
+    /// [`SegmentBuilder::finish`] followed by [`Segment::load_bytes`].
+    pub fn finish_segment(self) -> Result<Segment, SegmentError> {
+        Segment::load_bytes(self.finish())
+    }
+}
+
+/// Process-wide `segment.build` stage handle.
+fn metrics_build() -> &'static pws_obs::StageMetrics {
+    static STAGE: std::sync::OnceLock<std::sync::Arc<pws_obs::StageMetrics>> =
+        std::sync::OnceLock::new();
+    STAGE.get_or_init(|| pws_obs::stage("segment.build"))
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_small() -> Segment {
+        let mut b = SegmentBuilder::new(Analyzer::default());
+        b.add("http://a.test/0", "Crab shack menu",
+            "fresh seafood lobster and crab daily specials near the harbor");
+        b.add("http://b.test/1", "Phone deals",
+            "unlocked android smartphone with great battery and camera");
+        b.add("http://c.test/2", "Seafood city guide",
+            "the seafood guide covers lobster rolls oyster bars and sushi");
+        b.finish_segment().expect("round trip")
+    }
+
+    #[test]
+    fn build_load_round_trip() {
+        let s = build_small();
+        assert_eq!(s.doc_count(), 3);
+        assert!(s.total_len() > 0);
+        let d = s.doc(0);
+        assert_eq!(&*d.url, "http://a.test/0");
+        assert_eq!(&*d.title, "Crab shack menu");
+        assert!(d.body.contains("lobster"));
+        // Term present with the right df.
+        let ord = s.term_ord("seafood").expect("indexed");
+        assert_eq!(s.term_meta(ord).df, 2);
+    }
+
+    #[test]
+    fn blocks_cover_all_postings() {
+        let mut b = SegmentBuilder::new(Analyzer::verbatim());
+        for i in 0..500u32 {
+            b.add(&format!("u{i}"), "t", &format!("common word{}", i % 7));
+        }
+        let s = b.finish_segment().expect("round trip");
+        let ord = s.term_ord("common").expect("present");
+        let blocks = s.term_blocks(ord);
+        assert!(blocks.len() > 1, "500 docs must span multiple blocks");
+        let mut decoded = Vec::new();
+        let mut buf = Vec::new();
+        for blk in blocks {
+            assert!(s.decode_block(blk, &mut buf));
+            assert_eq!(buf.last().map(|&(d, _)| d), Some(blk.last_doc));
+            assert!(buf.iter().all(|&(_, tf)| tf <= blk.max_tf));
+            decoded.extend_from_slice(&buf);
+        }
+        assert_eq!(decoded.len() as u32, s.term_meta(ord).df);
+        assert!(decoded.windows(2).all(|w| w[0].0 < w[1].0), "ascending doc ids");
+    }
+
+    #[test]
+    fn block_min_dlen_bounds_doc_lens() {
+        let s = build_small();
+        for ord in 0..s.inner.terms.len() as u32 {
+            for blk in s.term_blocks(ord) {
+                let mut buf = Vec::new();
+                assert!(s.decode_block(blk, &mut buf));
+                for &(d, _) in &buf {
+                    assert!(s.doc_lens()[d as usize] >= blk.min_dlen);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_write_file_round_trip() {
+        let s = build_small();
+        let dir = std::env::temp_dir().join("pws_segment_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("seg0.pws");
+        s.write_file(&path).expect("write");
+        let loaded = Segment::open(&path).expect("open");
+        assert_eq!(loaded.file_bytes(), s.file_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        match Segment::open("/nonexistent/definitely/missing.pws") {
+            Err(SegmentError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_two_segments() {
+        let mut a = SegmentBuilder::new(Analyzer::default());
+        a.add("u0", "Crab shack", "fresh seafood lobster daily");
+        a.add("u1", "Phones", "unlocked android smartphone");
+        let a = a.finish_segment().expect("a");
+        let mut b = SegmentBuilder::new(Analyzer::default());
+        b.add("u2", "Guide", "seafood guide covers lobster rolls");
+        let b = b.finish_segment().expect("b");
+
+        let m = Segment::merge(&[&a, &b]).expect("merge");
+        assert_eq!(m.doc_count(), 3);
+        assert_eq!(m.total_len(), a.total_len() + b.total_len());
+        assert_eq!(&*m.doc(2).url, "u2");
+        let ord = m.term_ord("seafood").expect("merged term");
+        assert_eq!(m.term_meta(ord).df, 2);
+        // Postings renumbered: seafood in global docs 0 and 2.
+        let mut buf = Vec::new();
+        let mut docs = Vec::new();
+        for blk in m.term_blocks(ord) {
+            assert!(m.decode_block(blk, &mut buf));
+            docs.extend(buf.iter().map(|&(d, _)| d));
+        }
+        assert_eq!(docs, vec![0, 2]);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_analyzers() {
+        let a = SegmentBuilder::new(Analyzer::default()).finish_segment().expect("a");
+        let b = SegmentBuilder::new(Analyzer::verbatim()).finish_segment().expect("b");
+        assert_eq!(
+            Segment::merge(&[&a, &b]).unwrap_err(),
+            SegmentError::Mismatch("analyzer config")
+        );
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let s = SegmentBuilder::new(Analyzer::default()).finish_segment().expect("empty");
+        assert_eq!(s.doc_count(), 0);
+        assert_eq!(s.term_ord("anything"), None);
+    }
+}

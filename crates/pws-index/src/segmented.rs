@@ -1,0 +1,878 @@
+//! Multi-segment index with Block-Max WAND top-k execution.
+//!
+//! A [`SegmentedIndex`] serves queries over a set of immutable
+//! [`Segment`]s (see [`crate::segment`]) under **global** collection
+//! statistics: document count, average document length, and per-term
+//! document frequency are aggregated across segments, so the BM25 score
+//! of any document is *bit-identical* to what one monolithic
+//! [`crate::SearchEngine`] over the concatenated corpus would compute.
+//! That identity is the correctness contract: the Block-Max WAND pruned
+//! top-k is property-tested against the exhaustive reference (and the
+//! in-memory engine) on arbitrary corpora, and `retrieval_bench`
+//! re-verifies it on every fixture query as a CI gate.
+//!
+//! ## Pruning
+//!
+//! Query execution refines the PR 5 MaxScore fast path to **block**
+//! granularity (the Block-Max WAND family, in the essential-list /
+//! MaxScore formulation sometimes called Block-Max MaxScore):
+//!
+//! * each term carries a whole-term upper bound (from the segment-wide
+//!   `max_tf` / `min_dlen` extremes) — terms whose bounds cannot reach
+//!   the heap threshold θ become *non-essential* and stop driving
+//!   candidate generation;
+//! * each candidate is re-bounded from the **per-block** `max_tf` /
+//!   `min_dlen` of the blocks that could contain it, reached by shallow
+//!   moves over the block table — payloads are only varint-decoded when
+//!   a block's bound actually beats θ;
+//! * bounds are inflated by the same `UB_SLACK` slack as the in-memory
+//!   fast path, so floating-point rounding can never cause a false
+//!   prune; ties on score break by ascending global doc id, making
+//!   `bound ≤ θ ⇒ skip` exact.
+//!
+//! Because `max_tf`/`min_dlen` are statistics-independent, the bounds
+//! stay valid when segments are added or merged and the global average
+//! length or idf shifts — no stored impact ever has to be rebuilt.
+
+use crate::score::{bm25_term, idf, Bm25Params};
+use crate::search::{HeapEntry, SearchHit, UB_SLACK};
+use crate::segment::{BlockMeta, Segment, SegmentBuilder};
+use crate::segfile::SegmentError;
+use crate::snippet::extract_snippet;
+use pws_text::Analyzer;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An immutable set of segments served as one logical index.
+///
+/// Global doc ids are segment-order concatenation: segment `s` covers
+/// `[base(s), base(s) + s.doc_count())`. Cloning is cheap (segments are
+/// `Arc`-backed); the global df map is rebuilt only by
+/// [`SegmentedIndex::add_segment`].
+#[derive(Debug, Clone)]
+pub struct SegmentedIndex {
+    analyzer: Analyzer,
+    params: Bm25Params,
+    segments: Vec<Segment>,
+    /// `bases[s]` = first global doc id of segment `s`.
+    bases: Vec<u32>,
+    doc_count: u32,
+    total_len: u64,
+    avg_len: f64,
+    /// Per-term global document frequency (sum across segments).
+    global_df: HashMap<String, u32>,
+}
+
+impl SegmentedIndex {
+    /// An empty index over `analyzer` (segments can be added later).
+    pub fn empty(analyzer: Analyzer) -> Self {
+        SegmentedIndex {
+            analyzer,
+            params: Bm25Params::default(),
+            segments: Vec::new(),
+            bases: Vec::new(),
+            doc_count: 0,
+            total_len: 0,
+            avg_len: 0.0,
+            global_df: HashMap::new(),
+        }
+    }
+
+    /// Assemble an index from already-loaded segments. All segments must
+    /// share one analyzer configuration.
+    pub fn from_segments(segments: Vec<Segment>) -> Result<Self, SegmentError> {
+        let analyzer = segments
+            .first()
+            .map(|s| s.analyzer().clone())
+            .unwrap_or_default();
+        let mut idx = SegmentedIndex::empty(analyzer);
+        for s in segments {
+            idx.add_segment(s)?;
+        }
+        Ok(idx)
+    }
+
+    /// Override the BM25 parameters (block-max bounds are derived at
+    /// query time, so no stored data needs recomputation).
+    pub fn with_params(mut self, params: Bm25Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Append one segment, updating global statistics. This is the
+    /// live-ingestion entry point: the serving layer pairs it with an
+    /// epoch bump of the retrieval cache (see `pws-serve`'s
+    /// `LiveIndex`).
+    pub fn add_segment(&mut self, seg: Segment) -> Result<(), SegmentError> {
+        if seg.analyzer() != &self.analyzer {
+            if self.segments.is_empty() && self.doc_count == 0 {
+                self.analyzer = seg.analyzer().clone();
+            } else {
+                return Err(SegmentError::Mismatch("analyzer config"));
+            }
+        }
+        let new_total = u64::from(self.doc_count) + u64::from(seg.doc_count());
+        let doc_count = u32::try_from(new_total)
+            .map_err(|_| SegmentError::Malformed("global doc count overflows u32"))?;
+        self.bases.push(self.doc_count);
+        self.doc_count = doc_count;
+        self.total_len += seg.total_len();
+        self.avg_len = if self.doc_count == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / f64::from(self.doc_count)
+        };
+        for (term, df) in seg.term_dfs() {
+            *self.global_df.entry(term.to_string()).or_insert(0) += df;
+        }
+        self.segments.push(seg);
+        Ok(())
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, in global doc id order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total documents across all segments.
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// Global average document length in tokens.
+    pub fn avg_doc_len(&self) -> f64 {
+        self.avg_len
+    }
+
+    /// Number of distinct terms across all segments.
+    pub fn vocab_size(&self) -> usize {
+        self.global_df.len()
+    }
+
+    /// Total on-disk bytes across all segment files.
+    pub fn index_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.file_bytes().len()).sum()
+    }
+
+    /// The analyzer shared by every segment.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Run the shared analyzer over arbitrary text.
+    pub fn analyze_text(&self, text: &str) -> Vec<String> {
+        self.analyzer.analyze(text)
+    }
+
+    /// Global document frequency of an (unanalyzed) term.
+    pub fn doc_frequency(&self, term: &str) -> u32 {
+        let toks = self.analyzer.analyze(term);
+        toks.first()
+            .and_then(|t| self.global_df.get(t))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Materialize a stored document by global id (lazy doc-store
+    /// decode in the owning segment).
+    ///
+    /// # Panics
+    /// Panics if `global` is out of range.
+    pub fn doc(&self, global: u32) -> crate::StoredDoc {
+        let s = self.segment_of(global);
+        let mut d = self.segments[s].doc(global - self.bases[s]);
+        d.id = global;
+        d
+    }
+
+    /// Index of the segment owning `global` (binary search over bases).
+    fn segment_of(&self, global: u32) -> usize {
+        debug_assert!(global < self.doc_count, "doc {global} out of range");
+        match self.bases.binary_search(&global) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Process-wide handle to the `segment.search` stage.
+    fn metrics_search(&self) -> &pws_obs::StageMetrics {
+        static STAGE: std::sync::OnceLock<std::sync::Arc<pws_obs::StageMetrics>> =
+            std::sync::OnceLock::new();
+        STAGE.get_or_init(|| pws_obs::stage("segment.search"))
+    }
+
+    /// Execute `query`, returning the top `k` hits ranked by BM25
+    /// descending, ties by ascending global doc id — bit-identical to
+    /// [`crate::SearchEngine::search`] over the concatenated corpus.
+    ///
+    /// Latency is recorded under the `segment.search` stage.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let _span = self.metrics_search().span();
+        self.search_tokens_inner(&self.analyzer.analyze(query), k)
+    }
+
+    /// [`SegmentedIndex::search`] over pre-analyzed tokens (the serving
+    /// layer analyzes exactly once and keys its cache on the tokens).
+    pub fn search_tokens(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        let _span = self.metrics_search().span();
+        self.search_tokens_inner(q_tokens, k)
+    }
+
+    fn search_tokens_inner(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.doc_count == 0 || q_tokens.is_empty() {
+            return Vec::new();
+        }
+        let Some(q) = self.resolve(q_tokens) else { return Vec::new() };
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut theta = f64::NEG_INFINITY;
+        for (si, seg) in self.segments.iter().enumerate() {
+            self.bmw_segment(seg, self.bases[si], &q, k, &mut heap, &mut theta);
+        }
+        let cands = drain_heap(heap);
+        self.materialize(&cands, q_tokens)
+    }
+
+    /// The exhaustive reference: term-at-a-time accumulation over every
+    /// posting of every query term in every segment, then a full sort.
+    /// Bit-identical to [`crate::SearchEngine::search_naive`] over the
+    /// concatenated corpus; the pruned path is gated against it.
+    pub fn search_exhaustive(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.search_exhaustive_tokens(&self.analyzer.analyze(query), k)
+    }
+
+    /// [`SegmentedIndex::search_exhaustive`] over pre-analyzed tokens.
+    pub fn search_exhaustive_tokens(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.doc_count == 0 || q_tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        let mut buf = Vec::new();
+        for tok in q_tokens {
+            let Some(&df) = self.global_df.get(tok) else { continue };
+            let term_idf = idf(self.doc_count, df);
+            for (si, seg) in self.segments.iter().enumerate() {
+                let Some(ord) = seg.term_ord(tok) else { continue };
+                let base = self.bases[si];
+                let lens = seg.doc_lens();
+                for blk in seg.term_blocks(ord) {
+                    if !seg.decode_block(blk, &mut buf) {
+                        continue;
+                    }
+                    for &(d, tf) in &buf {
+                        let s =
+                            bm25_term(self.params, term_idf, tf, lens[d as usize], self.avg_len);
+                        *acc.entry(base + d).or_insert(0.0) += s;
+                    }
+                }
+            }
+        }
+        if acc.is_empty() {
+            return Vec::new();
+        }
+        let mut cands: Vec<(u32, f64)> = acc.into_iter().collect();
+        cands.sort_unstable_by(|a, b| {
+            match b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal) {
+                Ordering::Equal => a.0.cmp(&b.0),
+                o => o,
+            }
+        });
+        cands.truncate(k);
+        self.materialize(&cands, q_tokens)
+    }
+
+    /// BM25 scores of `query` for specific global doc ids (0.0 for docs
+    /// matching no query term) — bit-identical to
+    /// [`crate::SearchEngine::score_docs`], including the pinned
+    /// "duplicate ids credit the last occurrence" semantics.
+    pub fn score_docs(&self, query: &str, docs: &[u32]) -> Vec<f64> {
+        let q_tokens = self.analyzer.analyze(query);
+        let mut scores = vec![0.0; docs.len()];
+        if q_tokens.is_empty() || self.doc_count == 0 || docs.is_empty() {
+            return scores;
+        }
+        let mut wanted: Vec<(u32, usize)> =
+            docs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        wanted.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        wanted.dedup_by_key(|e| e.0);
+        let mut buf = Vec::new();
+        for tok in &q_tokens {
+            let Some(&df) = self.global_df.get(tok) else { continue };
+            let term_idf = idf(self.doc_count, df);
+            for &(doc, out_i) in &wanted {
+                let si = self.segment_of(doc);
+                let seg = &self.segments[si];
+                let Some(ord) = seg.term_ord(tok) else { continue };
+                let local = doc - self.bases[si];
+                let blocks = seg.term_blocks(ord);
+                // Find the block that could contain `local`.
+                let bi = blocks.partition_point(|b| b.last_doc < local);
+                if bi == blocks.len() {
+                    continue;
+                }
+                if !seg.decode_block(&blocks[bi], &mut buf) {
+                    continue;
+                }
+                if let Ok(p) = buf.binary_search_by_key(&local, |&(d, _)| d) {
+                    let len = seg.doc_lens()[local as usize];
+                    scores[out_i] +=
+                        bm25_term(self.params, term_idf, buf[p].1, len, self.avg_len);
+                }
+            }
+        }
+        scores
+    }
+
+    /// Resolve query tokens into unique present terms + occurrence slots
+    /// (mirrors the in-memory fast path's resolution exactly).
+    fn resolve(&self, q_tokens: &[String]) -> Option<ResolvedQuery> {
+        let mut terms: Vec<QueryTerm> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for tok in q_tokens {
+            let Some(&df) = self.global_df.get(tok) else { continue };
+            if df == 0 {
+                continue;
+            }
+            let t = match terms.iter().position(|u| &u.term == tok) {
+                Some(t) => t,
+                None => {
+                    terms.push(QueryTerm {
+                        term: tok.clone(),
+                        idf: idf(self.doc_count, df),
+                        mult: 0,
+                    });
+                    terms.len() - 1
+                }
+            };
+            slots.push(t);
+        }
+        if terms.is_empty() {
+            return None;
+        }
+        for &t in &slots {
+            terms[t].mult += 1;
+        }
+        Some(ResolvedQuery { terms, slots })
+    }
+
+    /// Run Block-Max WAND over one segment, folding results into the
+    /// shared global top-k heap (θ carries across segments, so later
+    /// segments prune against everything already found).
+    fn bmw_segment(
+        &self,
+        seg: &Segment,
+        base: u32,
+        q: &ResolvedQuery,
+        k: usize,
+        heap: &mut BinaryHeap<HeapEntry>,
+        theta: &mut f64,
+    ) {
+        // Cursors for the query terms present in this segment.
+        let mut cursors: Vec<BmwCursor<'_>> = Vec::with_capacity(q.terms.len());
+        for (t, qt) in q.terms.iter().enumerate() {
+            let Some(ord) = seg.term_ord(&qt.term) else { continue };
+            let tm = seg.term_meta(ord);
+            if tm.df == 0 {
+                continue;
+            }
+            let mult = f64::from(qt.mult);
+            let ub =
+                bm25_term(self.params, qt.idf, tm.max_tf, tm.min_dlen, self.avg_len) * mult;
+            cursors.push(BmwCursor {
+                blocks: seg.term_blocks(ord),
+                bi: 0,
+                decoded: Vec::with_capacity(crate::segment::BLOCK_SIZE),
+                decoded_bi: usize::MAX,
+                pos: 0,
+                idf: qt.idf,
+                mult,
+                ub,
+                slot_term: t,
+            });
+        }
+        let m = cursors.len();
+        if m == 0 {
+            return;
+        }
+        let lens = seg.doc_lens();
+
+        // Terms by ascending whole-term upper bound; prefix sums give
+        // the non-essential boundary under the current θ.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            cursors[a]
+                .ub
+                .partial_cmp(&cursors[b].ub)
+                .unwrap_or(Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut prefix = vec![0.0f64; m + 1];
+        for (j, &t) in order.iter().enumerate() {
+            prefix[j + 1] = prefix[j] + cursors[t].ub;
+        }
+
+        let mut contrib = vec![0.0f64; q.terms.len()];
+        loop {
+            let mut boundary = 0;
+            while boundary < m && prefix[boundary + 1] * UB_SLACK <= *theta {
+                boundary += 1;
+            }
+            if boundary == m {
+                return; // no doc in this segment can beat θ
+            }
+            // Candidate: smallest current doc among essential cursors.
+            let mut next: Option<u32> = None;
+            for &t in &order[boundary..] {
+                if let Some(doc) = cursors[t].current_doc(seg) {
+                    next = Some(match next {
+                        Some(d) => d.min(doc),
+                        None => doc,
+                    });
+                }
+            }
+            let Some(d) = next else { return };
+
+            if *theta > f64::NEG_INFINITY {
+                // Block-refined bound: per-block maxima for everything.
+                // Non-essential terms move shallowly (block table only).
+                let mut ub = 0.0f64;
+                for &t in &order[..boundary] {
+                    ub += cursors[t].block_ub_at(self.params, self.avg_len, d);
+                }
+                for &t in &order[boundary..] {
+                    let c = &mut cursors[t];
+                    if c.current_doc(seg) == Some(d) {
+                        ub += c.block_ub(self.params, self.avg_len);
+                    }
+                }
+                if ub * UB_SLACK <= *theta {
+                    for &t in &order[boundary..] {
+                        let c = &mut cursors[t];
+                        if c.current_doc(seg) == Some(d) {
+                            c.advance(seg);
+                        }
+                    }
+                    continue;
+                }
+            }
+
+            // Full score: seek every cursor to ≥ d and accumulate the
+            // matching contributions in query-token slot order (exact
+            // +0.0 for non-matching terms) — bitwise-identical to the
+            // naive scorer's accumulation.
+            let dlen = lens[d as usize];
+            for c in cursors.iter_mut() {
+                contrib[c.slot_term] = match c.seek(seg, d) {
+                    Some((doc, tf)) if doc == d => {
+                        bm25_term(self.params, c.idf, tf, dlen, self.avg_len)
+                    }
+                    _ => 0.0,
+                };
+            }
+            let mut score = 0.0f64;
+            for &t in &q.slots {
+                score += contrib[t];
+            }
+            for c in cursors.iter_mut() {
+                if c.current_doc(seg) == Some(d) {
+                    c.advance(seg);
+                }
+            }
+
+            let global = base + d;
+            if heap.len() < k {
+                heap.push(HeapEntry { score, doc: global });
+                if heap.len() == k {
+                    *theta = heap.peek().expect("nonempty heap").score;
+                }
+            } else if score > *theta {
+                heap.pop();
+                heap.push(HeapEntry { score, doc: global });
+                *theta = heap.peek().expect("nonempty heap").score;
+            }
+        }
+    }
+
+    /// Build hits (with snippets) from globally-id'd scored candidates.
+    fn materialize(&self, cands: &[(u32, f64)], q_tokens: &[String]) -> Vec<SearchHit> {
+        cands
+            .iter()
+            .enumerate()
+            .map(|(i, &(doc, score))| {
+                let d = self.doc(doc);
+                let snippet = extract_snippet(&d.body, q_tokens, 24);
+                SearchHit { doc, score, rank: i + 1, url: d.url, title: d.title, snippet }
+            })
+            .collect()
+    }
+
+    /// Build a segmented index over `num_docs` documents produced by
+    /// `doc(i) -> (url, title, body)`, split into consecutive segments
+    /// of `docs_per_segment`, built by `threads` worker threads.
+    ///
+    /// The output is **independent of `threads`**: each segment is built
+    /// from its own document range in isolation, so parallelism is pure
+    /// execution strategy. Every built segment round-trips through the
+    /// on-disk format ([`SegmentBuilder::finish_segment`]).
+    pub fn build_parallel<F>(
+        analyzer: Analyzer,
+        num_docs: usize,
+        docs_per_segment: usize,
+        threads: usize,
+        doc: F,
+    ) -> Result<SegmentedIndex, SegmentError>
+    where
+        F: Fn(usize) -> (String, String, String) + Sync,
+    {
+        assert!(docs_per_segment > 0, "docs_per_segment must be positive");
+        let num_segments = num_docs.div_ceil(docs_per_segment).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<Result<Segment, SegmentError>>>> =
+            (0..num_segments).map(|_| std::sync::Mutex::new(None)).collect();
+        let workers = threads.clamp(1, num_segments);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if s >= num_segments {
+                        return;
+                    }
+                    let lo = s * docs_per_segment;
+                    let hi = (lo + docs_per_segment).min(num_docs);
+                    let mut b = SegmentBuilder::new(analyzer.clone());
+                    for i in lo..hi {
+                        let (url, title, body) = doc(i);
+                        b.add(&url, &title, &body);
+                    }
+                    let built = b.finish_segment();
+                    if let Ok(mut slot) =
+                        slots[s].lock().or_else(|p| Ok::<_, ()>(p.into_inner()))
+                    {
+                        *slot = Some(built);
+                    }
+                });
+            }
+        });
+        let mut segments = Vec::with_capacity(num_segments);
+        for slot in slots {
+            let built = slot
+                .into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or(Err(SegmentError::Malformed("segment build worker died")));
+            segments.push(built?);
+        }
+        SegmentedIndex::from_segments(segments)
+    }
+}
+
+/// One resolved unique query term.
+#[derive(Debug)]
+struct QueryTerm {
+    term: String,
+    idf: f64,
+    /// Occurrence count in the query (duplicate tokens score multiply).
+    mult: u32,
+}
+
+/// A resolved query: unique terms + the occurrence → term mapping that
+/// fixes score accumulation order.
+#[derive(Debug)]
+struct ResolvedQuery {
+    terms: Vec<QueryTerm>,
+    slots: Vec<usize>,
+}
+
+/// Per-term Block-Max WAND cursor over one segment's block table.
+///
+/// Two movement granularities: *shallow* moves walk the block table by
+/// `last_doc` without touching payloads; *deep* moves decode the current
+/// block and walk its postings. Pruned candidates only ever cost shallow
+/// moves on non-essential terms.
+struct BmwCursor<'a> {
+    blocks: &'a [BlockMeta],
+    /// Current block index (may be past the decoded one after a shallow
+    /// move; `decoded_bi` tracks what `decoded` actually holds).
+    bi: usize,
+    decoded: Vec<(u32, u32)>,
+    decoded_bi: usize,
+    pos: usize,
+    idf: f64,
+    mult: f64,
+    /// Whole-term upper bound × query multiplicity (this segment).
+    ub: f64,
+    /// Index into the query's unique-term table (accumulation slot).
+    slot_term: usize,
+}
+
+impl BmwCursor<'_> {
+    /// Decode the current block if it isn't already.
+    /// Returns `false` once the cursor is exhausted.
+    fn ensure_decoded(&mut self, seg: &Segment) -> bool {
+        loop {
+            if self.bi >= self.blocks.len() {
+                return false;
+            }
+            if self.decoded_bi == self.bi {
+                if self.pos < self.decoded.len() {
+                    return true;
+                }
+                self.bi += 1;
+                continue;
+            }
+            let ok = seg.decode_block(&self.blocks[self.bi], &mut self.decoded);
+            self.decoded_bi = self.bi;
+            self.pos = 0;
+            if ok && !self.decoded.is_empty() {
+                return true;
+            }
+            // Undecodable block (unreachable post-checksum): skip it.
+            self.bi += 1;
+        }
+    }
+
+    /// The current posting's doc id, if any.
+    fn current_doc(&mut self, seg: &Segment) -> Option<u32> {
+        if self.ensure_decoded(seg) {
+            Some(self.decoded[self.pos].0)
+        } else {
+            None
+        }
+    }
+
+    /// Advance one posting.
+    fn advance(&mut self, seg: &Segment) {
+        if self.ensure_decoded(seg) {
+            self.pos += 1;
+        }
+    }
+
+    /// Shallow-skip whole blocks whose `last_doc < d` (no decode).
+    fn shallow_seek(&mut self, d: u32) {
+        while self.bi < self.blocks.len() && self.blocks[self.bi].last_doc < d {
+            self.bi += 1;
+        }
+    }
+
+    /// Upper bound of this term's contribution from its current block.
+    fn block_ub(&self, params: Bm25Params, avg_len: f64) -> f64 {
+        let b = &self.blocks[self.bi.min(self.decoded_bi)];
+        bm25_term(params, self.idf, b.max_tf, b.min_dlen, avg_len) * self.mult
+    }
+
+    /// Upper bound of this term's contribution to doc `d`, moving only
+    /// through the block table (payloads untouched). 0.0 once exhausted.
+    fn block_ub_at(&mut self, params: Bm25Params, avg_len: f64, d: u32) -> f64 {
+        self.shallow_seek(d);
+        if self.bi >= self.blocks.len() {
+            return 0.0;
+        }
+        let b = &self.blocks[self.bi];
+        bm25_term(params, self.idf, b.max_tf, b.min_dlen, avg_len) * self.mult
+    }
+
+    /// Deep-seek to the first posting with doc ≥ `d`; returns it.
+    fn seek(&mut self, seg: &Segment, d: u32) -> Option<(u32, u32)> {
+        self.shallow_seek(d);
+        loop {
+            if !self.ensure_decoded(seg) {
+                return None;
+            }
+            // The match, if any, is in this block (last_doc ≥ d).
+            while self.pos < self.decoded.len() && self.decoded[self.pos].0 < d {
+                self.pos += 1;
+            }
+            if self.pos < self.decoded.len() {
+                return Some(self.decoded[self.pos]);
+            }
+            // Block exhausted below d (possible when bi was already
+            // decoded and positioned past earlier docs): next block.
+            self.bi = self.decoded_bi + 1;
+        }
+    }
+}
+
+/// Drain the shared heap into `(global doc, score)` candidates in final
+/// rank order: score descending, ties by ascending doc id.
+fn drain_heap(heap: BinaryHeap<HeapEntry>) -> Vec<(u32, f64)> {
+    let mut cands: Vec<(u32, f64)> = heap.into_iter().map(|e| (e.doc, e.score)).collect();
+    cands.sort_unstable_by(|a, b| match b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal) {
+        Ordering::Equal => a.0.cmp(&b.0),
+        o => o,
+    });
+    cands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::search::StoredDoc;
+
+    const DOCS: &[(&str, &str, &str)] = &[
+        ("http://a.test/0", "Crab shack menu",
+         "fresh seafood lobster and crab daily specials near the harbor"),
+        ("http://b.test/1", "Phone deals",
+         "unlocked android smartphone with great battery and camera"),
+        ("http://c.test/2", "Seafood city guide",
+         "the seafood guide covers lobster rolls oyster bars and sushi"),
+        ("http://d.test/3", "Hotel by the sea",
+         "oceanview suite booking with seafood restaurant downstairs"),
+        ("http://e.test/4", "Harbor festival",
+         "the annual harbor festival has lobster stands and live music"),
+    ];
+
+    /// The reference: one in-memory engine over all docs.
+    fn reference() -> crate::SearchEngine {
+        let mut b = IndexBuilder::new();
+        for (i, (u, t, body)) in DOCS.iter().enumerate() {
+            b.add(StoredDoc::new(i as u32, u, t, body));
+        }
+        b.build()
+    }
+
+    /// The same corpus split into segments of `per` docs.
+    fn segmented(per: usize) -> SegmentedIndex {
+        SegmentedIndex::build_parallel(Analyzer::default(), DOCS.len(), per, 2, |i| {
+            let (u, t, b) = DOCS[i];
+            (u.to_string(), t.to_string(), b.to_string())
+        })
+        .expect("build")
+    }
+
+    fn assert_hits_identical(a: &[SearchHit], b: &[SearchHit], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: length");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.doc, y.doc, "{ctx}: doc order");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{ctx}: score bits");
+            assert_eq!(x.rank, y.rank, "{ctx}");
+            assert_eq!(x.url, y.url, "{ctx}");
+            assert_eq!(x.title, y.title, "{ctx}");
+            assert_eq!(x.snippet, y.snippet, "{ctx}");
+        }
+    }
+
+    #[test]
+    fn matches_in_memory_engine_bitwise() {
+        let eng = reference();
+        for per in [1, 2, 3, 5] {
+            let idx = segmented(per);
+            assert_eq!(idx.doc_count(), eng.doc_count());
+            assert!((idx.avg_doc_len() - eng.avg_doc_len()).abs() == 0.0);
+            for q in ["seafood lobster", "harbor", "hotel booking camera",
+                      "seafood seafood lobster", "missing terms only"] {
+                for k in [1, 2, 3, 10] {
+                    let a = idx.search(q, k);
+                    let b = eng.search(q, k);
+                    assert_hits_identical(&a, &b, &format!("per={per} q={q:?} k={k}"));
+                    let c = eng.search_naive(q, k);
+                    assert_hits_identical(&a, &c, &format!("naive per={per} q={q:?} k={k}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bmw_matches_exhaustive() {
+        let idx = segmented(2);
+        for q in ["seafood lobster", "harbor festival", "camera", "the of and"] {
+            for k in [1, 3, 10] {
+                assert_hits_identical(
+                    &idx.search(q, k),
+                    &idx.search_exhaustive(q, k),
+                    &format!("q={q:?} k={k}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_docs_matches_engine_bitwise() {
+        let eng = reference();
+        let idx = segmented(2);
+        let docs = [3, 0, 2, 4, 1, 2];
+        for q in ["seafood lobster", "harbor", "zzz"] {
+            let a = idx.score_docs(q, &docs);
+            let b = eng.score_docs(q, &docs);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_segment_updates_global_stats() {
+        let mut idx = segmented(5); // one segment
+        assert_eq!(idx.num_segments(), 1);
+        let mut b = SegmentBuilder::new(Analyzer::default());
+        b.add("http://f.test/5", "New seafood place", "seafood tapas with harbor views");
+        idx.add_segment(b.finish_segment().expect("seg")).expect("add");
+        assert_eq!(idx.num_segments(), 2);
+        assert_eq!(idx.doc_count(), 6);
+        assert_eq!(idx.doc_frequency("seafood"), 4);
+        // New doc retrievable under global ids.
+        let hits = idx.search("tapas", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 5);
+        // And scores still agree with a monolithic engine over all 6.
+        let mut eb = IndexBuilder::new();
+        for (i, (u, t, body)) in DOCS.iter().enumerate() {
+            eb.add(StoredDoc::new(i as u32, u, t, body));
+        }
+        eb.add(StoredDoc::new(5, "http://f.test/5", "New seafood place",
+            "seafood tapas with harbor views"));
+        let eng = eb.build();
+        for q in ["seafood", "harbor lobster"] {
+            assert_hits_identical(&idx.search(q, 10), &eng.search(q, 10), q);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_results_bitwise() {
+        let idx = segmented(2); // 3 segments
+        let segs: Vec<&Segment> = idx.segments().iter().collect();
+        let merged = Segment::merge(&segs).expect("merge");
+        let midx = SegmentedIndex::from_segments(vec![merged]).expect("from");
+        for q in ["seafood lobster", "harbor festival", "camera"] {
+            assert_hits_identical(&idx.search(q, 10), &midx.search(q, 10), q);
+        }
+    }
+
+    #[test]
+    fn build_parallel_is_thread_count_invariant() {
+        let a = segmented(2);
+        let b = SegmentedIndex::build_parallel(Analyzer::default(), DOCS.len(), 2, 1, |i| {
+            let (u, t, body) = DOCS[i];
+            (u.to_string(), t.to_string(), body.to_string())
+        })
+        .expect("build");
+        assert_eq!(a.num_segments(), b.num_segments());
+        for (x, y) in a.segments().iter().zip(b.segments()) {
+            assert_eq!(x.file_bytes(), y.file_bytes(), "segment bytes differ by threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_edge_queries() {
+        let idx = segmented(2);
+        assert!(idx.search("", 10).is_empty());
+        assert!(idx.search("seafood", 0).is_empty());
+        assert!(idx.search("zzzqqq", 10).is_empty());
+        let empty = SegmentedIndex::empty(Analyzer::default());
+        assert!(empty.search("seafood", 10).is_empty());
+        assert_eq!(empty.doc_count(), 0);
+    }
+
+    #[test]
+    fn doc_accessor_rewrites_global_id() {
+        let idx = segmented(2);
+        for g in 0..5u32 {
+            let d = idx.doc(g);
+            assert_eq!(d.id, g);
+            assert_eq!(&*d.url, DOCS[g as usize].0);
+        }
+    }
+}

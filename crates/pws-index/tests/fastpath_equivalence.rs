@@ -1,13 +1,18 @@
-//! Property tests gating the retrieval fast path.
+//! Property tests gating the retrieval fast paths.
 //!
 //! `SearchEngine::search` (document-at-a-time, bounded top-k heap, MaxScore
 //! pruning) must return *exactly* what the exhaustive reference scorer
 //! `SearchEngine::search_naive` returns on any corpus and query: same docs,
 //! same order, same ranks, bitwise-equal scores. This includes score ties
 //! (broken by ascending doc id) interacting with the heap bound `k`.
+//!
+//! The same gate applies to the segmented on-disk backend:
+//! `SegmentedIndex::search` (Block-Max WAND over block-compressed
+//! postings) must be bit-identical to `search_naive` on the same corpus,
+//! for every way of splitting the corpus into segments.
 
 use proptest::prelude::*;
-use pws_index::{IndexBuilder, SearchEngine, StoredDoc};
+use pws_index::{IndexBuilder, SearchEngine, SegmentBuilder, SegmentedIndex, StoredDoc};
 use std::collections::HashMap;
 
 /// Non-stopword vocabulary; stems are distinct so analysis keeps them apart.
@@ -48,6 +53,50 @@ fn assert_fast_matches_naive(e: &SearchEngine, query: &str, k: usize) {
         assert_eq!(f.title, n.title);
         assert_eq!(f.snippet, n.snippet);
     }
+}
+
+/// Build a segmented index over the same docs as [`build`], split into
+/// `num_segments` contiguous chunks.
+fn build_segmented(doc_words: &[Vec<&str>], num_segments: usize) -> SegmentedIndex {
+    let per = doc_words.len().div_ceil(num_segments.max(1)).max(1);
+    let mut built = Vec::new();
+    let mut next_id = 0usize;
+    for chunk in doc_words.chunks(per) {
+        let mut b = SegmentBuilder::new(Default::default());
+        for words in chunk {
+            b.add(&format!("http://t.test/{next_id}"), "doc", &words.join(" "));
+            next_id += 1;
+        }
+        built.push(b.finish_segment().expect("segment build"));
+    }
+    SegmentedIndex::from_segments(built).expect("segmented index")
+}
+
+fn assert_bmw_matches_naive(
+    e: &SearchEngine,
+    seg: &SegmentedIndex,
+    query: &str,
+    k: usize,
+) -> Result<(), TestCaseError> {
+    let bmw = seg.search(query, k);
+    let naive = e.search_naive(query, k);
+    prop_assert_eq!(bmw.len(), naive.len(), "length mismatch for {:?} k={}", query, k);
+    for (b, n) in bmw.iter().zip(&naive) {
+        prop_assert_eq!(b.doc, n.doc, "doc order mismatch for {:?} k={}", query, k);
+        prop_assert_eq!(
+            b.score.to_bits(),
+            n.score.to_bits(),
+            "score not bitwise equal for {:?} k={} doc={}",
+            query,
+            k,
+            b.doc
+        );
+        prop_assert_eq!(b.rank, n.rank);
+        prop_assert_eq!(&b.url, &n.url);
+        prop_assert_eq!(&b.title, &n.title);
+        prop_assert_eq!(&b.snippet, &n.snippet);
+    }
+    Ok(())
 }
 
 fn vocab_strategy(
@@ -102,6 +151,39 @@ proptest! {
         // term (must be ignored identically by both paths).
         let query = format!("{base} {extra} {base} zzzunknownzzz {base}");
         assert_fast_matches_naive(&e, &query, k);
+    }
+
+    #[test]
+    fn block_max_wand_equals_exhaustive_topk(
+        doc_words in vocab_strategy(VOCAB, 30, 50),
+        query_words in proptest::collection::vec(proptest::sample::select(VOCAB.to_vec()), 1..6),
+        k in 1usize..20,
+        num_segments in 1usize..5,
+    ) {
+        // The segmented backend's Block-Max WAND must reproduce the
+        // exhaustive scorer exactly, however the corpus is segmented.
+        let e = build(&doc_words);
+        let seg = build_segmented(&doc_words, num_segments);
+        let query = query_words.join(" ");
+        assert_bmw_matches_naive(&e, &seg, &query, k)?;
+        assert_bmw_matches_naive(&e, &seg, &query, 1)?;
+        assert_bmw_matches_naive(&e, &seg, &query, doc_words.len() + 5)?;
+    }
+
+    #[test]
+    fn block_max_wand_handles_ties_on_score(
+        doc_words in vocab_strategy(TIE_VOCAB, 4, 40),
+        query_words in proptest::collection::vec(proptest::sample::select(TIE_VOCAB.to_vec()), 1..4),
+        k in 1usize..8,
+        num_segments in 1usize..4,
+    ) {
+        // Duplicate docs → exact BM25 ties; BMW's θ-pruning (`bound ≤ θ`
+        // skips) must keep the ascending-doc-id prefix of each tied group
+        // exactly like the exhaustive sort, across segment boundaries.
+        let e = build(&doc_words);
+        let seg = build_segmented(&doc_words, num_segments);
+        let query = query_words.join(" ");
+        assert_bmw_matches_naive(&e, &seg, &query, k)?;
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Property tests for segment persistence (task: storage durability).
+//!
+//! Three guarantees, for *arbitrary* corpora:
+//!
+//! 1. **Round trip** — build → serialize → load → search is bit-identical
+//!    to the in-memory [`SearchEngine`] over the same documents: same
+//!    docs, order, ranks, urls, titles, snippets, and bitwise-equal
+//!    scores, for any segmentation of the corpus.
+//! 2. **Durability** — corrupted (any single byte flipped), truncated
+//!    (any prefix), or wrong-version files fail to load with a typed
+//!    [`SegmentError`], never a panic.
+//! 3. **Merge** — merging segments preserves search results bit-for-bit.
+
+use proptest::prelude::*;
+use pws_index::{
+    IndexBuilder, SearchEngine, Segment, SegmentBuilder, SegmentError, SegmentedIndex, StoredDoc,
+    FORMAT_VERSION,
+};
+
+const VOCAB: &[&str] = &[
+    "lobster", "seafood", "harbor", "android", "battery", "camera", "hotel", "booking", "oyster",
+    "sushi", "guide", "menu", "special", "fresh", "downtown", "airport", "museum", "garden",
+];
+
+fn build_engine(doc_words: &[Vec<&str>]) -> SearchEngine {
+    let mut b = IndexBuilder::new();
+    for (i, words) in doc_words.iter().enumerate() {
+        b.add(StoredDoc::new(i as u32, &format!("http://t.test/{i}"), "doc", &words.join(" ")));
+    }
+    b.build()
+}
+
+/// Serialize each chunk with [`SegmentBuilder::finish`], reload the raw
+/// bytes with [`Segment::load_bytes`], and assemble a [`SegmentedIndex`]
+/// — the full persistence round trip minus the filesystem.
+fn round_trip_segmented(doc_words: &[Vec<&str>], num_segments: usize) -> SegmentedIndex {
+    let per = doc_words.len().div_ceil(num_segments.max(1)).max(1);
+    let mut segments = Vec::new();
+    let mut next_id = 0usize;
+    for chunk in doc_words.chunks(per) {
+        let mut b = SegmentBuilder::new(Default::default());
+        for words in chunk {
+            b.add(&format!("http://t.test/{next_id}"), "doc", &words.join(" "));
+            next_id += 1;
+        }
+        let bytes = b.finish();
+        segments.push(Segment::load_bytes(bytes).expect("reload serialized segment"));
+    }
+    SegmentedIndex::from_segments(segments).expect("assemble segmented index")
+}
+
+fn one_segment_bytes(doc_words: &[Vec<&str>]) -> Vec<u8> {
+    let mut b = SegmentBuilder::new(Default::default());
+    for (i, words) in doc_words.iter().enumerate() {
+        b.add(&format!("http://t.test/{i}"), "doc", &words.join(" "));
+    }
+    b.finish()
+}
+
+fn assert_hits_identical(
+    got: &[pws_index::SearchHit],
+    want: &[pws_index::SearchHit],
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len(), "length mismatch: {}", ctx);
+    for (g, w) in got.iter().zip(want) {
+        prop_assert_eq!(g.doc, w.doc, "doc mismatch: {}", ctx);
+        prop_assert_eq!(
+            g.score.to_bits(),
+            w.score.to_bits(),
+            "score not bitwise equal: {} doc={}",
+            ctx,
+            g.doc
+        );
+        prop_assert_eq!(g.rank, w.rank);
+        prop_assert_eq!(&g.url, &w.url);
+        prop_assert_eq!(&g.title, &w.title);
+        prop_assert_eq!(&g.snippet, &w.snippet);
+    }
+    Ok(())
+}
+
+fn docs_strategy() -> impl Strategy<Value = Vec<Vec<&'static str>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::sample::select(VOCAB.to_vec()), 1..25),
+        1..40,
+    )
+}
+
+proptest! {
+    /// Round trip: serialized-and-reloaded segments answer queries
+    /// bit-identically to the in-memory engine, under any segmentation.
+    #[test]
+    fn round_trip_search_is_bit_identical(
+        doc_words in docs_strategy(),
+        query_words in proptest::collection::vec(proptest::sample::select(VOCAB.to_vec()), 1..5),
+        k in 1usize..15,
+        num_segments in 1usize..5,
+    ) {
+        let engine = build_engine(&doc_words);
+        let seg = round_trip_segmented(&doc_words, num_segments);
+        let query = query_words.join(" ");
+        let ctx = format!("{query:?} k={k} segs={num_segments}");
+        assert_hits_identical(&seg.search(&query, k), &engine.search_naive(&query, k), &ctx)?;
+        // Pre-analyzed entry point and per-doc rescoring agree too.
+        let toks = engine.analyze_text(&query);
+        assert_hits_identical(&seg.search_tokens(&toks, k), &engine.search_tokens(&toks, k), &ctx)?;
+        let asked: Vec<u32> = (0..doc_words.len() as u32).collect();
+        let got = seg.score_docs(&query, &asked);
+        let want = engine.score_docs(&query, &asked);
+        for (d, (g, w)) in asked.iter().zip(got.iter().zip(&want)) {
+            prop_assert_eq!(g.to_bits(), w.to_bits(), "score_docs mismatch doc {} ({})", d, &ctx);
+        }
+    }
+
+    /// Merging all segments into one preserves results bit-for-bit.
+    #[test]
+    fn merge_preserves_search_results(
+        doc_words in docs_strategy(),
+        query_words in proptest::collection::vec(proptest::sample::select(VOCAB.to_vec()), 1..4),
+        k in 1usize..12,
+        num_segments in 2usize..5,
+    ) {
+        let multi = round_trip_segmented(&doc_words, num_segments);
+        let merged = Segment::merge(&multi.segments().iter().collect::<Vec<_>>())
+            .expect("merge");
+        // The merged segment survives its own serialize→load round trip.
+        let merged = Segment::load_bytes(merged.file_bytes().to_vec()).expect("reload merged");
+        let single = SegmentedIndex::from_segments(vec![merged]).expect("single-segment index");
+        let query = query_words.join(" ");
+        let ctx = format!("{query:?} k={k} segs={num_segments} (merged)");
+        assert_hits_identical(&single.search(&query, k), &multi.search(&query, k), &ctx)?;
+    }
+
+    /// Any prefix of a valid segment file fails to load with a typed
+    /// error — and never panics.
+    #[test]
+    fn truncated_files_fail_with_typed_error(
+        doc_words in docs_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = one_segment_bytes(&doc_words);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize; // < len since cut_frac < 1
+        let got = Segment::load_bytes(bytes[..cut].to_vec());
+        prop_assert!(got.is_err(), "truncated prefix {} of {} loaded", cut, bytes.len());
+    }
+
+    /// Any single flipped byte fails to load with a typed error — every
+    /// byte of the file is covered by field validation or a section
+    /// checksum — and never panics.
+    #[test]
+    fn corrupted_files_fail_with_typed_error(
+        doc_words in docs_strategy(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = one_segment_bytes(&doc_words);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= flip;
+        let got = Segment::load_bytes(bytes);
+        prop_assert!(got.is_err(), "flip {:#04x} at byte {} loaded", flip, pos);
+    }
+}
+
+/// Exhaustive single-byte corruption sweep on one small fixture segment:
+/// every position, the strongest form of the property above.
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let doc_words: Vec<Vec<&str>> =
+        vec![vec!["lobster", "seafood"], vec!["harbor", "lobster", "menu"], vec!["sushi"]];
+    let bytes = one_segment_bytes(&doc_words);
+    for pos in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0xA5;
+        assert!(
+            Segment::load_bytes(corrupt).is_err(),
+            "byte flip at {pos}/{} loaded successfully",
+            bytes.len()
+        );
+    }
+}
+
+/// A file claiming a future format version is rejected up front with
+/// [`SegmentError::UnsupportedVersion`] — not misparsed.
+#[test]
+fn future_version_is_rejected_with_typed_error() {
+    let mut bytes = one_segment_bytes(&[vec!["lobster"]]);
+    let future = FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    assert_eq!(
+        Segment::load_bytes(bytes).err(),
+        Some(SegmentError::UnsupportedVersion(future))
+    );
+}
+
+/// A non-segment file is rejected with [`SegmentError::BadMagic`].
+#[test]
+fn non_segment_file_is_rejected() {
+    assert_eq!(
+        Segment::load_bytes(b"definitely not a segment".to_vec()).err(),
+        Some(SegmentError::BadMagic)
+    );
+}
+
+/// Full filesystem round trip: write_file → open → identical results.
+#[test]
+fn write_file_open_round_trip() {
+    let doc_words: Vec<Vec<&str>> =
+        vec![vec!["lobster", "seafood", "menu"], vec!["harbor", "hotel"], vec!["sushi", "fresh"]];
+    let engine = build_engine(&doc_words);
+    let mut b = SegmentBuilder::new(Default::default());
+    for (i, words) in doc_words.iter().enumerate() {
+        b.add(&format!("http://t.test/{i}"), "doc", &words.join(" "));
+    }
+    let seg = b.finish_segment().expect("build");
+    let dir = std::env::temp_dir().join(format!("pws-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("seg-0.pws");
+    seg.write_file(&path).expect("write");
+    let reopened = Segment::open(&path).expect("open");
+    let idx = SegmentedIndex::from_segments(vec![reopened]).expect("index");
+    for (query, k) in [("lobster seafood", 3), ("sushi", 1), ("harbor hotel fresh", 5)] {
+        let got = idx.search(query, k);
+        let want = engine.search_naive(query, k);
+        assert_eq!(got.len(), want.len(), "{query}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.doc, w.doc, "{query}");
+            assert_eq!(g.score.to_bits(), w.score.to_bits(), "{query}");
+            assert_eq!(g.snippet, w.snippet, "{query}");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Opening a missing path is a typed I/O error, not a panic.
+#[test]
+fn open_missing_path_is_io_error() {
+    let err = Segment::open("/nonexistent/pws-segment-xyz.pws").unwrap_err();
+    assert!(matches!(err, SegmentError::Io(_)), "got {err:?}");
+}

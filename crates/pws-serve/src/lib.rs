@@ -618,6 +618,13 @@ impl ShardedRetrievalCache {
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// The current invalidation epoch (monotonically increasing; each
+    /// [`invalidate`](Self::invalidate) — including a segment publish
+    /// via [`ServingEngine::publish_segment`] — bumps it by one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// Number of currently resident entries (stale-epoch entries still
     /// count until their next probe drops them).
     pub fn len(&self) -> usize {
@@ -832,6 +839,80 @@ impl FaultMetrics {
     }
 }
 
+/// A live-publishable segmented index: the mutable holder that lets a
+/// serving process gain segments without restarting.
+///
+/// [`pws_core::EngineCore`] borrows its retrieval backend for the whole
+/// engine lifetime, so the backend itself must absorb updates.
+/// `LiveIndex` wraps an [`Arc<pws_index::SegmentedIndex>`] behind an
+/// `RwLock`: queries clone the `Arc` (a snapshot — segments are
+/// immutable, so an in-flight query is never affected by a publish) and
+/// [`add_segment`](Self::add_segment) swaps in an extended index.
+///
+/// Publishing through [`ServingEngine::publish_segment`] pairs the swap
+/// with one atomic-epoch bump of the [`ShardedRetrievalCache`], so
+/// cached pools from the old segment set can never be served once the
+/// new segment is visible.
+///
+/// Lock poisoning is recovered, never propagated (the last good index
+/// keeps serving) — consistent with the serving layer's lock-recovery
+/// policy.
+pub struct LiveIndex {
+    inner: RwLock<Arc<pws_index::SegmentedIndex>>,
+}
+
+impl LiveIndex {
+    /// Start serving `index`.
+    pub fn new(index: pws_index::SegmentedIndex) -> Self {
+        LiveIndex { inner: RwLock::new(Arc::new(index)) }
+    }
+
+    /// Snapshot the current segment set. The snapshot stays valid (and
+    /// consistent) for as long as the caller holds it, regardless of
+    /// concurrent publishes.
+    pub fn snapshot(&self) -> Arc<pws_index::SegmentedIndex> {
+        match self.inner.read() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    /// Atomically extend the served index with one more segment.
+    ///
+    /// On error (analyzer mismatch, doc-count overflow) the served index
+    /// is unchanged. Callers inside a serving stack should prefer
+    /// [`ServingEngine::publish_segment`], which also invalidates the
+    /// retrieval cache.
+    pub fn add_segment(&self, seg: pws_index::Segment) -> Result<(), pws_index::SegmentError> {
+        let mut next = (*self.snapshot()).clone();
+        next.add_segment(seg)?;
+        let next = Arc::new(next);
+        match self.inner.write() {
+            Ok(mut g) => *g = next,
+            Err(p) => *p.into_inner() = next,
+        }
+        Ok(())
+    }
+}
+
+impl pws_index::RetrievalBackend for LiveIndex {
+    fn analyze_text(&self, text: &str) -> Vec<String> {
+        self.snapshot().analyze_text(text)
+    }
+
+    fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.snapshot().search(query, k)
+    }
+
+    fn search_tokens(&self, q_tokens: &[String], k: usize) -> Vec<SearchHit> {
+        self.snapshot().search_tokens(q_tokens, k)
+    }
+
+    fn score_docs(&self, query: &str, docs: &[u32]) -> Vec<f64> {
+        self.snapshot().score_docs(query, docs)
+    }
+}
+
 /// SplitMix64 finalizer — the same user-hash the eval harness uses for
 /// seeding, reused here so shard assignment is well-mixed even for the
 /// dense sequential `UserId`s the simulator generates.
@@ -894,7 +975,7 @@ pub struct ServingEngine<'a> {
 impl<'a> ServingEngine<'a> {
     /// Build a serving engine over an already-built baseline index.
     pub fn new(
-        base: &'a pws_index::SearchEngine,
+        base: &'a dyn pws_index::RetrievalBackend,
         world: &'a pws_geo::LocationOntology,
         cfg: EngineConfig,
         serve_cfg: ServeConfig,
@@ -955,6 +1036,22 @@ impl<'a> ServingEngine<'a> {
         if let Some(c) = &self.cache {
             c.invalidate();
         }
+    }
+
+    /// Publish one new segment to a live index and invalidate the
+    /// retrieval cache: after this returns, no query served through this
+    /// engine can observe a cached pool from the pre-publish segment
+    /// set. `live` must be the [`LiveIndex`] this engine was built over.
+    ///
+    /// On error the index and the cache are both unchanged.
+    pub fn publish_segment(
+        &self,
+        live: &LiveIndex,
+        seg: pws_index::Segment,
+    ) -> Result<(), pws_index::SegmentError> {
+        live.add_segment(seg)?;
+        self.invalidate_retrieval_cache();
+        Ok(())
     }
 
     /// Enable proximity-smoothed location scoring (see
@@ -1459,6 +1556,35 @@ mod tests {
         b.build()
     }
 
+    /// The same six documents as [`index`], as a two-segment on-disk
+    /// index (docs 0–2 in segment 0, docs 3–5 in segment 1). Global doc
+    /// ids come out identical, so transcripts are directly comparable.
+    fn segmented_index() -> pws_index::SegmentedIndex {
+        let docs: [(&str, &str, &str); 6] = [
+            ("http://a.test/0", "Seafood guide",
+                "seafood restaurant guide with lobster in alden harbor area"),
+            ("http://b.test/1", "Seafood lakemoor",
+                "seafood restaurant in lakemoor with fresh oysters"),
+            ("http://c.test/2", "Sushi place",
+                "sushi restaurant downtown with omakase menu in alden"),
+            ("http://d.test/3", "Steak house",
+                "steak restaurant grill with ribeye specials"),
+            ("http://e.test/4", "Pizza lakemoor",
+                "pizza restaurant in lakemoor stone oven margherita"),
+            ("http://f.test/5", "Noodle bar",
+                "noodle restaurant with ramen and broth in alden"),
+        ];
+        let mut segments = Vec::new();
+        for chunk in docs.chunks(3) {
+            let mut b = pws_index::SegmentBuilder::new(Default::default());
+            for (url, title, body) in chunk {
+                b.add(url, title, body);
+            }
+            segments.push(b.finish_segment().expect("segment"));
+        }
+        pws_index::SegmentedIndex::from_segments(segments).expect("segmented index")
+    }
+
     fn impression_from(turn: &SearchTurn, clicked_docs: &[u32]) -> Impression {
         Impression {
             user: turn.user,
@@ -1540,9 +1666,23 @@ mod tests {
         trace: TraceConfig,
     ) -> HashMap<UserId, Vec<String>> {
         let idx = index();
+        replay_sharded_on(&idx, log, cfg, shards, threads, trace)
+    }
+
+    /// Same sharded replay, but over any retrieval backend — the
+    /// segmented-backend equivalence tests pass a [`SegmentedIndex`]
+    /// (and a [`LiveIndex`]) here.
+    fn replay_sharded_on(
+        idx: &dyn pws_index::RetrievalBackend,
+        log: &[(UserId, Vec<String>)],
+        cfg: EngineConfig,
+        shards: usize,
+        threads: usize,
+        trace: TraceConfig,
+    ) -> HashMap<UserId, Vec<String>> {
         let w = world();
         let e = ServingEngine::new(
-            &idx,
+            idx,
             &w,
             cfg,
             ServeConfig { shards, stats_refresh_every: 1, trace, ..ServeConfig::default() },
@@ -1644,6 +1784,94 @@ mod tests {
                 assert_equivalent(&serial, &sharded, &format!("{shards} shards / {threads} threads"));
             }
         }
+    }
+
+    /// Swapping the segmented on-disk backend (via [`LiveIndex`]) under
+    /// the serving stack leaves the replay-equivalence contract intact:
+    /// sharded replays over both backends are byte-identical to the
+    /// serial in-memory replay, cache and all.
+    #[test]
+    fn sharded_replay_on_segmented_backend_matches_serial() {
+        let queries = |u: u32| -> Vec<String> {
+            vec![
+                format!("seafood restaurant u{u}"),
+                format!("restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+                format!("sushi restaurant u{u}"),
+            ]
+        };
+        let log = session_log(&queries, 6);
+        let serial = replay_serial(&log, EngineConfig::default());
+        let seg = segmented_index();
+        let live = LiveIndex::new(segmented_index());
+        for (shards, threads) in [(1usize, 1usize), (3, 4)] {
+            let on_seg = replay_sharded_on(
+                &seg, &log, EngineConfig::default(), shards, threads, TraceConfig::default());
+            assert_equivalent(
+                &serial, &on_seg,
+                &format!("segmented backend, {shards} shards / {threads} threads"),
+            );
+            let on_live = replay_sharded_on(
+                &live, &log, EngineConfig::default(), shards, threads, TraceConfig::default());
+            assert_equivalent(
+                &serial, &on_live,
+                &format!("live segmented backend, {shards} shards / {threads} threads"),
+            );
+        }
+    }
+
+    /// Publishing a segment through [`ServingEngine::publish_segment`]
+    /// bumps the retrieval-cache epoch (invalidating every cached pool)
+    /// and makes the new segment's documents visible to the very next
+    /// query — even one whose token sequence was already cached.
+    #[test]
+    fn publish_segment_bumps_epoch_and_surfaces_new_docs() {
+        let seg_all = segmented_index();
+        let (first, second) = {
+            let segs = seg_all.segments();
+            (segs[0].clone(), segs[1].clone())
+        };
+        let live = LiveIndex::new(
+            pws_index::SegmentedIndex::from_segments(vec![first]).expect("index"));
+        let w = world();
+        let e = ServingEngine::new(
+            &live,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { shards: 2, stats_refresh_every: 1, ..ServeConfig::default() },
+        );
+        let cache = e.retrieval_cache().expect("cache enabled by default");
+        // Warm the cache on the single-segment index: "restaurant"
+        // matches docs 0–2 only.
+        let before = e.search(UserId(1), "pizza restaurant");
+        assert!(before.hits.iter().all(|h| h.doc <= 2), "segment 1 not published yet");
+        assert!(!cache.is_empty(), "base retrieval must have been cached");
+        let epoch_before = cache.epoch();
+
+        e.publish_segment(&live, second).expect("publish");
+        assert_eq!(cache.epoch(), epoch_before + 1, "publish must bump the cache epoch");
+        assert_eq!(live.snapshot().num_segments(), 2);
+        assert_eq!(live.snapshot().doc_count(), 6);
+
+        // The same query re-retrieves against the extended index: the
+        // pizza doc lives in the published segment and must now surface.
+        let after = e.search(UserId(1), "pizza restaurant");
+        assert!(
+            after.hits.iter().any(|h| h.doc == 4),
+            "published segment's docs must be visible: {:?}",
+            after.hits.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+        // Publishing a mismatched segment leaves index + epoch unchanged.
+        let mut bad = pws_index::SegmentBuilder::new(pws_index::Analyzer {
+            stem: false,
+            ..Default::default()
+        });
+        bad.add("http://g.test/6", "Mismatch", "built with a different analyzer");
+        let bad = bad.finish_segment().expect("segment");
+        let epoch = cache.epoch();
+        assert!(e.publish_segment(&live, bad).is_err(), "analyzer mismatch must fail");
+        assert_eq!(cache.epoch(), epoch, "failed publish must not invalidate");
+        assert_eq!(live.snapshot().num_segments(), 2);
     }
 
     #[test]

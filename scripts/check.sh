@@ -43,8 +43,10 @@ echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 
 echo "==> retrieval fast-path correctness gate (retrieval_bench --smoke)"
-# The DAAT/MaxScore fast path and the serving layer's retrieval cache
-# must return bit-identical results to the naive reference scorer on the
+# The DAAT/MaxScore fast path, the serving layer's retrieval cache, and
+# the segmented on-disk index (Block-Max WAND, exercised through a full
+# write→load→search round trip plus a corruption-detection check) must
+# return bit-identical results to the naive reference scorer on the
 # smoke experiment world; any disagreement exits non-zero.
 if [[ $fast -eq 0 ]]; then
     cargo run -q --release -p pws-bench --bin retrieval_bench --offline -- --smoke
@@ -75,6 +77,27 @@ for name in $(printf '%s\n' "$stage_names" | sort -u); do
 done
 if [[ $missing -ne 0 ]]; then
     echo "FAIL: undocumented stage names (add them to $registry)"
+    exit 1
+fi
+
+echo "==> segment-format section gate (docs/INDEX_FORMAT.md)"
+# The id/name pairs of enum SectionId (the segment writer's section
+# list) must match the section table documented in the format spec —
+# in both directions, so neither the code nor the doc can drift.
+spec=docs/INDEX_FORMAT.md
+enum_src=crates/pws-index/src/segfile.rs
+enum_pairs=$(awk '/^pub enum SectionId \{/,/^\}/' "$enum_src" \
+    | grep -oP '^\s+\K[A-Za-z]+\s*=\s*[0-9]+' \
+    | sed -E 's/\s*=\s*/ /')
+doc_pairs=$(grep -oP '^\|\s*[0-9]+\s*\|\s*`[A-Za-z]+`' "$spec" \
+    | sed -E 's/^\|\s*([0-9]+)\s*\|\s*`([A-Za-z]+)`/\2 \1/')
+if [[ -z "$enum_pairs" || -z "$doc_pairs" ]]; then
+    echo "FAIL: could not extract SectionId pairs from $enum_src or $spec"
+    exit 1
+fi
+if ! diff <(printf '%s\n' "$enum_pairs" | sort) \
+          <(printf '%s\n' "$doc_pairs" | sort); then
+    echo "FAIL: SectionId enum and the $spec section table disagree"
     exit 1
 fi
 
