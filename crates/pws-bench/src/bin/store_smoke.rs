@@ -1,0 +1,223 @@
+//! Store-tier correctness gate: write → evict → fault-in → replay equality.
+//!
+//! ```text
+//! cargo run -p pws-bench --bin store_smoke        # CI gate (scripts/check.sh)
+//! ```
+//!
+//! Three runs over the same round-robin session log (every user's turn
+//! interleaved with every other user's, so a capacity-1 store tier
+//! evicts and faults in on nearly every turn):
+//!
+//! 1. **resident** — a storeless engine; every user stays in memory for
+//!    the whole replay. This is the reference transcript.
+//! 2. **evicting** — a store tier with `capacity_per_shard: 1` and
+//!    synchronous writeback. Each turn evicts the previous user (with
+//!    writeback) and faults the current one back in from its on-disk
+//!    record. Transcripts must be **byte-identical** to the resident
+//!    run, and the `serve.store.{fault_in,evict,writeback}` counters
+//!    must have actually fired.
+//! 3. **restart** — the second half of the log replayed by a *fresh*
+//!    engine over the evicting run's directory, after the first engine
+//!    was dropped (which flushes dirty residents). Transcripts must
+//!    match the resident run's second half byte-for-byte: the records
+//!    carry complete replay state across a process boundary.
+//!
+//! Any disagreement prints the first divergent turn and exits non-zero.
+
+use pws_click::{Click, Impression, ShownResult, UserId};
+use pws_core::{EngineConfig, SearchTurn};
+use pws_corpus::query::QueryId;
+use pws_geo::{LocId, LocationOntology};
+use pws_index::{IndexBuilder, SearchEngine, StoredDoc};
+use pws_serve::{SearchBudget, ServeConfig, ServingEngine, StoreTierConfig};
+use std::collections::HashMap;
+
+const USERS: u32 = 8;
+const ROUNDS: usize = 2;
+
+fn world() -> LocationOntology {
+    let mut o = LocationOntology::new();
+    let r = o.add(LocId::WORLD, "westland", vec![]);
+    let c = o.add(r, "ardonia", vec![]);
+    let s = o.add(c, "vale", vec![]);
+    o.add(s, "alden", vec![]);
+    o.add(s, "lakemoor", vec![]);
+    o
+}
+
+fn index() -> SearchEngine {
+    let mut b = IndexBuilder::new();
+    b.add(StoredDoc::new(0, "http://a.test/0", "Seafood guide",
+        "seafood restaurant guide with lobster in alden harbor area"));
+    b.add(StoredDoc::new(1, "http://b.test/1", "Seafood lakemoor",
+        "seafood restaurant in lakemoor with fresh oysters"));
+    b.add(StoredDoc::new(2, "http://c.test/2", "Sushi place",
+        "sushi restaurant downtown with omakase menu in alden"));
+    b.add(StoredDoc::new(3, "http://d.test/3", "Steak house",
+        "steak restaurant grill with ribeye specials"));
+    b.add(StoredDoc::new(4, "http://e.test/4", "Pizza lakemoor",
+        "pizza restaurant in lakemoor stone oven margherita"));
+    b.add(StoredDoc::new(5, "http://f.test/5", "Noodle bar",
+        "noodle restaurant with ramen and broth in alden"));
+    b.build()
+}
+
+fn queries_for(u: u32) -> Vec<String> {
+    vec![
+        format!("seafood restaurant u{u}"),
+        format!("restaurant u{u}"),
+        format!("seafood restaurant u{u}"),
+        format!("sushi restaurant u{u}"),
+    ]
+}
+
+/// Click the highest doc id on the page (stable, exercises skip-above).
+fn impression_from(turn: &SearchTurn) -> Impression {
+    let clicked = turn.hits.iter().map(|h| h.doc).max();
+    Impression {
+        user: turn.user,
+        query: QueryId(0),
+        query_text: turn.query_text.clone(),
+        results: turn
+            .hits
+            .iter()
+            .map(|h| ShownResult {
+                doc: h.doc,
+                rank: h.rank,
+                url: h.url.to_string(),
+                title: h.title.to_string(),
+                snippet: h.snippet.clone(),
+            })
+            .collect(),
+        clicks: turn
+            .hits
+            .iter()
+            .filter(|h| Some(h.doc) == clicked)
+            .map(|h| Click { doc: h.doc, rank: h.rank, dwell: 600 })
+            .collect(),
+    }
+}
+
+/// Round-robin replay of query indices `range` for every user: each
+/// round interleaves all users, so a small-capacity store tier churns.
+/// Returns per-user transcripts keyed by `(user, query_index)`.
+fn replay(
+    e: &ServingEngine<'_>,
+    range: std::ops::Range<usize>,
+) -> HashMap<(u32, usize), String> {
+    let mut out = HashMap::new();
+    for qi in range {
+        for u in 0..USERS {
+            let q = &queries_for(u)[qi % 4];
+            let resp = e
+                .search_with(UserId(u), q, SearchBudget::none())
+                .expect("no admission limit configured");
+            e.observe(&resp.turn, &impression_from(&resp.turn));
+            out.insert((u, qi), format!("{:?}", resp.turn));
+        }
+    }
+    out
+}
+
+fn count(name: &str) -> u64 {
+    pws_obs::snapshot()
+        .stages
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.count)
+        .unwrap_or(0)
+}
+
+fn compare(
+    label: &str,
+    reference: &HashMap<(u32, usize), String>,
+    candidate: &HashMap<(u32, usize), String>,
+) {
+    for ((u, qi), want) in reference {
+        match candidate.get(&(*u, *qi)) {
+            Some(got) if got == want => {}
+            Some(got) => {
+                eprintln!("FAIL [{label}]: user {u} turn {qi} diverged");
+                eprintln!("  resident: {want}");
+                eprintln!("  {label}: {got}");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("FAIL [{label}]: user {u} turn {qi} missing");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn main() {
+    let idx = index();
+    let w = world();
+    let dir = std::env::temp_dir().join(format!("pws-store-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve = |store: Option<StoreTierConfig>| ServeConfig {
+        shards: 3,
+        stats_refresh_every: 1,
+        store,
+        ..ServeConfig::default()
+    };
+    let total = 4 * ROUNDS;
+
+    // 1. Reference: everyone resident for the whole log.
+    let resident_engine =
+        ServingEngine::new(&idx, &w, EngineConfig::default(), serve(None));
+    let resident = replay(&resident_engine, 0..total);
+
+    // 2. Evicting: capacity 1 per shard, synchronous writeback. First
+    //    half of the log, then drop (flushes dirty residents to disk).
+    pws_obs::reset();
+    let store_cfg = StoreTierConfig {
+        capacity_per_shard: 1,
+        writeback: false,
+        ..StoreTierConfig::new(&dir)
+    };
+    let evicting_engine =
+        ServingEngine::new(&idx, &w, EngineConfig::default(), serve(Some(store_cfg)));
+    let evicting = replay(&evicting_engine, 0..total / 2);
+    compare("evicting", &resident.clone().into_iter()
+        .filter(|((_, qi), _)| *qi < total / 2).collect(), &evicting);
+    let (fault_in, evict, writeback) = (
+        count("serve.store.fault_in"),
+        count("serve.store.evict"),
+        count("serve.store.writeback"),
+    );
+    if fault_in == 0 || evict == 0 || writeback == 0 {
+        eprintln!(
+            "FAIL: store tier never churned \
+             (fault_in={fault_in} evict={evict} writeback={writeback})"
+        );
+        std::process::exit(1);
+    }
+    if count("serve.state_io_error") != 0 {
+        eprintln!("FAIL: store I/O errors during smoke replay");
+        std::process::exit(1);
+    }
+    drop(evicting_engine);
+
+    // 3. Restart: a fresh engine over the same directory replays the
+    //    second half; every user faults in from disk mid-session.
+    let store_cfg = StoreTierConfig {
+        capacity_per_shard: 1,
+        writeback: false,
+        ..StoreTierConfig::new(&dir)
+    };
+    let restarted_engine =
+        ServingEngine::new(&idx, &w, EngineConfig::default(), serve(Some(store_cfg)));
+    let restarted = replay(&restarted_engine, total / 2..total);
+    compare("restart", &resident.into_iter()
+        .filter(|((_, qi), _)| *qi >= total / 2).collect(), &restarted);
+    drop(restarted_engine);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "store smoke OK: {} users x {} turns byte-identical across \
+         evict/fault-in and a restart (fault_in={fault_in} evict={evict} \
+         writeback={writeback})",
+        USERS, total,
+    );
+}

@@ -140,6 +140,8 @@ pub struct ChaosCounts {
     pub search_panics: u64,
     /// Panics emitted inside observe folds.
     pub observe_panics: u64,
+    /// Panics emitted at store-tier sites (fault-in / writeback).
+    pub store_panics: u64,
     /// Delay faults emitted (any stage).
     pub delays: u64,
     /// Lock poisonings emitted at admission.
@@ -154,6 +156,7 @@ pub struct SeededFaultPlan {
     spec: ChaosSpec,
     search_panics: AtomicU64,
     observe_panics: AtomicU64,
+    store_panics: AtomicU64,
     delays: AtomicU64,
     poisons: AtomicU64,
     /// Every user that received at least one fault — the complement is
@@ -202,6 +205,8 @@ fn stage_tag(stage: FaultStage) -> u64 {
         FaultStage::Concepts => 3,
         FaultStage::Features => 4,
         FaultStage::Observe => 5,
+        FaultStage::FaultIn => 6,
+        FaultStage::Writeback => 7,
     }
 }
 
@@ -212,6 +217,7 @@ impl SeededFaultPlan {
             spec,
             search_panics: AtomicU64::new(0),
             observe_panics: AtomicU64::new(0),
+            store_panics: AtomicU64::new(0),
             delays: AtomicU64::new(0),
             poisons: AtomicU64::new(0),
             faulted: Mutex::new(HashSet::new()),
@@ -228,6 +234,7 @@ impl SeededFaultPlan {
         ChaosCounts {
             search_panics: self.search_panics.load(Ordering::Relaxed),
             observe_panics: self.observe_panics.load(Ordering::Relaxed),
+            store_panics: self.store_panics.load(Ordering::Relaxed),
             delays: self.delays.load(Ordering::Relaxed),
             poisons: self.poisons.load(Ordering::Relaxed),
         }
@@ -253,13 +260,17 @@ impl SeededFaultPlan {
     fn mark(&self, user: UserId, action: FaultAction, stage: FaultStage) -> Option<FaultAction> {
         self.faulted.lock().unwrap_or_else(|p| p.into_inner()).insert(user.0);
         match action {
-            FaultAction::Panic => {
-                if stage == FaultStage::Observe {
+            FaultAction::Panic => match stage {
+                FaultStage::Observe => {
                     self.observe_panics.fetch_add(1, Ordering::Relaxed);
-                } else {
+                }
+                FaultStage::FaultIn | FaultStage::Writeback => {
+                    self.store_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
                     self.search_panics.fetch_add(1, Ordering::Relaxed);
                 }
-            }
+            },
             FaultAction::Delay(_) => {
                 self.delays.fetch_add(1, Ordering::Relaxed);
             }

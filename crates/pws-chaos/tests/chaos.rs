@@ -19,6 +19,7 @@ use pws_geo::{LocId, LocationOntology};
 use pws_index::{IndexBuilder, SearchEngine, StoredDoc};
 use pws_serve::{
     quiet_injected_panics, DegradeReason, SearchBudget, ServeConfig, ServingEngine,
+    StoreTierConfig,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -252,6 +253,91 @@ fn inert_plan_is_byte_identical_to_no_plan() {
         .with_fault_plan(inert.clone());
     assert_eq!(replay(&without, users), replay(&with, users));
     assert_eq!(inert.counts(), pws_chaos::ChaosCounts::default());
+}
+
+/// The chaos contract extended to the store tier: with a capacity-1
+/// resident set (an eviction and a fault-in on nearly every turn) and
+/// panics injected into fault-in and writeback, every query is still
+/// answered, users the injector never touched rank byte-identically to
+/// a chaos-free run over the same tier, and every store-stage panic is
+/// visible in `serve.state_io_error`.
+#[test]
+fn chaos_with_store_tier_isolates_faults_and_accounts_them() {
+    quiet_injected_panics();
+    let _guard = pws_obs::test_lock();
+    pws_obs::reset();
+    let idx = index();
+    let w = world();
+    let users = 12u32;
+    let tmp = |tag: &str| {
+        let d =
+            std::env::temp_dir().join(format!("pws-chaos-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+    let serve_cfg = |dir: &std::path::Path| ServeConfig {
+        shards: 4,
+        stats_refresh_every: 1,
+        store: Some(StoreTierConfig {
+            capacity_per_shard: 1,
+            // Synchronous writeback: with no daemon racing evictions the
+            // single-threaded replay is fully deterministic.
+            writeback: false,
+            ..StoreTierConfig::new(dir)
+        }),
+        ..ServeConfig::default()
+    };
+    // Round-robin turns, so users constantly displace each other.
+    let replay_rr = |e: &ServingEngine<'_>| -> HashMap<u32, Vec<String>> {
+        let mut out: HashMap<u32, Vec<String>> = HashMap::new();
+        for round in 0..4usize {
+            for u in 0..users {
+                let q = &queries_for(u)[round];
+                let resp = e
+                    .search_with(UserId(u), q, SearchBudget::none())
+                    .expect("chaos degrades queries, never errors them");
+                assert!(!resp.turn.hits.is_empty(), "query answered under store chaos");
+                e.observe(&resp.turn, &impression_from(&resp.turn));
+                out.entry(u).or_default().push(format!("{:?}", resp.turn));
+            }
+        }
+        out
+    };
+
+    let clean_dir = tmp("clean");
+    let clean = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg(&clean_dir));
+    let baseline = replay_rr(&clean);
+
+    let chaos_dir = tmp("chaos");
+    let plan = Arc::new(ChaosSpec::parse("seed=11,panic=24").unwrap().build());
+    let e = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg(&chaos_dir))
+        .with_fault_plan(plan.clone());
+    let chaotic = replay_rr(&e);
+
+    let counts = plan.counts();
+    assert!(counts.store_panics > 0, "plan must hit fault-in/writeback: {counts:?}");
+    let snap = pws_obs::snapshot();
+    let io_errors = snap
+        .stages
+        .iter()
+        .find(|s| s.name == "serve.state_io_error")
+        .map(|s| s.count)
+        .unwrap_or(0);
+    assert_eq!(io_errors, counts.store_panics, "every store-stage panic is accounted");
+
+    let faulted = plan.faulted_users();
+    let healthy: Vec<u32> = (0..users).filter(|u| !faulted.contains(u)).collect();
+    assert!(!healthy.is_empty(), "plan must leave someone untouched");
+    for u in healthy {
+        assert_eq!(
+            baseline[&u], chaotic[&u],
+            "untouched user {u} diverged under store chaos"
+        );
+    }
+    drop(e);
+    drop(clean);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
 }
 
 /// The same six documents as [`index`], as a two-segment on-disk index

@@ -344,7 +344,10 @@ impl<'a> EngineCore<'a> {
     /// abandoned and the page is the pool-normalized base ranking — the
     /// query itself always completes with a ranked result. The second
     /// return value names the checkpoint that aborted (`None` for a
-    /// healthy turn).
+    /// healthy turn). The third reports whether base retrieval was served
+    /// from the retrieval cache (`None` when no cache is configured) — the
+    /// serving layer feeds *uncached* turn latencies into its overload
+    /// `retry_after` estimate, so it needs the flag even untraced.
     ///
     /// With `gate: None` (or a gate that never fires) this is
     /// byte-identical to [`search_user_traced`] — the serving layer's
@@ -360,7 +363,7 @@ impl<'a> EngineCore<'a> {
         stats: Option<&QueryStats>,
         mut trace: Option<&mut QueryTrace>,
         mut gate: Option<CheckpointGate<'_>>,
-    ) -> (SearchTurn, Option<StageCheckpoint>) {
+    ) -> (SearchTurn, Option<StageCheckpoint>, Option<bool>) {
         // ── Candidate pool ────────────────────────────────────────────────
         let retrieval_span = self.metrics.retrieval.span();
         let (base_hits, cache_hit) = self.retrieve_base(query_text);
@@ -409,6 +412,7 @@ impl<'a> EngineCore<'a> {
             return (
                 self.base_order_turn(state, user, query_text, candidates, stats, trace),
                 None,
+                cache_hit,
             );
         }
 
@@ -416,6 +420,7 @@ impl<'a> EngineCore<'a> {
             return (
                 self.base_order_turn(state, user, query_text, candidates, stats, trace),
                 Some(StageCheckpoint::Retrieval),
+                cache_hit,
             );
         }
 
@@ -429,6 +434,7 @@ impl<'a> EngineCore<'a> {
             return (
                 self.base_order_turn(state, user, query_text, candidates, stats, trace),
                 Some(StageCheckpoint::Concepts),
+                cache_hit,
             );
         }
         let features_span = self.metrics.features.span();
@@ -456,6 +462,7 @@ impl<'a> EngineCore<'a> {
             return (
                 self.base_order_turn(state, user, query_text, candidates, stats, trace),
                 Some(StageCheckpoint::Features),
+                cache_hit,
             );
         }
 
@@ -525,7 +532,7 @@ impl<'a> EngineCore<'a> {
                 .collect();
         }
 
-        (self.finish_turn(state, user, query_text, page, beta, true, trace), None)
+        (self.finish_turn(state, user, query_text, page, beta, true, trace), None, cache_hit)
     }
 
     /// Complete a turn in base (pool) order: β decision, top-K page with
@@ -679,8 +686,10 @@ impl<'a> EngineCore<'a> {
     ) {
         let _span = self.metrics.observe.span();
         // Query statistics always update (they also drive the adaptive β
-        // for baseline-mode logging).
+        // for baseline-mode logging). Record the key on the user so the
+        // export/store path knows which stats entries travel with them.
         stats.observe(&turn.ontology, impression);
+        state.note_query(&Self::query_key(&turn.query_text));
 
         state.history.observe(impression);
 

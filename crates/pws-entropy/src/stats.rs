@@ -41,6 +41,56 @@ impl QueryStats {
         self.clicks
     }
 
+    /// All `(url, click mass)` entries in ascending URL order — the
+    /// canonical view used by persistence (`pws-store`).
+    pub fn url_click_entries(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> =
+            self.url_clicks.iter().map(|(u, n)| (u.clone(), *n)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// All `(term, click mass)` entries in ascending term order.
+    pub fn concept_click_entries(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> =
+            self.concept_clicks.iter().map(|(t, n)| (t.clone(), *n)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// All `(loc, click mass)` entries in ascending id order.
+    pub fn location_click_entries(&self) -> Vec<(LocId, f64)> {
+        let mut v: Vec<(LocId, f64)> =
+            self.location_clicks.iter().map(|(l, n)| (*l, *n)).collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+
+    /// Rebuild an accumulator from its entry lists and counters — the
+    /// inverse of the `*_entries` views, used when a stored record is
+    /// faulted back in. Duplicate keys sum.
+    pub fn from_parts(
+        url_entries: Vec<(String, f64)>,
+        concept_entries: Vec<(String, f64)>,
+        location_entries: Vec<(LocId, f64)>,
+        impressions: u64,
+        clicks: u64,
+    ) -> Self {
+        let mut url_clicks = HashMap::with_capacity(url_entries.len());
+        for (u, n) in url_entries {
+            *url_clicks.entry(u).or_insert(0.0) += n;
+        }
+        let mut concept_clicks = HashMap::with_capacity(concept_entries.len());
+        for (t, n) in concept_entries {
+            *concept_clicks.entry(t).or_insert(0.0) += n;
+        }
+        let mut location_clicks = HashMap::with_capacity(location_entries.len());
+        for (l, n) in location_entries {
+            *location_clicks.entry(l).or_insert(0.0) += n;
+        }
+        QueryStats { url_clicks, concept_clicks, location_clicks, impressions, clicks }
+    }
+
     /// Fold one impression (with the concept ontology extracted from its
     /// snippets) into the distributions.
     pub fn observe(&mut self, onto: &QueryConceptOntology, imp: &Impression) {

@@ -73,6 +73,28 @@ impl ContentProfile {
         self.weights.get(term).copied().unwrap_or(0.0)
     }
 
+    /// All `(term, weight)` entries in ascending term order — the
+    /// canonical vector view used by persistence and quantization
+    /// (`pws-store`): sorted order makes encoded bytes independent of the
+    /// map instance's iteration order.
+    pub fn weight_entries(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> =
+            self.weights.iter().map(|(t, w)| (t.clone(), *w)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Rebuild a profile from `(term, weight)` entries and an observation
+    /// count — the inverse of [`Self::weight_entries`], used when a stored
+    /// record is faulted back in. Duplicate terms sum.
+    pub fn from_entries(entries: Vec<(String, f64)>, observations: u64) -> Self {
+        let mut weights = HashMap::with_capacity(entries.len());
+        for (t, w) in entries {
+            *weights.entry(t).or_insert(0.0) += w;
+        }
+        ContentProfile { weights, observations }
+    }
+
     /// The `k` highest-weighted concepts, descending, ties by term.
     pub fn top_concepts(&self, k: usize) -> Vec<(String, f64)> {
         let mut v: Vec<(String, f64)> =

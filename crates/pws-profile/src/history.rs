@@ -36,6 +36,42 @@ impl UserHistory {
         self.domain_clicks.get(domain).copied().unwrap_or(0)
     }
 
+    /// All `(url, clicks)` entries in ascending URL order — the canonical
+    /// view used by persistence (`pws-store`).
+    pub fn url_click_entries(&self) -> Vec<(String, u32)> {
+        let mut v: Vec<(String, u32)> =
+            self.url_clicks.iter().map(|(u, c)| (u.clone(), *c)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// All `(domain, clicks)` entries in ascending domain order.
+    pub fn domain_click_entries(&self) -> Vec<(String, u32)> {
+        let mut v: Vec<(String, u32)> =
+            self.domain_clicks.iter().map(|(d, c)| (d.clone(), *c)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Rebuild a history from its entry lists — the inverse of
+    /// [`Self::url_click_entries`] / [`Self::domain_click_entries`].
+    /// Duplicate keys sum.
+    pub fn from_entries(
+        url_entries: Vec<(String, u32)>,
+        domain_entries: Vec<(String, u32)>,
+        total_clicks: u64,
+    ) -> Self {
+        let mut url_clicks = HashMap::with_capacity(url_entries.len());
+        for (u, c) in url_entries {
+            *url_clicks.entry(u).or_insert(0) += c;
+        }
+        let mut domain_clicks = HashMap::with_capacity(domain_entries.len());
+        for (d, c) in domain_entries {
+            *domain_clicks.entry(d).or_insert(0) += c;
+        }
+        UserHistory { url_clicks, domain_clicks, total_clicks }
+    }
+
     /// Extract the registrable domain from a URL
     /// (`http://host/path` → `host`). Returns the input when it does not
     /// look like a URL.

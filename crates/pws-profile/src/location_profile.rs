@@ -74,6 +74,24 @@ impl LocationProfile {
         self.weights.get(&loc).copied().unwrap_or(0.0)
     }
 
+    /// All `(loc, weight)` entries in ascending id order — the canonical
+    /// vector view used by persistence and quantization (`pws-store`).
+    pub fn weight_entries(&self) -> Vec<(LocId, f64)> {
+        let mut v: Vec<(LocId, f64)> = self.weights.iter().map(|(l, w)| (*l, *w)).collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+
+    /// Rebuild a profile from `(loc, weight)` entries and an observation
+    /// count — the inverse of [`Self::weight_entries`]. Duplicate ids sum.
+    pub fn from_entries(entries: Vec<(LocId, f64)>, observations: u64) -> Self {
+        let mut weights = HashMap::with_capacity(entries.len());
+        for (l, w) in entries {
+            *weights.entry(l).or_insert(0.0) += w;
+        }
+        LocationProfile { weights, observations }
+    }
+
     /// The `k` highest-weighted locations, descending, ties by id.
     pub fn top_locations(&self, k: usize) -> Vec<(LocId, f64)> {
         let mut v: Vec<(LocId, f64)> = self.weights.iter().map(|(l, w)| (*l, *w)).collect();

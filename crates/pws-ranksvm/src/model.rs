@@ -29,6 +29,30 @@ impl LinearRankModel {
         self.weights.len()
     }
 
+    /// Little-endian `f64::to_bits` byte view of the weights — the
+    /// bit-exact vector serialization used by the user-state codec
+    /// (`pws-store`). Round-trips NaN payloads and signed zeros exactly.
+    pub fn weight_bits_le(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.weights.len() * 8);
+        for w in &self.weights {
+            out.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Self::weight_bits_le`]. `None` when the byte length
+    /// is not a multiple of 8.
+    pub fn from_weight_bits_le(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let weights = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        Some(LinearRankModel { weights })
+    }
+
     /// Score a feature vector: dot product over the common prefix.
     pub fn score(&self, x: &[f64]) -> f64 {
         self.weights.iter().zip(x).map(|(w, v)| w * v).sum()

@@ -118,10 +118,12 @@ use pws_core::{EngineConfig, EngineCore, RetrievalCache, SearchTurn, StageCheckp
 use pws_index::SearchHit;
 use pws_entropy::QueryStats;
 use pws_obs::trace::QueryTrace;
-use std::collections::HashMap;
+use pws_store::{UserRecord, UserStore};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of the serving layer (the engine's own behavior lives
@@ -154,6 +156,12 @@ pub struct ServeConfig {
     /// Caching never changes what a turn contains — the
     /// replay-equivalence tests run with it on to pin that.
     pub retrieval_cache_capacity: usize,
+    /// Tiered user-state persistence (`pws-store`). `None` (the
+    /// default) keeps every user resident in memory forever — the
+    /// pre-store behavior. `Some` bounds each shard's resident set and
+    /// spills evicted users to disk; an evicted-then-faulted-in user
+    /// ranks byte-identically to an always-resident one.
+    pub store: Option<StoreTierConfig>,
 }
 
 impl Default for ServeConfig {
@@ -164,7 +172,37 @@ impl Default for ServeConfig {
             trace: TraceConfig::default(),
             max_queue_depth: None,
             retrieval_cache_capacity: 1024,
+            store: None,
         }
+    }
+}
+
+/// Configuration of the tiered user-state store (see
+/// [`ServeConfig::store`]).
+#[derive(Debug, Clone)]
+pub struct StoreTierConfig {
+    /// Directory holding one `pws-store` record file per user (created
+    /// if missing). A fresh engine over an existing directory faults
+    /// previously stored users back in on first access — restart-safe.
+    pub dir: PathBuf,
+    /// Maximum resident users per shard. When a request would exceed
+    /// it, the least-recently-used *other* user on the shard is evicted
+    /// (written back first when dirty). Clamped to ≥ 1.
+    pub capacity_per_shard: usize,
+    /// `true` spawns a background writeback daemon: `observe` marks the
+    /// user dirty and enqueues; the daemon encodes and writes off the
+    /// request path, so observes never block on persistence. `false`
+    /// persists only at eviction time and on [`ServingEngine::flush_store`]
+    /// — fully synchronous and deterministic (the counter-reconciliation
+    /// tests use this mode).
+    pub writeback: bool,
+}
+
+impl StoreTierConfig {
+    /// A store tier rooted at `dir` with the defaults: 1024 resident
+    /// users per shard, background writeback on.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreTierConfig { dir: dir.into(), capacity_per_shard: 1024, writeback: true }
     }
 }
 
@@ -310,6 +348,19 @@ pub enum FaultStage {
     Features,
     /// The write path, inside [`ServingEngine::observe`]'s isolation.
     Observe,
+    /// User-record fault-in from the store tier, inside its own panic
+    /// isolation: an injected `Panic` here is caught, counts
+    /// `serve.state_io_error`, and costs exactly that user a fresh
+    /// profile — never the request. Store tier only.
+    FaultIn,
+    /// User-record writeback to the store tier, on the synchronous
+    /// paths (evict-time and [`ServingEngine::flush_store`]). An
+    /// injected `Panic` is caught and treated as a failed write: the
+    /// user stays resident and dirty, so no state is ever lost to a
+    /// writeback fault. The background daemon does not consult the
+    /// plan (an async thread has no request to deterministically
+    /// attribute a fault to). Store tier only.
+    Writeback,
 }
 
 impl From<StageCheckpoint> for FaultStage {
@@ -698,14 +749,36 @@ impl RetrievalCache for ShardedRetrievalCache {
 /// One user shard: the mutable per-user state for every user hashing
 /// here, plus this shard's metric handles.
 struct UserShard {
-    users: Mutex<HashMap<UserId, UserState>>,
+    users: Mutex<HashMap<UserId, ResidentUser>>,
     /// Requests currently inside `search`/`observe` on this shard;
     /// sampled into the `queue` histogram at arrival, so its p99 is the
     /// queue depth an arriving request actually saw.
     inflight: AtomicU64,
+    /// EWMA (α = 1/8) of end-to-end search nanoseconds over turns that
+    /// did **not** hit the retrieval cache; `0` = no history yet. This
+    /// is what [`ServingEngine::retry_after`] scales by: the lifetime
+    /// mean of `search` collapses toward the cache-hit latency on a
+    /// cache-hot shard and would hint near-zero backoffs.
+    uncached_ewma_nanos: AtomicU64,
     search: Arc<pws_obs::StageMetrics>,
     observe: Arc<pws_obs::StageMetrics>,
     queue: Arc<pws_obs::StageMetrics>,
+}
+
+/// A user resident in a shard's in-memory map. Without a store tier
+/// the map is the whole world (nothing is ever evicted) and the
+/// bookkeeping fields stay zero; with one, the map is an LRU cache
+/// over the on-disk records.
+struct ResidentUser {
+    state: UserState,
+    /// Engine-wide monotone touch stamp; smallest = least recently
+    /// used.
+    last_touch: u64,
+    /// Epoch of the newest unpersisted mutation; `0` = clean (on disk
+    /// or never mutated). The writeback daemon clears it only when it
+    /// still equals the epoch it snapshotted, so a write that raced a
+    /// newer mutation can never mark the newer dirt clean.
+    dirty_epoch: u64,
 }
 
 /// Sharded query statistics with an epoch-snapshot read path.
@@ -793,6 +866,165 @@ impl ShardedStats {
             self.refresh();
         }
     }
+}
+
+/// The serving side of the tiered user-state store: the `pws-store`
+/// directory plus the residency bookkeeping shared by the request
+/// paths and the writeback daemon.
+struct StoreTier {
+    store: UserStore,
+    /// Maximum resident users per shard (≥ 1).
+    capacity_per_shard: usize,
+    /// Monotone LRU clock; every access stamps the touched user.
+    touch: AtomicU64,
+    /// Dirty-epoch source; starts at 1 so `0` can mean "clean".
+    epoch: AtomicU64,
+    /// `serve.store.fault_in` — records loaded from disk on access.
+    fault_in: Arc<pws_obs::StageMetrics>,
+    /// `serve.store.evict` — residents evicted by the LRU bound.
+    evict: Arc<pws_obs::StageMetrics>,
+    /// `serve.store.writeback` — successful record writes (evict-time,
+    /// daemon, and flush).
+    writeback: Arc<pws_obs::StageMetrics>,
+    /// Shared `serve.state_io_error` handle (failed reads/writes).
+    io_error: Arc<pws_obs::StageMetrics>,
+    /// Shared `serve.lock_recovered` handle for daemon-side recovery.
+    lock_recovered: Arc<pws_obs::StageMetrics>,
+    /// `Some` iff the background writeback daemon is configured.
+    queue: Option<WritebackQueue>,
+}
+
+/// The writeback daemon's work queue: user ids with unpersisted
+/// mutations, deduplicated (a hot user is queued at most once — the
+/// daemon snapshots the *current* state when it gets there).
+struct WritebackQueue {
+    pending: Mutex<WritebackState>,
+    cond: Condvar,
+}
+
+struct WritebackState {
+    queue: VecDeque<UserId>,
+    enqueued: HashSet<UserId>,
+    shutdown: bool,
+}
+
+/// `user → shard index`, shared by the engine and the daemon.
+fn shard_index(user: UserId, shard_count: usize) -> usize {
+    (splitmix64(user.0 as u64) % shard_count as u64) as usize
+}
+
+/// Clone the live statistics for `keys` out of the stats shards, one
+/// shard lock at a time (never while holding another stats lock).
+/// This is how a user's adaptive-β statistics travel with their
+/// record: `keys` is the user's `seen_queries` list.
+fn collect_query_stats(stats: &ShardedStats, keys: &[String]) -> BTreeMap<String, QueryStats> {
+    let mut out = BTreeMap::new();
+    for key in keys {
+        let guard = stats.lock_shard(stats.shard_of(key));
+        if let Some(s) = guard.get(key) {
+            out.insert(key.clone(), s.clone());
+        }
+    }
+    out
+}
+
+/// The background writeback daemon: pop a dirty user, persist them,
+/// repeat. On shutdown the queue is drained before exiting, so every
+/// enqueued user is written (or has their failure counted) by the time
+/// the engine finishes dropping.
+fn writeback_daemon_loop(shards: Arc<Vec<UserShard>>, stats: Arc<ShardedStats>, tier: Arc<StoreTier>) {
+    let queue = tier.queue.as_ref().expect("daemon runs only with a queue");
+    loop {
+        let user = {
+            let (mut st, poisoned) = lock_or_recover(&queue.pending);
+            if poisoned {
+                tier.lock_recovered.incr(1);
+            }
+            loop {
+                if let Some(u) = st.queue.pop_front() {
+                    st.enqueued.remove(&u);
+                    break Some(u);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = match queue.cond.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        };
+        let Some(user) = user else { return };
+        writeback_offline(&shards, &stats, &tier, user);
+    }
+}
+
+/// One background writeback: snapshot the user's state and dirty epoch
+/// under the shard lock, encode and write with **no** lock held, then
+/// clear the dirty mark only if no newer mutation landed meanwhile.
+/// The request paths never wait on this IO. Returns whether a record
+/// was written.
+fn writeback_offline(
+    shards: &[UserShard],
+    stats: &ShardedStats,
+    tier: &StoreTier,
+    user: UserId,
+) -> bool {
+    let shard = &shards[shard_index(user, shards.len())];
+    let snapshot = {
+        let (users, poisoned) = lock_or_recover(&shard.users);
+        if poisoned {
+            tier.lock_recovered.incr(1);
+        }
+        users
+            .get(&user)
+            .filter(|r| r.dirty_epoch != 0)
+            .map(|r| (r.state.clone(), r.dirty_epoch))
+    };
+    let Some((state, epoch)) = snapshot else { return false };
+    let query_stats = collect_query_stats(stats, &state.seen_queries);
+    let record = UserRecord::new(user, state, query_stats);
+    match tier.store.put(&record) {
+        Ok(()) => {
+            let (mut users, poisoned) = lock_or_recover(&shard.users);
+            if poisoned {
+                tier.lock_recovered.incr(1);
+            }
+            if let Some(r) = users.get_mut(&user) {
+                if r.dirty_epoch == epoch {
+                    r.dirty_epoch = 0;
+                }
+            }
+            tier.writeback.incr(1);
+            true
+        }
+        Err(_) => {
+            tier.io_error.incr(1);
+            false
+        }
+    }
+}
+
+/// Synchronously persist every dirty resident across all shards (the
+/// flush path and the drop guard). Returns the number of records
+/// written.
+fn flush_dirty(shards: &[UserShard], stats: &ShardedStats, tier: &StoreTier) -> usize {
+    let mut written = 0;
+    for shard in shards {
+        let dirty: Vec<UserId> = {
+            let (users, poisoned) = lock_or_recover(&shard.users);
+            if poisoned {
+                tier.lock_recovered.incr(1);
+            }
+            users.iter().filter(|(_, r)| r.dirty_epoch != 0).map(|(id, _)| *id).collect()
+        };
+        for user in dirty {
+            if writeback_offline(shards, stats, tier, user) {
+                written += 1;
+            }
+        }
+    }
+    written
 }
 
 /// Pre-resolved handles for the fault-tolerance counter family. All
@@ -955,8 +1187,10 @@ fn splitmix64(mut z: u64) -> u64 {
 /// ```
 pub struct ServingEngine<'a> {
     core: EngineCore<'a>,
-    shards: Vec<UserShard>,
-    stats: ShardedStats,
+    /// `Arc` so the writeback daemon can hold the shards without
+    /// borrowing the (non-`'static`) engine.
+    shards: Arc<Vec<UserShard>>,
+    stats: Arc<ShardedStats>,
     trace_cfg: TraceConfig,
     /// `Some` iff tracing is enabled; the `None` fast path skips trace
     /// allocation entirely.
@@ -970,6 +1204,13 @@ pub struct ServingEngine<'a> {
     /// Shared base-retrieval cache; `None` when
     /// [`ServeConfig::retrieval_cache_capacity`] is `0`.
     cache: Option<Arc<ShardedRetrievalCache>>,
+    /// Tiered user-state store; `None` when [`ServeConfig::store`] is.
+    store: Option<Arc<StoreTier>>,
+    /// Drop guard that shuts the writeback daemon down and flushes
+    /// dirty residents (a field with its own `Drop` rather than a
+    /// `Drop` impl on the engine, so the `with_*` builders can still
+    /// move fields out of `self`).
+    _store_shutdown: Option<StoreShutdown>,
 }
 
 impl<'a> ServingEngine<'a> {
@@ -991,11 +1232,13 @@ impl<'a> ServingEngine<'a> {
             .map(|((search, observe), queue)| UserShard {
                 users: Mutex::new(HashMap::new()),
                 inflight: AtomicU64::new(0),
+                uncached_ewma_nanos: AtomicU64::new(0),
                 search,
                 observe,
                 queue,
             })
             .collect();
+        let shards: Arc<Vec<UserShard>> = Arc::new(shards);
         let fault = FaultMetrics::resolve();
         let ring = serve_cfg
             .trace
@@ -1007,20 +1250,60 @@ impl<'a> ServingEngine<'a> {
         if let Some(c) = &cache {
             core = core.with_retrieval_cache(c.clone() as Arc<dyn RetrievalCache>);
         }
+        let stats = Arc::new(ShardedStats::new(
+            n,
+            serve_cfg.stats_refresh_every,
+            fault.lock_recovered.clone(),
+        ));
+        let store = serve_cfg.store.as_ref().map(|sc| {
+            Arc::new(StoreTier {
+                store: UserStore::open(&sc.dir)
+                    .expect("store tier: cannot open/create its directory"),
+                capacity_per_shard: sc.capacity_per_shard.max(1),
+                touch: AtomicU64::new(0),
+                epoch: AtomicU64::new(1),
+                fault_in: pws_obs::stage("serve.store.fault_in"),
+                evict: pws_obs::stage("serve.store.evict"),
+                writeback: pws_obs::stage("serve.store.writeback"),
+                io_error: fault.state_io_error.clone(),
+                lock_recovered: fault.lock_recovered.clone(),
+                queue: sc.writeback.then(|| WritebackQueue {
+                    pending: Mutex::new(WritebackState {
+                        queue: VecDeque::new(),
+                        enqueued: HashSet::new(),
+                        shutdown: false,
+                    }),
+                    cond: Condvar::new(),
+                }),
+            })
+        });
+        let store_shutdown = store.as_ref().map(|tier| {
+            let daemon = tier.queue.is_some().then(|| {
+                let (shards, stats, tier) = (shards.clone(), stats.clone(), tier.clone());
+                std::thread::Builder::new()
+                    .name("pws-store-writeback".into())
+                    .spawn(move || writeback_daemon_loop(shards, stats, tier))
+                    .expect("spawn writeback daemon")
+            });
+            StoreShutdown {
+                shards: shards.clone(),
+                stats: stats.clone(),
+                tier: tier.clone(),
+                daemon,
+            }
+        });
         ServingEngine {
             core,
             shards,
-            stats: ShardedStats::new(
-                n,
-                serve_cfg.stats_refresh_every,
-                fault.lock_recovered.clone(),
-            ),
+            stats,
             trace_cfg: serve_cfg.trace,
             ring,
             fault,
             plan: None,
             max_queue_depth: serve_cfg.max_queue_depth,
             cache,
+            store,
+            _store_shutdown: store_shutdown,
         }
     }
 
@@ -1156,7 +1439,7 @@ impl<'a> ServingEngine<'a> {
     fn lock_users<'s>(
         &self,
         shard: &'s UserShard,
-    ) -> (MutexGuard<'s, HashMap<UserId, UserState>>, bool) {
+    ) -> (MutexGuard<'s, HashMap<UserId, ResidentUser>>, bool) {
         let (guard, was_poisoned) = lock_or_recover(&shard.users);
         if was_poisoned {
             self.fault.lock_recovered.incr(1);
@@ -1164,19 +1447,217 @@ impl<'a> ServingEngine<'a> {
         (guard, was_poisoned)
     }
 
-    /// Retry-after hint for a shed request: the shard's mean search
-    /// latency times the excess queue depth (how many requests must
-    /// drain before this one would have been admitted), floored at a
-    /// millisecond when the shard has no latency history yet.
+    /// Retry-after hint for a shed request: the shard's *recent
+    /// uncached* search latency times the excess queue depth (how many
+    /// requests must drain before this one would have been admitted).
+    ///
+    /// The estimate is an EWMA over turns that missed (or had no)
+    /// retrieval cache, floored at 100µs per queued request. An earlier
+    /// revision scaled the shard's lifetime mean of `search`, which a
+    /// cache-hot shard drags toward the cache-hit latency — the hint
+    /// told clients to retry after effectively zero, re-shedding them
+    /// in a tight loop. Falls back to 1ms per request when the shard
+    /// has no uncached history yet.
     fn retry_after(&self, shard: &UserShard, depth: u64, limit: u64) -> Duration {
+        const FLOOR_NANOS: u64 = 100_000; // 100µs: below this a hint is noise
+        const DEFAULT_NANOS: u64 = 1_000_000; // no history: assume 1ms per request
         let excess = depth.saturating_sub(limit) + 1;
-        let mean_nanos = shard
-            .search
-            .total_nanos()
-            .checked_div(shard.search.count())
-            .map(|m| m.max(1))
-            .unwrap_or(1_000_000); // no history: assume 1ms per queued request
-        Duration::from_nanos(mean_nanos.saturating_mul(excess))
+        let ewma = shard.uncached_ewma_nanos.load(Ordering::Relaxed);
+        let per_turn = if ewma == 0 { DEFAULT_NANOS } else { ewma.max(FLOOR_NANOS) };
+        Duration::from_nanos(per_turn.saturating_mul(excess))
+    }
+
+    /// Make `user` resident in the (already locked) shard map and stamp
+    /// their LRU touch: reuse the resident entry, fault the record in
+    /// from the store tier, or start fresh.
+    ///
+    /// Fault-in runs under panic isolation: a corrupt record, an IO
+    /// error, or an injected [`FaultStage::FaultIn`] panic counts
+    /// `serve.state_io_error` and costs exactly this user a fresh
+    /// profile — never the request, never the shard. A successful load
+    /// counts `serve.store.fault_in` and re-seeds any statistics keys
+    /// this process has never observed (live keys win — they are
+    /// newer), so a fresh process over an old store directory resumes
+    /// with the record's adaptive-β statistics.
+    fn ensure_resident(
+        &self,
+        users: &mut HashMap<UserId, ResidentUser>,
+        user: UserId,
+        query_text: &str,
+    ) {
+        let touch = match &self.store {
+            Some(tier) => tier.touch.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        if let Some(r) = users.get_mut(&user) {
+            r.last_touch = touch;
+            return;
+        }
+        let state = match &self.store {
+            None => UserState::default(),
+            Some(tier) => {
+                let plan = self.plan.as_deref();
+                let loaded = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = plan {
+                        match plan.inject(user, query_text, FaultStage::FaultIn) {
+                            Some(FaultAction::Panic) => {
+                                std::panic::panic_any(InjectedFault("injected fault-in panic"))
+                            }
+                            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                            Some(FaultAction::PoisonLock) | None => {}
+                        }
+                    }
+                    tier.store.get(user)
+                }));
+                match loaded {
+                    Ok(Ok(Some(record))) => {
+                        tier.fault_in.incr(1);
+                        let mut seeded = false;
+                        for (key, qs) in record.query_stats {
+                            let mut g = self.stats.lock_shard(self.stats.shard_of(&key));
+                            if let std::collections::hash_map::Entry::Vacant(v) = g.entry(key) {
+                                v.insert(qs);
+                                seeded = true;
+                            }
+                        }
+                        if seeded {
+                            // A fresh process over an old store: publish
+                            // the re-seeded keys now, so this very turn's
+                            // β matches an uninterrupted run. A no-op
+                            // within one process (keys already live).
+                            self.stats.refresh();
+                        }
+                        record.state
+                    }
+                    Ok(Ok(None)) => UserState::default(),
+                    Ok(Err(_)) | Err(_) => {
+                        self.fault.state_io_error.incr(1);
+                        UserState::default()
+                    }
+                }
+            }
+        };
+        users.insert(user, ResidentUser { state, last_touch: touch, dirty_epoch: 0 });
+    }
+
+    /// Enforce the shard's resident bound: while over capacity, evict
+    /// the least-recently-used user other than `keep` (the one this
+    /// request is serving), writing a dirty victim back first. A failed
+    /// writeback aborts the eviction — the victim stays resident and
+    /// dirty, over capacity, and is retried on the next request;
+    /// evict-safety means state is never dropped unpersisted.
+    fn evict_overflow(
+        &self,
+        users: &mut HashMap<UserId, ResidentUser>,
+        keep: UserId,
+        query_text: &str,
+    ) {
+        let Some(tier) = &self.store else { return };
+        while users.len() > tier.capacity_per_shard {
+            let victim = users
+                .iter()
+                .filter(|(id, _)| **id != keep)
+                .min_by_key(|(id, r)| (r.last_touch, id.0))
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else { break };
+            if users[&victim].dirty_epoch != 0
+                && !self.writeback_locked(users, victim, query_text)
+            {
+                break;
+            }
+            users.remove(&victim);
+            tier.evict.incr(1);
+        }
+    }
+
+    /// Synchronously write one resident user's record under the held
+    /// shard guard, clearing their dirty mark on success. Injected
+    /// [`FaultStage::Writeback`] panics are caught and treated as a
+    /// failed write (`serve.state_io_error`, state kept). Returns
+    /// whether the record is now persisted.
+    fn writeback_locked(
+        &self,
+        users: &mut HashMap<UserId, ResidentUser>,
+        user: UserId,
+        query_text: &str,
+    ) -> bool {
+        let Some(tier) = &self.store else { return false };
+        let Some(r) = users.get(&user) else { return false };
+        let record = UserRecord::new(
+            user,
+            r.state.clone(),
+            collect_query_stats(&self.stats, &r.state.seen_queries),
+        );
+        let plan = self.plan.as_deref();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = plan {
+                match plan.inject(user, query_text, FaultStage::Writeback) {
+                    Some(FaultAction::Panic) => {
+                        std::panic::panic_any(InjectedFault("injected writeback panic"))
+                    }
+                    Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                    Some(FaultAction::PoisonLock) | None => {}
+                }
+            }
+            tier.store.put(&record)
+        }));
+        match caught {
+            Ok(Ok(())) => {
+                if let Some(r) = users.get_mut(&user) {
+                    r.dirty_epoch = 0;
+                }
+                tier.writeback.incr(1);
+                true
+            }
+            _ => {
+                self.fault.state_io_error.incr(1);
+                false
+            }
+        }
+    }
+
+    /// Queue a dirty user for the background writeback daemon. No-op in
+    /// synchronous mode ([`StoreTierConfig::writeback`] off) or without
+    /// a store tier. Never blocks on IO — the daemon does the encode
+    /// and the write.
+    fn enqueue_writeback(&self, user: UserId) {
+        let Some(tier) = &self.store else { return };
+        let Some(q) = &tier.queue else { return };
+        let (mut st, poisoned) = lock_or_recover(&q.pending);
+        if poisoned {
+            self.fault.lock_recovered.incr(1);
+        }
+        if st.enqueued.insert(user) {
+            st.queue.push_back(user);
+            q.cond.notify_one();
+        }
+    }
+
+    /// Synchronously write every dirty resident user back to the store
+    /// tier. Returns the number of records written; `0` without a store
+    /// tier. Failed writes count `serve.state_io_error` and leave the
+    /// user resident and dirty. Dropping the engine flushes
+    /// automatically (after the writeback daemon drains), so an engine
+    /// that was dropped cleanly has every observed click on disk.
+    pub fn flush_store(&self) -> usize {
+        if self.store.is_none() {
+            return 0;
+        }
+        let mut written = 0;
+        for shard in self.shards.iter() {
+            let (mut users, _) = self.lock_users(shard);
+            let dirty: Vec<UserId> = users
+                .iter()
+                .filter(|(_, r)| r.dirty_epoch != 0)
+                .map(|(id, _)| *id)
+                .collect();
+            for user in dirty {
+                if self.writeback_locked(&mut users, user, "") {
+                    written += 1;
+                }
+            }
+        }
+        written
     }
 
     /// The one search implementation: traces iff `force` or tracing is
@@ -1233,22 +1714,34 @@ impl<'a> ServingEngine<'a> {
         let snap = self.stats.read();
         let stats = snap.get(&EngineCore::query_key(query_text));
         let degraded: Option<DegradeReason>;
+        let mut cache_hit: Option<bool> = None;
         let turn = {
             let (mut users, was_poisoned) = self.lock_users(shard);
             if was_poisoned {
                 // The thread that poisoned this lock died mid-mutation;
                 // only the user it was serving can hold torn state, but
                 // we cannot know which user that was. Evicting *this*
-                // request's user bounds the damage to one profile (it
-                // re-learns from scratch) while every other user on the
-                // shard keeps their state.
+                // request's user bounds the damage to one profile (with
+                // a store tier it faults back in from its last-good
+                // record; without one it re-learns from scratch) while
+                // every other user on the shard keeps their state. The
+                // possibly-torn resident copy is deliberately *not*
+                // written back.
                 users.remove(&user);
                 drop(users);
                 self.fault.user_evicted.incr(1);
                 degraded = Some(DegradeReason::LockPoisoned);
                 self.core.degraded_search(user, query_text, stats)
             } else {
-                let state = users.entry(user).or_default();
+                self.ensure_resident(&mut users, user, query_text);
+                self.evict_overflow(&mut users, user, query_text);
+                // Fault-in may have re-seeded statistics keys and
+                // republished the snapshot; re-read so this very turn's
+                // β sees them (cheap: a read lock and an Arc clone).
+                let snap = self.stats.read();
+                let stats = snap.get(&EngineCore::query_key(query_text));
+                let state =
+                    &mut users.get_mut(&user).expect("ensure_resident inserted it").state;
                 // The guard lives OUTSIDE the catch_unwind closure:
                 // unwinding stops at this boundary before the guard
                 // would drop, so a panicking query can never poison
@@ -1277,8 +1770,9 @@ impl<'a> ServingEngine<'a> {
                     )
                 }));
                 match caught {
-                    Ok((turn, aborted_at)) => {
+                    Ok((turn, aborted_at, hit)) => {
                         degraded = aborted_at.map(DegradeReason::from_checkpoint);
+                        cache_hit = hit;
                         turn
                     }
                     Err(_) => {
@@ -1296,6 +1790,17 @@ impl<'a> ServingEngine<'a> {
         };
         let total_nanos = span.finish();
         shard.inflight.fetch_sub(1, Ordering::Relaxed);
+        if cache_hit != Some(true) {
+            // This turn did real retrieval work: fold it into the
+            // uncached-latency EWMA the retry-after hint scales by.
+            let prev = shard.uncached_ewma_nanos.load(Ordering::Relaxed);
+            let next = if prev == 0 {
+                total_nanos
+            } else {
+                prev.saturating_sub(prev / 8).saturating_add(total_nanos / 8)
+            };
+            shard.uncached_ewma_nanos.store(next.max(1), Ordering::Relaxed);
+        }
         if let Some(reason) = degraded {
             self.fault.degraded(reason).incr(1);
         }
@@ -1343,6 +1848,7 @@ impl<'a> ServingEngine<'a> {
         let shard = &self.shards[self.shard_of(turn.user)];
         let depth = shard.inflight.fetch_add(1, Ordering::Relaxed);
         shard.queue.record_value(depth);
+        let folded;
         {
             let _span = shard.observe.span();
             let key = EngineCore::query_key(&turn.query_text);
@@ -1355,45 +1861,66 @@ impl<'a> ServingEngine<'a> {
                 self.fault.user_evicted.incr(1);
             }
             let user_existed = users.contains_key(&turn.user);
-            let state = users.entry(turn.user).or_default();
-            let mut stats_shard = self.stats.lock_shard(stats_idx);
-            let stats_existed = stats_shard.contains_key(&key);
-            let stats = stats_shard.entry(key).or_default();
-            // Rollback snapshots: both maps hold &mut borrows across the
-            // isolation boundary, so a panic mid-fold must restore them
-            // to the pre-impression values before the guards release.
-            let state_before = state.clone();
-            let stats_before = stats.clone();
-            let plan = self.plan.as_deref();
-            let caught = catch_unwind(AssertUnwindSafe(|| {
-                if let Some(plan) = plan {
-                    match plan.inject(turn.user, &turn.query_text, FaultStage::Observe) {
-                        Some(FaultAction::Panic) => {
-                            std::panic::panic_any(InjectedFault("injected observe panic"))
+            self.ensure_resident(&mut users, turn.user, &turn.query_text);
+            {
+                let state =
+                    &mut users.get_mut(&turn.user).expect("ensure_resident inserted it").state;
+                let mut stats_shard = self.stats.lock_shard(stats_idx);
+                let stats_existed = stats_shard.contains_key(&key);
+                let stats = stats_shard.entry(key.clone()).or_default();
+                // Rollback snapshots: both maps hold &mut borrows across
+                // the isolation boundary, so a panic mid-fold must
+                // restore them to the pre-impression values before the
+                // guards release.
+                let state_before = state.clone();
+                let stats_before = stats.clone();
+                let plan = self.plan.as_deref();
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = plan {
+                        match plan.inject(turn.user, &turn.query_text, FaultStage::Observe) {
+                            Some(FaultAction::Panic) => {
+                                std::panic::panic_any(InjectedFault("injected observe panic"))
+                            }
+                            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                            Some(FaultAction::PoisonLock) | None => {}
                         }
-                        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-                        Some(FaultAction::PoisonLock) | None => {}
                     }
-                }
-                self.core.observe_user(turn, impression, state, stats);
-            }));
-            if caught.is_err() {
-                // Entries `or_default` freshly created are removed, not
-                // just zeroed — rollback must leave the maps exactly as
-                // they were, or a panicked fold would still leak
-                // default-valued entries into the stats snapshot.
-                if user_existed {
+                    self.core.observe_user(turn, impression, state, stats);
+                }));
+                folded = caught.is_ok();
+                if caught.is_err() {
                     *state = state_before;
-                } else {
-                    users.remove(&turn.user);
+                    if stats_existed {
+                        *stats = stats_before;
+                    } else {
+                        // Entries `or_default` freshly created are
+                        // removed, not just zeroed — rollback must leave
+                        // the map exactly as it was, or a panicked fold
+                        // would still leak default-valued entries into
+                        // the stats snapshot.
+                        stats_shard.remove(&key);
+                    }
+                    self.fault.state_restored.incr(1);
                 }
-                if stats_existed {
-                    *stats = stats_before;
-                } else {
-                    stats_shard.remove(&EngineCore::query_key(&turn.query_text));
-                }
-                self.fault.state_restored.incr(1);
             }
+            if !folded && !user_existed && self.store.is_none() {
+                // A panicked fold on a user this request created must
+                // not leak a default-valued user entry. With the store
+                // tier on, the entry stays — rollback restored it to the
+                // faulted-in (or fresh) pre-fold state, which is exactly
+                // the resident copy eviction would persist.
+                users.remove(&turn.user);
+            }
+            if folded {
+                if let Some(tier) = &self.store {
+                    users.get_mut(&turn.user).expect("still resident").dirty_epoch =
+                        tier.epoch.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.evict_overflow(&mut users, turn.user, &turn.query_text);
+        }
+        if folded {
+            self.enqueue_writeback(turn.user);
         }
         shard.inflight.fetch_sub(1, Ordering::Relaxed);
         self.stats.tick();
@@ -1463,11 +1990,29 @@ impl<'a> ServingEngine<'a> {
         self.stats.refresh();
     }
 
-    /// Clone out a user's state (if the user has been seen).
+    /// Clone out a user's state (if the user has been seen): the
+    /// resident copy when the user is in memory, else — with a store
+    /// tier — their on-disk record (an evicted user's record is always
+    /// current: dirty victims are written back before removal). Never
+    /// faults the user in; reading state is not residency-relevant. An
+    /// unreadable record counts `serve.state_io_error` and reads as
+    /// absent.
     pub fn user_state(&self, user: UserId) -> Option<UserState> {
         let shard = &self.shards[self.shard_of(user)];
-        let (users, _) = self.lock_users(shard);
-        users.get(&user).cloned()
+        {
+            let (users, _) = self.lock_users(shard);
+            if let Some(r) = users.get(&user) {
+                return Some(r.state.clone());
+            }
+        }
+        let tier = self.store.as_ref()?;
+        match tier.store.get(user) {
+            Ok(record) => record.map(|r| r.state),
+            Err(_) => {
+                self.fault.state_io_error.incr(1);
+                None
+            }
+        }
     }
 
     /// Accumulated statistics for a query string, as of the last
@@ -1476,40 +2021,125 @@ impl<'a> ServingEngine<'a> {
         self.stats.read().get(&EngineCore::query_key(query_text)).cloned()
     }
 
-    /// Number of distinct users with state, across all shards.
+    /// Number of distinct users with state: resident across all
+    /// shards, plus — with a store tier — evicted users whose record
+    /// is on disk.
     pub fn user_count(&self) -> usize {
+        let mut seen: HashSet<UserId> = HashSet::new();
+        for s in self.shards.iter() {
+            seen.extend(self.lock_users(s).0.keys().copied());
+        }
+        if let Some(tier) = &self.store {
+            if let Ok(stored) = tier.store.users() {
+                seen.extend(stored);
+            }
+        }
+        seen.len()
+    }
+
+    /// Number of users currently resident in memory (≤ the per-shard
+    /// capacity × shard count when a store tier bounds residency).
+    pub fn resident_count(&self) -> usize {
         self.shards.iter().map(|s| self.lock_users(s).0.len()).sum()
     }
 
-    /// Reset one user's learned state.
+    /// Reset one user's learned state, both the resident copy and —
+    /// with a store tier — their on-disk record.
     pub fn forget_user(&self, user: UserId) {
         let shard = &self.shards[self.shard_of(user)];
         self.lock_users(shard).0.remove(&user);
+        if let Some(tier) = &self.store {
+            if tier.store.remove(user).is_err() {
+                self.fault.state_io_error.incr(1);
+            }
+        }
     }
 
-    /// Export one user's learned state as JSON (profile portability).
+    /// Export one user's learned state as JSON (profile portability):
+    /// the [`pws_core::UserExport`] envelope — the state *plus* the
+    /// per-query adaptive-β statistics for every query the user has
+    /// issued. Earlier revisions exported the bare state; an engine
+    /// importing it then chose β from empty statistics and replayed
+    /// differently than the exporter (the regression test below pins
+    /// the fix).
     ///
-    /// `Ok(None)` when the user has no state. Serialization failure is
-    /// a `serde_json` invariant violation that previous revisions
-    /// treated as a panic; it now counts `serve.state_io_error` and
-    /// surfaces as `Err` so a state-sync loop degrades to "skip this
-    /// user" instead of killing its serving thread.
+    /// `Ok(None)` when the user has no state (resident or stored).
+    /// Serialization failure is a `serde_json` invariant violation that
+    /// previous revisions treated as a panic; it now counts
+    /// `serve.state_io_error` and surfaces as `Err` so a state-sync
+    /// loop degrades to "skip this user" instead of killing its serving
+    /// thread.
     pub fn export_user(&self, user: UserId) -> Result<Option<String>, serde_json::Error> {
-        self.user_state(user)
-            .map(|s| serde_json::to_string(&s))
-            .transpose()
+        let Some(state) = self.user_state(user) else { return Ok(None) };
+        let query_stats = collect_query_stats(&self.stats, &state.seen_queries);
+        let export = pws_core::UserExport { state, query_stats };
+        serde_json::to_string(&export)
+            .map(Some)
             .inspect_err(|_| self.fault.state_io_error.incr(1))
     }
 
-    /// Import a previously exported user state, replacing any existing
-    /// state for that user id. A parse failure counts
-    /// `serve.state_io_error` and leaves existing state untouched.
-    pub fn import_user(&self, user: UserId, json: &str) -> Result<(), serde_json::Error> {
-        let state: UserState = serde_json::from_str(json)
+    /// Import a previously exported user state (the current
+    /// [`pws_core::UserExport`] envelope or the legacy bare-state
+    /// form), replacing any existing state for that user id.
+    ///
+    /// The payload is validated before anything is touched: a wrong
+    /// model dimension, non-finite weights, or negative counts are
+    /// rejected with a typed [`pws_core::ImportError`], count
+    /// `serve.state_io_error`, and leave existing state untouched.
+    /// Imported statistics only fill query keys this engine has never
+    /// observed (live statistics are newer); the statistics snapshot is
+    /// refreshed so the very next search sees them.
+    pub fn import_user(&self, user: UserId, json: &str) -> Result<(), pws_core::ImportError> {
+        let export = pws_core::parse_user_export(json)
             .inspect_err(|_| self.fault.state_io_error.incr(1))?;
         let shard = &self.shards[self.shard_of(user)];
-        self.lock_users(shard).0.insert(user, state);
+        {
+            let (mut users, _) = self.lock_users(shard);
+            let (touch, dirty) = match &self.store {
+                Some(tier) => (
+                    tier.touch.fetch_add(1, Ordering::Relaxed),
+                    tier.epoch.fetch_add(1, Ordering::Relaxed),
+                ),
+                None => (0, 0),
+            };
+            users.insert(
+                user,
+                ResidentUser { state: export.state, last_touch: touch, dirty_epoch: dirty },
+            );
+            for (key, qs) in export.query_stats {
+                let mut g = self.stats.lock_shard(self.stats.shard_of(&key));
+                g.entry(key).or_insert(qs);
+            }
+            self.evict_overflow(&mut users, user, "");
+        }
+        self.enqueue_writeback(user);
+        self.stats.refresh();
         Ok(())
+    }
+}
+
+/// Clean-shutdown guard for the store tier, dropped with the engine:
+/// wake the writeback daemon with the shutdown flag (it drains its
+/// queue first), join it, then flush any remaining dirty residents —
+/// so a dropped engine has every observed click on disk.
+struct StoreShutdown {
+    shards: Arc<Vec<UserShard>>,
+    stats: Arc<ShardedStats>,
+    tier: Arc<StoreTier>,
+    daemon: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for StoreShutdown {
+    fn drop(&mut self) {
+        if let Some(q) = &self.tier.queue {
+            let (mut st, _) = lock_or_recover(&q.pending);
+            st.shutdown = true;
+            q.cond.notify_all();
+        }
+        if let Some(handle) = self.daemon.take() {
+            let _ = handle.join();
+        }
+        flush_dirty(&self.shards, &self.stats, &self.tier);
     }
 }
 
@@ -2608,5 +3238,479 @@ mod tests {
                 s.p99_nanos
             );
         }
+    }
+
+    // ── Store tier ──────────────────────────────────────────────────────
+
+    /// Fresh per-test store directory (removed first, in case a prior
+    /// run of the same pid left one behind).
+    fn store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pws-serve-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Round-robin replay on an already-built engine: every user takes
+    /// one turn per round, rounds are barriers, users within a round are
+    /// split across `threads` scoped threads. With a capacity-1 store
+    /// tier this forces an eviction and a fault-in on nearly every turn
+    /// — the access pattern `replay_sharded` (user-by-user) never
+    /// produces.
+    fn replay_round_robin(
+        e: &ServingEngine<'_>,
+        log: &[(UserId, Vec<String>)],
+        threads: usize,
+    ) -> HashMap<UserId, Vec<String>> {
+        let mut out: HashMap<UserId, Vec<String>> = HashMap::new();
+        let rounds = log.iter().map(|(_, qs)| qs.len()).max().unwrap_or(0);
+        for round in 0..rounds {
+            let sinks: Vec<Mutex<Vec<(UserId, String)>>> =
+                (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+            std::thread::scope(|scope| {
+                for (t, sink) in sinks.iter().enumerate() {
+                    let e = &e;
+                    let log = &log;
+                    scope.spawn(move || {
+                        for (i, (user, qs)) in log.iter().enumerate() {
+                            if i % threads != t {
+                                continue;
+                            }
+                            let Some(q) = qs.get(round) else { continue };
+                            let turn = e.search(*user, q);
+                            let imp = impression_from(&turn, &click_rule(&turn));
+                            e.observe(&turn, &imp);
+                            sink.lock().unwrap().push((*user, format!("{turn:?}")));
+                        }
+                    });
+                }
+            });
+            for sink in sinks {
+                for (user, turn) in sink.into_inner().unwrap() {
+                    out.entry(user).or_default().push(turn);
+                }
+            }
+        }
+        out
+    }
+
+    /// The headline acceptance test: an evicted-then-faulted-in user
+    /// ranks **byte-identically** to an always-resident one, at every
+    /// shard/thread combination. Capacity 1 per shard with interleaved
+    /// users forces an eviction (dirty writeback) and a fault-in on
+    /// nearly every turn; transcripts must still match the storeless
+    /// serial engine exactly.
+    #[test]
+    fn evicted_user_replays_byte_identically_to_always_resident() {
+        let queries = |u: u32| -> Vec<String> {
+            vec![
+                format!("seafood restaurant u{u}"),
+                format!("restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+                format!("sushi restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+            ]
+        };
+        let log = session_log(&queries, 6);
+        let serial = replay_serial(&log, EngineConfig::default());
+        let idx = index();
+        let w = world();
+        for shards in [1usize, 3, 8] {
+            for threads in [1usize, 4] {
+                let dir = store_dir(&format!("replay-{shards}-{threads}"));
+                let e = ServingEngine::new(
+                    &idx,
+                    &w,
+                    EngineConfig::default(),
+                    ServeConfig {
+                        shards,
+                        stats_refresh_every: 1,
+                        store: Some(StoreTierConfig {
+                            capacity_per_shard: 1,
+                            ..StoreTierConfig::new(&dir)
+                        }),
+                        ..ServeConfig::default()
+                    },
+                );
+                let replayed = replay_round_robin(&e, &log, threads);
+                assert_equivalent(
+                    &serial,
+                    &replayed,
+                    &format!("store tier, {shards} shards / {threads} threads"),
+                );
+                // Residency is bounded by capacity; identity is not.
+                assert!(e.resident_count() <= shards, "capacity 1 per shard exceeded");
+                assert_eq!(e.user_count(), 6, "evicted users still counted");
+                drop(e);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
+    /// Exact counter reconciliation under a deterministic single-thread
+    /// round-robin: capacity 1, one shard, synchronous writeback. Every
+    /// turn after the first evicts (and therefore writes back) the
+    /// previous user; every turn on a previously-seen user faults its
+    /// record in. T turns over U users ⇒ evict = writeback = T−1 and
+    /// fault_in = T−U, exactly.
+    #[test]
+    fn store_counters_reconcile_exactly() {
+        let _guard = pws_obs::test_lock();
+        let idx = index();
+        let w = world();
+        pws_obs::reset();
+        let dir = store_dir("counters");
+        let users = 3u32;
+        let rounds = 4usize;
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig {
+                shards: 1,
+                stats_refresh_every: 1,
+                store: Some(StoreTierConfig {
+                    capacity_per_shard: 1,
+                    writeback: false,
+                    ..StoreTierConfig::new(&dir)
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        let queries = |u: u32| -> Vec<String> {
+            (0..rounds).map(|r| format!("restaurant u{u} r{r}")).collect()
+        };
+        let log = session_log(&queries, users);
+        replay_round_robin(&e, &log, 1);
+        let turns = (users as u64) * (rounds as u64);
+        let snap = pws_obs::snapshot();
+        let count = |name: &str| {
+            snap.stages.iter().find(|s| s.name == name).map(|s| s.count).unwrap_or(0)
+        };
+        assert_eq!(count("serve.store.evict"), turns - 1);
+        assert_eq!(count("serve.store.writeback"), turns - 1);
+        assert_eq!(count("serve.store.fault_in"), turns - u64::from(users));
+        assert_eq!(count("store.write"), turns - 1, "one disk write per writeback");
+        assert_eq!(count("serve.state_io_error"), 0);
+        drop(e);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Restarting the process (drop the engine, open a new one over the
+    /// same directory) resumes replay byte-identically: the shutdown
+    /// flush persists every dirty resident, and fault-in restores both
+    /// the state and the per-query adaptive-β statistics.
+    #[test]
+    fn engine_restart_resumes_replay_byte_identically() {
+        let queries = |u: u32| -> Vec<String> {
+            vec![
+                format!("seafood restaurant u{u}"),
+                format!("restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+                format!("seafood restaurant u{u}"),
+            ]
+        };
+        let log = session_log(&queries, 3);
+        let uninterrupted = replay_serial(&log, EngineConfig::default());
+
+        let idx = index();
+        let w = world();
+        let dir = store_dir("restart");
+        let serve_cfg = || ServeConfig {
+            shards: 2,
+            stats_refresh_every: 1,
+            store: Some(StoreTierConfig::new(&dir)),
+            ..ServeConfig::default()
+        };
+        let first_half: Vec<(UserId, Vec<String>)> =
+            log.iter().map(|(u, qs)| (*u, qs[..2].to_vec())).collect();
+        let second_half: Vec<(UserId, Vec<String>)> =
+            log.iter().map(|(u, qs)| (*u, qs[2..].to_vec())).collect();
+
+        let e1 = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg());
+        let mut transcripts = replay_round_robin(&e1, &first_half, 1);
+        drop(e1); // shutdown guard joins the daemon and flushes dirty users
+
+        let e2 = ServingEngine::new(&idx, &w, EngineConfig::default(), serve_cfg());
+        assert_eq!(e2.user_count(), 3, "restart sees the stored users");
+        assert_eq!(e2.resident_count(), 0, "nothing resident before the first query");
+        for (user, turns) in replay_round_robin(&e2, &second_half, 1) {
+            transcripts.entry(user).or_default().extend(turns);
+        }
+        assert_equivalent(&uninterrupted, &transcripts, "restart mid-replay");
+        drop(e2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the export-stats bug: `export_user` must fold the
+    /// user's per-query adaptive-β statistics into the envelope. A
+    /// fresh process importing the export and resuming replay must be
+    /// byte-identical to never having left — before the fix the
+    /// statistics restarted cold and the β sequence diverged.
+    #[test]
+    fn export_import_into_fresh_process_resumes_adaptive_beta_exactly() {
+        let user = UserId(9);
+        let repeated = "seafood restaurant"; // repeated ⇒ stats-driven β moves
+        let full: Vec<(UserId, Vec<String>)> =
+            vec![(user, (0..6).map(|_| repeated.to_string()).collect())];
+        let uninterrupted = replay_serial(&full, EngineConfig::default());
+
+        let idx = index();
+        let w = world();
+        let cfg = || ServeConfig { shards: 1, stats_refresh_every: 1, ..ServeConfig::default() };
+        let e1 = ServingEngine::new(&idx, &w, EngineConfig::default(), cfg());
+        let first: Vec<(UserId, Vec<String>)> =
+            vec![(user, (0..3).map(|_| repeated.to_string()).collect())];
+        let mut transcripts = replay_round_robin(&e1, &first, 1);
+        let json = e1.export_user(user).expect("serializable").expect("state exists");
+        drop(e1);
+
+        // A brand-new engine (fresh process: empty live statistics).
+        let e2 = ServingEngine::new(&idx, &w, EngineConfig::default(), cfg());
+        e2.import_user(user, &json).expect("import");
+        let rest: Vec<(UserId, Vec<String>)> =
+            vec![(user, (0..3).map(|_| repeated.to_string()).collect())];
+        for (u, turns) in replay_round_robin(&e2, &rest, 1) {
+            transcripts.entry(u).or_default().extend(turns);
+        }
+        assert_equivalent(&uninterrupted, &transcripts, "export/import process handoff");
+    }
+
+    /// Malformed or invalid imports are rejected with a typed error and
+    /// counted in `serve.state_io_error`; nothing is partially applied.
+    #[test]
+    fn import_rejects_invalid_records_with_typed_errors() {
+        let _guard = pws_obs::test_lock();
+        let idx = index();
+        let w = world();
+        pws_obs::reset();
+        let e = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        let user = UserId(2);
+        for _ in 0..2 {
+            let turn = e.search(user, "seafood restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        let json = e.export_user(user).expect("serializable").expect("state exists");
+
+        // Wrong feature dimension: one extra model weight.
+        let wrong_dim = json.replacen("\"weights\":[", "\"weights\":[0.125,", 1);
+        assert_ne!(wrong_dim, json, "fixture must actually tamper the weights");
+        match e.import_user(user, &wrong_dim) {
+            Err(pws_core::ImportError::Invalid(pws_core::StateError::WrongDim { .. })) => {}
+            other => panic!("expected WrongDim, got {other:?}"),
+        }
+
+        // Negative click mass in the exported query statistics.
+        let negative = json.replacen("\"total_clicks\":", "\"total_clicks\":-", 1);
+        assert_ne!(negative, json, "fixture must actually tamper the stats");
+        assert!(e.import_user(user, &negative).is_err(), "negative counts must be rejected");
+
+        // Garbage is a Json error.
+        match e.import_user(user, "{not json") {
+            Err(pws_core::ImportError::Json(_)) => {}
+            other => panic!("expected Json error, got {other:?}"),
+        }
+
+        let snap = pws_obs::snapshot();
+        let io_errors = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "serve.state_io_error")
+            .map(|s| s.count)
+            .unwrap_or(0);
+        assert_eq!(io_errors, 3, "every rejected import is counted");
+        // The resident state survived every rejected import.
+        assert!(e.user_state(user).is_some());
+    }
+
+    /// Regression for the retry-after bug: a cache-hot shard must still
+    /// hand out an actionable backoff. The lifetime-mean estimate was
+    /// dragged toward the (near-zero) cache-hit latency by repeated
+    /// identical queries; the EWMA tracks uncached turns only and is
+    /// floored at 100µs per queued request.
+    #[test]
+    fn retry_after_stays_actionable_on_cache_hot_shard() {
+        let idx = index();
+        let w = world();
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig { shards: 1, ..ServeConfig::default() },
+        );
+        // Hammer one query: the first search misses the retrieval cache,
+        // the next ~200 hit it and would poison a lifetime mean.
+        for _ in 0..200 {
+            let _ = e.search(UserId(1), "seafood restaurant");
+        }
+        let budget = SearchBudget { max_queue_depth: Some(0), ..SearchBudget::none() };
+        let err = e
+            .search_with(UserId(1), "seafood restaurant", budget)
+            .expect_err("queue depth 0 sheds");
+        assert!(
+            err.retry_after >= Duration::from_micros(100),
+            "cache-hot shard handed out a useless hint: {:?}",
+            err.retry_after
+        );
+    }
+
+    /// An injected panic during fault-in costs exactly that user a fresh
+    /// profile — the request is still served, the shard still works, and
+    /// the failure is counted in `serve.state_io_error`.
+    #[test]
+    fn fault_in_panic_serves_fresh_profile_and_counts_io_error() {
+        let _guard = pws_obs::test_lock();
+        quiet_injected_panics();
+        let idx = index();
+        let w = world();
+        pws_obs::reset();
+        let dir = store_dir("faultin-panic");
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig {
+                shards: 1,
+                stats_refresh_every: 1,
+                store: Some(StoreTierConfig {
+                    capacity_per_shard: 1,
+                    ..StoreTierConfig::new(&dir)
+                }),
+                ..ServeConfig::default()
+            },
+        )
+        .with_fault_plan(Arc::new(TargetedPlan {
+            stage: FaultStage::FaultIn,
+            action: FaultAction::Panic,
+            query_contains: "poisoned-load",
+        }));
+        // Warm user 0 onto disk, then displace it with user 1.
+        let turn = e.search(UserId(0), "seafood restaurant");
+        let imp = impression_from(&turn, &click_rule(&turn));
+        e.observe(&turn, &imp);
+        let _ = e.search(UserId(1), "restaurant");
+        // User 0's fault-in panics: served anyway, with a fresh profile.
+        let turn = e.search(UserId(0), "restaurant poisoned-load");
+        assert!(!turn.hits.is_empty(), "fault-in panic must not lose the query");
+        let snap = pws_obs::snapshot();
+        let io_errors = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "serve.state_io_error")
+            .map(|s| s.count)
+            .unwrap_or(0);
+        assert_eq!(io_errors, 1);
+        drop(e);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An injected panic during eviction writeback must never lose user
+    /// state: the write fails, the victim stays resident (and dirty), and
+    /// its profile is byte-identical afterwards.
+    #[test]
+    fn writeback_panic_keeps_victim_resident_with_state_intact() {
+        quiet_injected_panics();
+        let idx = index();
+        let w = world();
+        let dir = store_dir("writeback-panic");
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig {
+                shards: 1,
+                stats_refresh_every: 1,
+                store: Some(StoreTierConfig {
+                    capacity_per_shard: 1,
+                    writeback: false,
+                    ..StoreTierConfig::new(&dir)
+                }),
+                ..ServeConfig::default()
+            },
+        )
+        .with_fault_plan(Arc::new(TargetedPlan {
+            stage: FaultStage::Writeback,
+            action: FaultAction::Panic,
+            query_contains: "displacer",
+        }));
+        // Dirty user 0, then try to displace it: the eviction writeback
+        // panics, so user 0 must stay resident, state intact.
+        let turn = e.search(UserId(0), "seafood restaurant");
+        let imp = impression_from(&turn, &click_rule(&turn));
+        e.observe(&turn, &imp);
+        let weights_before = e.user_state(UserId(0)).expect("resident").model.weights.clone();
+        let turn = e.search(UserId(1), "restaurant displacer");
+        assert!(!turn.hits.is_empty(), "the displacing query is still served");
+        assert_eq!(e.resident_count(), 2, "failed writeback must not evict the victim");
+        assert_eq!(
+            e.user_state(UserId(0)).expect("still resident").model.weights,
+            weights_before,
+            "victim state unchanged by the failed writeback"
+        );
+        drop(e);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `flush_store` persists every dirty resident on demand (the same
+    /// path the shutdown guard takes), making cold restarts lossless
+    /// even without eviction pressure.
+    #[test]
+    fn flush_store_persists_dirty_residents() {
+        let idx = index();
+        let w = world();
+        let dir = store_dir("flush");
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig {
+                shards: 2,
+                stats_refresh_every: 1,
+                store: Some(StoreTierConfig { writeback: false, ..StoreTierConfig::new(&dir) }),
+                ..ServeConfig::default()
+            },
+        );
+        for u in 0..4u32 {
+            let turn = e.search(UserId(u), "seafood restaurant");
+            let imp = impression_from(&turn, &click_rule(&turn));
+            e.observe(&turn, &imp);
+        }
+        assert_eq!(e.flush_store(), 4, "all four users were dirty");
+        assert_eq!(e.flush_store(), 0, "second flush has nothing to write");
+        // A storeless engine reports 0 rather than panicking.
+        let plain = ServingEngine::new(&idx, &w, EngineConfig::default(), ServeConfig::default());
+        assert_eq!(plain.flush_store(), 0);
+        drop(e);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `forget_user` erases both tiers: the resident entry and the
+    /// stored record.
+    #[test]
+    fn forget_user_erases_resident_and_stored_tiers() {
+        let idx = index();
+        let w = world();
+        let dir = store_dir("forget");
+        let e = ServingEngine::new(
+            &idx,
+            &w,
+            EngineConfig::default(),
+            ServeConfig {
+                shards: 1,
+                stats_refresh_every: 1,
+                store: Some(StoreTierConfig { writeback: false, ..StoreTierConfig::new(&dir) }),
+                ..ServeConfig::default()
+            },
+        );
+        let turn = e.search(UserId(3), "seafood restaurant");
+        let imp = impression_from(&turn, &click_rule(&turn));
+        e.observe(&turn, &imp);
+        assert_eq!(e.flush_store(), 1);
+        assert_eq!(e.user_count(), 1);
+        e.forget_user(UserId(3));
+        assert_eq!(e.user_count(), 0, "both tiers erased");
+        assert!(e.user_state(UserId(3)).is_none());
+        drop(e);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,33 @@
+//! # pws-store — tiered persistence for per-user state
+//!
+//! The paper's premise is durable per-user concept/location profiles;
+//! this crate is where they become durable. It provides the three layers
+//! under the serving tier's LRU residency machinery (`pws-serve`):
+//!
+//! 1. **A binary user-record codec** ([`codec`]): versioned, checksummed
+//!    (`PWSUSR1\0`, section table + FNV-1a-64 per section — the
+//!    `docs/INDEX_FORMAT.md` idiom), capturing the *complete*
+//!    replay-relevant state: profiles, RankSVM weights, revisit history,
+//!    preference pairs, **and** the per-query adaptive-β statistics the
+//!    old JSON export silently dropped. Encoding is canonical (sorted
+//!    maps, `f64::to_bits` little-endian), so equal logical records have
+//!    equal bytes and a faulted-in user replays **byte-identically**.
+//! 2. **Product-quantized cold vectors** ([`pq`]): per-record codebooks
+//!    compress the weight vectors to one byte per dimension for
+//!    scan-time analytics; the exact sections are always kept alongside,
+//!    so the quantized form never touches the serving path.
+//! 3. **A directory store** ([`store`]): one file per user, temp-file +
+//!    rename writes, typed [`StoreError`] on every corruption.
+//!
+//! See `docs/STORE_FORMAT.md` for the byte-level format specification.
+
+pub mod codec;
+pub mod pq;
+pub mod store;
+
+pub use codec::{
+    decode_user_record, encode_user_record, fnv1a64, QuantizedVectors, SectionId, StoreError,
+    UserRecord, FORMAT_VERSION, SECTION_ENTRY_LEN, STORE_MAGIC, TABLE_OFFSET,
+};
+pub use pq::ProductQuantizer;
+pub use store::UserStore;

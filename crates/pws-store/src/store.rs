@@ -1,0 +1,119 @@
+//! Directory-backed user-record store: one codec file per user.
+//!
+//! Writes are atomic-ish (temp file + rename on the same filesystem), so
+//! a concurrent reader sees either the previous complete record or the
+//! new complete record, never a torn write. Distinct users never contend;
+//! concurrent writers of the *same* user last-write-win at the rename.
+
+use crate::codec::{decode_user_record, encode_user_record, StoreError, UserRecord};
+use pws_click::UserId;
+use pws_obs::StageMetrics;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+fn read_stage() -> &'static Arc<StageMetrics> {
+    static STAGE: OnceLock<Arc<StageMetrics>> = OnceLock::new();
+    STAGE.get_or_init(|| pws_obs::stage("store.read"))
+}
+
+fn write_stage() -> &'static Arc<StageMetrics> {
+    static STAGE: OnceLock<Arc<StageMetrics>> = OnceLock::new();
+    STAGE.get_or_init(|| pws_obs::stage("store.write"))
+}
+
+/// A directory of user records.
+#[derive(Debug, Clone)]
+pub struct UserStore {
+    dir: PathBuf,
+}
+
+impl UserStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(UserStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, user: UserId) -> PathBuf {
+        self.dir.join(format!("user-{:08x}.pwsu", user.0))
+    }
+
+    /// Persist one record (encode + temp write + rename).
+    pub fn put(&self, record: &UserRecord) -> Result<(), StoreError> {
+        let _span = write_stage().span();
+        let bytes = encode_user_record(record);
+        let path = self.path_for(record.user);
+        let tmp = self.dir.join(format!(".user-{:08x}.tmp", record.user.0));
+        fs::write(&tmp, &bytes).map_err(|e| StoreError::Io(e.to_string()))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::Io(e.to_string())
+        })
+    }
+
+    /// Load one record. `Ok(None)` when the user has never been written;
+    /// a present-but-unreadable record is an `Err` (corruption must
+    /// surface as a typed error, not as a silently fresh user).
+    pub fn get(&self, user: UserId) -> Result<Option<UserRecord>, StoreError> {
+        let _span = read_stage().span();
+        let path = self.path_for(user);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e.to_string())),
+        };
+        decode_user_record(&bytes).map(Some)
+    }
+
+    /// Whether a record exists for `user` (no decode).
+    pub fn contains(&self, user: UserId) -> bool {
+        self.path_for(user).exists()
+    }
+
+    /// Delete a user's record. `Ok(true)` if one existed.
+    pub fn remove(&self, user: UserId) -> Result<bool, StoreError> {
+        match fs::remove_file(self.path_for(user)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::Io(e.to_string())),
+        }
+    }
+
+    /// All user ids with a record, ascending.
+    pub fn users(&self) -> Result<Vec<UserId>, StoreError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| StoreError::Io(e.to_string()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::Io(e.to_string()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_prefix("user-").and_then(|n| n.strip_suffix(".pwsu"))
+            else {
+                continue;
+            };
+            if let Ok(id) = u32::from_str_radix(hex, 16) {
+                out.push(UserId(id));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> Result<usize, StoreError> {
+        Ok(self.users()?.len())
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> Result<bool, StoreError> {
+        Ok(self.users()?.is_empty())
+    }
+}

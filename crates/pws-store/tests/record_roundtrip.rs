@@ -1,0 +1,313 @@
+//! Property tests for user-record persistence (the `segment_roundtrip`
+//! idiom, applied to the user-state tier).
+//!
+//! Three guarantees, for *arbitrary* records:
+//!
+//! 1. **Round trip** — `decode(encode(r))` reproduces `r`'s logical
+//!    content bit-exactly. `UserState` has no `PartialEq`, so the test
+//!    asserts the stronger canonical-bytes property instead:
+//!    `encode(decode(encode(r))) == encode(r)`, plus field spot checks.
+//! 2. **Durability** — corrupted (every single byte flipped), truncated
+//!    (every prefix), wrong-magic, and future-version files all fail to
+//!    decode with a typed [`StoreError`], never a panic.
+//! 3. **Quantizer bounds** — when the cold quantized form is present,
+//!    every reconstructed coordinate is finite and lies within the range
+//!    spanned by the training vectors for that coordinate (k-means
+//!    centroids are convex combinations of training points).
+
+use proptest::prelude::*;
+use pws_click::UserId;
+use pws_core::UserState;
+use pws_entropy::QueryStats;
+use pws_geo::LocId;
+use pws_profile::{ContentProfile, LocationProfile, UserHistory};
+use pws_ranksvm::{LinearRankModel, PreferencePair};
+use pws_store::{
+    decode_user_record, encode_user_record, StoreError, UserRecord, UserStore, FORMAT_VERSION,
+};
+use std::collections::BTreeMap;
+
+// ── Record strategies ───────────────────────────────────────────────────
+
+const TERMS: [&str; 9] = [
+    "lobster", "seafood", "harbor", "android", "battery", "camera", "hotel", "booking", "museum",
+];
+
+fn term() -> impl Strategy<Value = String> {
+    prop::sample::select(TERMS.to_vec()).prop_map(str::to_string)
+}
+
+/// Finite weights spanning several magnitudes, including negatives and
+/// exact zero (the codec must carry all of them bit-exactly).
+fn weight() -> impl Strategy<Value = f64> {
+    (0u32..4, -1e6..1e6f64).prop_map(|(kind, v)| match kind {
+        0 => 0.0,
+        1 => v * 1e-15,
+        _ => v,
+    })
+}
+
+/// Largest model dimension the generator uses; vectors are generated at
+/// this length and truncated to the record's drawn dimension.
+const MAX_DIM: usize = 6;
+
+fn vector() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(weight(), MAX_DIM)
+}
+
+fn query_stats() -> impl Strategy<Value = QueryStats> {
+    (
+        prop::collection::vec((term(), weight()), 0..4),
+        prop::collection::vec((term(), weight()), 0..4),
+        prop::collection::vec((any::<u32>().prop_map(LocId), weight()), 0..4),
+        0u64..1000,
+        0u64..1000,
+    )
+        .prop_map(|(urls, concepts, locs, imp, clk)| {
+            QueryStats::from_parts(urls, concepts, locs, imp, clk)
+        })
+}
+
+fn user_record(min_dim: usize) -> impl Strategy<Value = UserRecord> {
+    (
+        (any::<u32>(), 0u64..10_000, min_dim..=MAX_DIM),
+        (
+            prop::collection::btree_map(term(), query_stats(), 0..4),
+            vector(),
+            prop::collection::vec((vector(), vector()), 0..5),
+        ),
+        (
+            prop::collection::vec((term(), weight()), 0..6),
+            prop::collection::vec((any::<u32>().prop_map(LocId), weight()), 0..6),
+            prop::collection::vec((term(), 0u32..50), 0..5),
+            prop::collection::vec((term(), 0u32..50), 0..5),
+        ),
+    )
+        .prop_map(
+            |(
+                (user, obs, dim),
+                (stats, weights, raw_pairs),
+                (content, location, urls, domains),
+            )| {
+                let mut state = UserState::new();
+                let mut weights = weights;
+                weights.truncate(dim);
+                state.model = LinearRankModel::from_weights(weights);
+                state.pairs = raw_pairs
+                    .into_iter()
+                    .map(|(mut better, mut worse)| {
+                        better.truncate(dim);
+                        worse.truncate(dim);
+                        PreferencePair { better, worse }
+                    })
+                    .collect();
+                state.content = ContentProfile::from_entries(content, obs);
+                state.location = LocationProfile::from_entries(location, obs / 2);
+                let total = urls.iter().map(|(_, c)| u64::from(*c)).sum();
+                state.history = UserHistory::from_entries(urls, domains, total);
+                state.observations = obs;
+                let mut seen: Vec<String> = stats.keys().cloned().collect();
+                seen.sort();
+                state.seen_queries = seen;
+                UserRecord::new(UserId(user), state, stats)
+            },
+        )
+}
+
+/// A fixed, fully-populated record for the deterministic corruption and
+/// truncation sweeps (every section non-empty).
+fn dense_record() -> UserRecord {
+    let mut state = UserState::new();
+    state.model = LinearRankModel::from_weights(vec![0.25, -1.5, 3.0, 0.0]);
+    state.pairs = vec![
+        PreferencePair { better: vec![1.0, 2.0, -0.5, 0.125], worse: vec![0.0, 1.0, 0.5, -2.0] },
+        PreferencePair { better: vec![-3.0, 0.75, 2.5, 1.0], worse: vec![1.5, -0.25, 0.0, 4.0] },
+    ];
+    state.content =
+        ContentProfile::from_entries(vec![("seafood".into(), 0.7), ("harbor".into(), 0.3)], 11);
+    state.location =
+        LocationProfile::from_entries(vec![(LocId(3), 0.6), (LocId(7), 0.4)], 5);
+    state.history = UserHistory::from_entries(
+        vec![("http://t.test/0".into(), 3), ("http://t.test/1".into(), 1)],
+        vec![("t.test".into(), 4)],
+        4,
+    );
+    state.observations = 11;
+    state.seen_queries = vec!["hotel".into(), "seafood".into()];
+    let mut stats = BTreeMap::new();
+    stats.insert(
+        "seafood".into(),
+        QueryStats::from_parts(
+            vec![("http://t.test/0".into(), 2.0)],
+            vec![("seafood".into(), 1.5)],
+            vec![(LocId(3), 0.5)],
+            9,
+            4,
+        ),
+    );
+    stats.insert(
+        "hotel".into(),
+        QueryStats::from_parts(vec![], vec![("hotel".into(), 0.25)], vec![], 2, 1),
+    );
+    UserRecord::new(UserId(0xBEEF), state, stats)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pws-store-{tag}-{}", std::process::id()))
+}
+
+// ── 1. Round trip ───────────────────────────────────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_is_canonical(record in user_record(0)) {
+        let bytes = encode_user_record(&record);
+        let decoded = decode_user_record(&bytes).expect("decode own encoding");
+        // Canonical-bytes round trip: re-encoding the decoded record
+        // reproduces the exact byte image, so every field (including
+        // every f64 bit pattern) survived.
+        prop_assert_eq!(encode_user_record(&decoded), bytes);
+        // Spot checks on fields with an equality to compare directly.
+        prop_assert_eq!(decoded.user, record.user);
+        prop_assert_eq!(decoded.state.observations, record.state.observations);
+        prop_assert_eq!(&decoded.state.seen_queries, &record.state.seen_queries);
+        prop_assert_eq!(
+            decoded.state.model.weight_bits_le(),
+            record.state.model.weight_bits_le()
+        );
+        prop_assert_eq!(decoded.state.pairs.len(), record.state.pairs.len());
+        prop_assert_eq!(
+            decoded.state.history.total_clicks(),
+            record.state.history.total_clicks()
+        );
+        prop_assert_eq!(decoded.query_stats.len(), record.query_stats.len());
+    }
+
+    #[test]
+    fn quantized_reconstruction_is_bounded(record in user_record(1)) {
+        let bytes = encode_user_record(&record);
+        let decoded = decode_user_record(&bytes).expect("decode own encoding");
+        let Some(q) = &decoded.quantized else {
+            // Quantizer training declined (e.g. degenerate geometry) —
+            // allowed; the exact sections always carry the state.
+            return Ok(());
+        };
+        let dim = record.state.model.dim();
+        let mut training: Vec<&[f64]> = vec![&record.state.model.weights];
+        if record.state.pairs.iter().all(|p| p.better.len() == dim && p.worse.len() == dim) {
+            for p in &record.state.pairs {
+                training.push(&p.better);
+                training.push(&p.worse);
+            }
+        }
+        prop_assert_eq!(q.codes.len(), training.len());
+        let approx = q.approx_model().expect("model code decodes");
+        prop_assert_eq!(approx.len(), dim);
+        for (d, &a) in approx.iter().enumerate() {
+            let lo = training.iter().map(|v| v[d]).fold(f64::INFINITY, f64::min);
+            let hi = training.iter().map(|v| v[d]).fold(f64::NEG_INFINITY, f64::max);
+            let slack = 1e-9 * (1.0 + lo.abs().max(hi.abs()));
+            prop_assert!(a.is_finite(), "coordinate {d} not finite: {a}");
+            prop_assert!(
+                a >= lo - slack && a <= hi + slack,
+                "coordinate {d} = {a} outside training range [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_finite_weights_skip_quantizer_but_round_trip() {
+    let mut record = dense_record();
+    record.state.model = LinearRankModel::from_weights(vec![f64::NAN, f64::INFINITY, -0.5, 1.0]);
+    let bytes = encode_user_record(&record);
+    let decoded = decode_user_record(&bytes).expect("decode");
+    assert!(decoded.quantized.is_none(), "non-finite vectors must not train a quantizer");
+    // NaN and ±∞ still travel bit-exactly through the exact sections.
+    assert_eq!(decoded.state.model.weight_bits_le(), record.state.model.weight_bits_le());
+    assert_eq!(encode_user_record(&decoded), bytes);
+}
+
+// ── 2. Durability ───────────────────────────────────────────────────────
+
+#[test]
+fn every_single_byte_corruption_is_a_typed_error() {
+    let bytes = encode_user_record(&dense_record());
+    assert!(decode_user_record(&bytes).is_ok(), "canonical bytes must decode");
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xA5;
+        // Every flip must surface as Err — the header is structurally
+        // validated and every payload byte is checksummed, so no flip
+        // can silently decode. A panic here fails the test harness.
+        assert!(
+            decode_user_record(&bad).is_err(),
+            "flipping byte {i} of {} decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = encode_user_record(&dense_record());
+    for len in 0..bytes.len() {
+        assert!(
+            decode_user_record(&bytes[..len]).is_err(),
+            "prefix of {len}/{} bytes decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let mut bytes = encode_user_record(&dense_record());
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match decode_user_record(&bytes) {
+        Err(StoreError::UnsupportedVersion(v)) => assert_eq!(v, FORMAT_VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    assert!(matches!(decode_user_record(b"NOTAPWSU record"), Err(StoreError::BadMagic)));
+    assert!(matches!(decode_user_record(b""), Err(StoreError::Truncated(_))));
+}
+
+// ── 3. Directory store ──────────────────────────────────────────────────
+
+#[test]
+fn store_round_trips_and_surfaces_corruption() {
+    let dir = temp_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = UserStore::open(&dir).expect("open store");
+
+    let record = dense_record();
+    assert!(!store.contains(record.user));
+    assert!(store.get(record.user).expect("get missing").is_none());
+    store.put(&record).expect("put");
+    assert!(store.contains(record.user));
+    assert_eq!(store.users().expect("users"), vec![record.user]);
+    assert_eq!(store.len().expect("len"), 1);
+
+    let loaded = store.get(record.user).expect("get").expect("present");
+    assert_eq!(encode_user_record(&loaded), encode_user_record(&record));
+
+    // A present-but-corrupt file is an Err from get, never a fresh user.
+    let path = dir.join(format!("user-{:08x}.pwsu", record.user.0));
+    let mut raw = std::fs::read(&path).expect("read back");
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xFF;
+    std::fs::write(&path, &raw).expect("tamper");
+    assert!(store.get(record.user).is_err());
+
+    assert!(store.remove(record.user).expect("remove"));
+    assert!(!store.remove(record.user).expect("remove again"));
+    assert!(store.is_empty().expect("is_empty"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -101,6 +101,36 @@ if ! diff <(printf '%s\n' "$enum_pairs" | sort) \
     exit 1
 fi
 
+echo "==> store-format section gate (docs/STORE_FORMAT.md)"
+# Same two-way sync for the user-record codec: enum SectionId in
+# pws-store must match the section table in the store format spec.
+spec=docs/STORE_FORMAT.md
+enum_src=crates/pws-store/src/codec.rs
+enum_pairs=$(awk '/^pub enum SectionId \{/,/^\}/' "$enum_src" \
+    | grep -oP '^\s+\K[A-Za-z]+\s*=\s*[0-9]+' \
+    | sed -E 's/\s*=\s*/ /')
+doc_pairs=$(grep -oP '^\|\s*[0-9]+\s*\|\s*`[A-Za-z]+`' "$spec" \
+    | sed -E 's/^\|\s*([0-9]+)\s*\|\s*`([A-Za-z]+)`/\2 \1/')
+if [[ -z "$enum_pairs" || -z "$doc_pairs" ]]; then
+    echo "FAIL: could not extract SectionId pairs from $enum_src or $spec"
+    exit 1
+fi
+if ! diff <(printf '%s\n' "$enum_pairs" | sort) \
+          <(printf '%s\n' "$doc_pairs" | sort); then
+    echo "FAIL: SectionId enum and the $spec section table disagree"
+    exit 1
+fi
+
+echo "==> store-tier replay-equivalence gate (store_smoke)"
+# Write → evict → fault-in → replay must be byte-identical to an
+# always-resident run, including across a process-restart simulation;
+# any divergence or store I/O error exits non-zero.
+if [[ $fast -eq 0 ]]; then
+    cargo run -q --release -p pws-bench --bin store_smoke --offline
+else
+    cargo run -q -p pws-bench --bin store_smoke --offline
+fi
+
 echo "==> lock-poison recovery gate (no .expect(\"…poisoned\") in serve/core)"
 # The serving path must recover from poisoned locks (clear_poison +
 # serve.lock_recovered + targeted eviction), never crash on them. See
